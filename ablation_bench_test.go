@@ -1,0 +1,109 @@
+package hetmr_test
+
+import (
+	"testing"
+
+	"hetmr/internal/experiments"
+	"hetmr/internal/metrics"
+)
+
+// Ablation benchmarks: each sweeps one design parameter DESIGN.md §5
+// calls out and reports how the paper's conclusion responds.
+
+// BenchmarkAblationLoopbackRate shows the data-intensive conclusion
+// (Fig. 4/5: acceleration hidden) is a property of the record delivery
+// path: as the effective delivery rate rises, the Java/Cell gap opens.
+func BenchmarkAblationLoopbackRate(b *testing.B) {
+	rates := []float64{8, 16, 45, 117}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.AblationLoopbackRate(rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	gap := fig.FindSeries("Java/Cell")
+	b.ReportMetric(gap.Y(8), "gap@8MB/s")
+	b.ReportMetric(gap.Y(117), "gap@117MB/s")
+}
+
+// BenchmarkAblationHeartbeat quantifies how much of the Hadoop floor
+// is heartbeat quantization (one task per heartbeat).
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	intervals := []float64{1, 3, 10}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.AblationHeartbeat(intervals)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := fig.FindSeries("Cell Mapper")
+	b.ReportMetric(s.Y(1), "floor@1s")
+	b.ReportMetric(s.Y(10), "floor@10s")
+}
+
+// BenchmarkAblationHousekeeping quantifies the JobTracker's serialized
+// per-task bookkeeping — the Fig. 8 scaling-stall driver.
+func BenchmarkAblationHousekeeping(b *testing.B) {
+	costs := []float64{0.1, 0.9, 2.7}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.AblationHousekeeping(costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := fig.FindSeries("Cell Mapper")
+	b.ReportMetric(s.Y(0.1), "t@0.1s")
+	b.ReportMetric(s.Y(2.7), "t@2.7s")
+}
+
+// BenchmarkAblationSPEBlockSize sweeps the paper's 4 KB SPE block
+// choice.
+func BenchmarkAblationSPEBlockSize(b *testing.B) {
+	blocks := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.AblationSPEBlockSize(blocks)
+	}
+	s := fig.FindSeries("Cell BE")
+	b.ReportMetric(s.Y(4096), "MB/s@4K")
+	b.ReportMetric(s.Y(65536), "MB/s@64K")
+}
+
+// BenchmarkAblationSPECount verifies near-linear SPE scaling of the
+// offloaded kernel.
+func BenchmarkAblationSPECount(b *testing.B) {
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.AblationSPECount()
+	}
+	s := fig.FindSeries("Cell BE")
+	b.ReportMetric(s.Y(8)/s.Y(1), "speedup-8spe")
+}
+
+// BenchmarkTerasortDeliveryBound reproduces the paper's §IV-A Terasort
+// aside: per-node sorting rate collapses to the delivery rate no
+// matter how fast the sort kernel is.
+func BenchmarkTerasortDeliveryBound(b *testing.B) {
+	var slow, fast float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		// A 50 MB/s sort kernel and a 10x faster one...
+		slow, err = experiments.TerasortAnalysis(8, 64, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err = experiments.TerasortAnalysis(8, 64, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// ...deliver nearly the same per-node rate: both delivery-bound.
+	b.ReportMetric(slow, "MB/s/node-slowsort")
+	b.ReportMetric(fast, "MB/s/node-fastsort")
+}

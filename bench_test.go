@@ -1,0 +1,123 @@
+// Package hetmr_test holds the top-level benchmark harness: one
+// testing.B benchmark per figure of the paper's evaluation section.
+// Each benchmark regenerates its figure (reduced sweeps keep -bench
+// runs tractable; `cmd/repro` produces the full versions) and reports
+// the figure's headline quantity as a custom metric, so `go test
+// -bench=.` re-derives the paper's results end to end.
+package hetmr_test
+
+import (
+	"testing"
+
+	"hetmr/internal/experiments"
+	"hetmr/internal/metrics"
+)
+
+// benchY extracts a y value or fails the benchmark.
+func benchY(b *testing.B, fig *metrics.Figure, series string, x float64) float64 {
+	b.Helper()
+	s := fig.FindSeries(series)
+	if s == nil {
+		b.Fatalf("missing series %q", series)
+	}
+	return s.Y(x)
+}
+
+// BenchmarkFig2RawEncryption regenerates Figure 2 (single-node
+// encryption bandwidth, four configurations) and reports the Cell
+// chip's asymptotic MB/s.
+func BenchmarkFig2RawEncryption(b *testing.B) {
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig2RawEncryption()
+	}
+	b.ReportMetric(benchY(b, &fig, "Cell BE", 1024), "cell-MB/s")
+	b.ReportMetric(benchY(b, &fig, "Power 6", 1024), "power6-MB/s")
+}
+
+// BenchmarkFig4ProportionalEncryption regenerates Figure 4
+// (distributed encryption, 1 GB per mapper) on a reduced node sweep
+// and reports the Java/Cell makespan ratio — the paper's headline
+// "very similar performance".
+func BenchmarkFig4ProportionalEncryption(b *testing.B) {
+	nodes := []int{12, 24}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig4ProportionalEncryption(nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	java := benchY(b, &fig, "Java Mapper", 12)
+	cell := benchY(b, &fig, "Cell BE Mapper", 12)
+	b.ReportMetric(java, "java-s")
+	b.ReportMetric(cell, "cell-s")
+	b.ReportMetric(java/cell, "java/cell")
+}
+
+// BenchmarkFig5FixedEncryption regenerates Figure 5 (120 GB fixed data
+// set) on a reduced sweep and reports the Java-over-Empty overhead
+// ratio — the paper's "really small" compute contribution.
+func BenchmarkFig5FixedEncryption(b *testing.B) {
+	nodes := []int{4, 16}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig5FixedEncryption(nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchY(b, &fig, "Empty Mapper", 16), "empty-s")
+	b.ReportMetric(benchY(b, &fig, "Java Mapper", 16)/benchY(b, &fig, "Empty Mapper", 16),
+		"java/empty")
+}
+
+// BenchmarkFig6RawPi regenerates Figure 6 (single-node Pi throughput)
+// and reports the Cell-over-Power6 speedup at 1e9 samples.
+func BenchmarkFig6RawPi(b *testing.B) {
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Fig6RawPi()
+	}
+	b.ReportMetric(benchY(b, &fig, "Cell BE", 1e9)/benchY(b, &fig, "Power 6", 1e9),
+		"cell/power6")
+}
+
+// BenchmarkFig7DistributedPiSweep regenerates Figure 7 (Pi sample
+// sweep on a fixed cluster; 10 nodes here, 50 in the full run) and
+// reports the Java-over-Cell ratio at the largest sweep point.
+func BenchmarkFig7DistributedPiSweep(b *testing.B) {
+	samples := []int64{1e6, 1e9, 1e11}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig7DistributedPiSweep(10, samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchY(b, &fig, "Java Mapper", 1e11)/benchY(b, &fig, "Cell BE Mapper", 1e11),
+		"java/cell@1e11")
+	b.ReportMetric(benchY(b, &fig, "Cell BE Mapper", 1e6), "floor-s")
+}
+
+// BenchmarkFig8DistributedPiScaling regenerates Figure 8 (1e11-sample
+// Pi versus node count) on a reduced sweep and reports where the Cell
+// mapper's scaling stalls.
+func BenchmarkFig8DistributedPiScaling(b *testing.B) {
+	nodes := []int{4, 16, 64}
+	var fig metrics.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Fig8DistributedPiScaling(nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchY(b, &fig, "Java Mapper", 4)/benchY(b, &fig, "Cell BE Mapper", 4),
+		"java/cell@4")
+	b.ReportMetric(benchY(b, &fig, "Cell BE Mapper", 16)/benchY(b, &fig, "Cell BE Mapper", 64),
+		"cell-16v64")
+}

@@ -1,0 +1,113 @@
+// Command mrsim runs ad-hoc jobs on the simulated heterogeneous
+// cluster: pick a workload, mapper variant, cluster size and options,
+// and get the modelled makespan plus runtime statistics (locality,
+// attempts, energy).
+//
+//	mrsim -nodes 16 -workload enc -mapper cell -gb-per-mapper 1
+//	mrsim -nodes 50 -workload pi -mapper java -samples 1e11
+//	mrsim -nodes 32 -workload pi -mapper cell -samples 1e11 -accel-fraction 0.5 -speculative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetmr/internal/cluster"
+	"hetmr/internal/core"
+	"hetmr/internal/experiments"
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "worker node count")
+	wl := flag.String("workload", "pi", "enc or pi")
+	mapper := flag.String("mapper", "cell", "java, cell or empty")
+	gbPerMapper := flag.Float64("gb-per-mapper", 1, "input GB per mapper (enc)")
+	samples := flag.Float64("samples", 1e11, "total samples (pi)")
+	maps := flag.Int("maps", 0, "map task count (pi; default 2 per node)")
+	accelFraction := flag.Float64("accel-fraction", 1.0, "fraction of nodes with accelerators")
+	speculative := flag.Bool("speculative", false, "enable speculative execution")
+	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart")
+	flag.Parse()
+
+	if err := run(*nodes, *wl, *mapper, *gbPerMapper, int64(*samples), *maps,
+		*accelFraction, *speculative, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "mrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes int, wl, mapper string, gbPerMapper float64, samples int64,
+	maps int, accelFraction float64, speculative, timeline bool) error {
+	cfg := hadoop.DefaultConfig()
+	cfg.Speculative = speculative
+	if maps <= 0 {
+		maps = nodes * perfmodel.MapSlotsPerNode
+	}
+
+	var mapperFor func(*cluster.Node) hadoop.Mapper
+	var buildSplits func(*hdfs.NameNode, []string) ([]hadoop.Split, error)
+	switch wl {
+	case "enc":
+		perMapper := int64(gbPerMapper * float64(1<<30))
+		buildSplits = func(nn *hdfs.NameNode, nodeNames []string) ([]hadoop.Split, error) {
+			return workload.EncryptionDataset(nn, nodeNames, perfmodel.MapSlotsPerNode, perMapper)
+		}
+		switch mapper {
+		case "java":
+			mapperFor = hadoop.StaticMapperFor(hadoop.JavaAESMapper{})
+		case "cell":
+			mapperFor = hadoop.AcceleratedMapperFor(hadoop.CellAESMapper{}, hadoop.JavaAESMapper{})
+		case "empty":
+			mapperFor = hadoop.StaticMapperFor(hadoop.EmptyMapper{})
+		default:
+			return fmt.Errorf("unknown mapper %q", mapper)
+		}
+	case "pi":
+		buildSplits = func(*hdfs.NameNode, []string) ([]hadoop.Split, error) {
+			return core.PiSplits(samples, maps)
+		}
+		switch mapper {
+		case "java":
+			mapperFor = hadoop.StaticMapperFor(hadoop.JavaPiMapper{})
+		case "cell":
+			mapperFor = hadoop.AcceleratedMapperFor(hadoop.CellPiMapper{}, hadoop.JavaPiMapper{})
+		case "empty":
+			mapperFor = hadoop.StaticMapperFor(hadoop.EmptyMapper{})
+		default:
+			return fmt.Errorf("unknown mapper %q", mapper)
+		}
+	default:
+		return fmt.Errorf("unknown workload %q (enc|pi)", wl)
+	}
+
+	run, err := experiments.RunDistributed(nodes, cfg, buildSplits, mapperFor,
+		cluster.WithAcceleratedFraction(accelFraction))
+	if err != nil {
+		return err
+	}
+	res := run.Result
+	fmt.Printf("workload=%s mapper=%s nodes=%d accel=%.0f%% speculative=%v\n",
+		wl, mapper, nodes, accelFraction*100, speculative)
+	fmt.Printf("  makespan        %.2f s (setup-adjusted: %.2f s)\n",
+		res.Duration().Seconds(), (res.Finished - res.Started).Seconds())
+	fmt.Printf("  tasks           %d completed reports, %d attempts launched\n",
+		len(res.Tasks), res.Attempts)
+	if res.InputBytes > 0 {
+		fmt.Printf("  input           %.2f GB (%d local reads, %d remote)\n",
+			float64(res.InputBytes)/(1<<30), res.LocalReads, res.RemoteReads)
+	}
+	fmt.Printf("  energy          %.1f kJ (%.4f kWh)\n",
+		res.EnergyJoules/1e3, res.EnergyJoules/3.6e6)
+	fmt.Printf("  slot use        %.0f%% of map-slot time\n",
+		100*hadoop.SlotUtilization(res, nodes, perfmodel.MapSlotsPerNode))
+	if timeline {
+		fmt.Println()
+		fmt.Print(hadoop.RenderTimeline(res, 100))
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command repro regenerates every figure of Becerra et al., "Speeding
+// Up Distributed MapReduce Applications Using Hardware Accelerators"
+// (ICPP 2009), printing each figure's data series as a text table and
+// optionally writing TSV files for plotting.
+//
+// Usage:
+//
+//	repro              # all figures
+//	repro -fig 5       # one figure
+//	repro -tsv out/    # also write out/figN.tsv
+//	repro -quick       # reduced sweeps (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hetmr/internal/experiments"
+	"hetmr/internal/metrics"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2,4,5,6,7,8); 0 = all")
+	tsvDir := flag.String("tsv", "", "directory to write per-figure TSV files")
+	quick := flag.Bool("quick", false, "reduced sweeps for quick runs")
+	flag.Parse()
+
+	if err := run(*fig, *tsvDir, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figNum int, tsvDir string, quick bool) error {
+	fig4Nodes := experiments.Fig4Nodes
+	fig5Nodes := experiments.Fig5Nodes
+	fig7Samples := experiments.Fig7Samples
+	fig7Nodes := experiments.Fig7NodeCount
+	fig8Nodes := experiments.Fig8Nodes
+	if quick {
+		fig4Nodes = []int{12, 24}
+		fig5Nodes = []int{4, 16}
+		fig7Samples = []int64{1e6, 1e9, 1e11}
+		fig7Nodes = 10
+		fig8Nodes = []int{4, 16}
+	}
+
+	type genFn func() (metrics.Figure, error)
+	gens := map[int]genFn{
+		2: func() (metrics.Figure, error) { return experiments.Fig2RawEncryption(), nil },
+		4: func() (metrics.Figure, error) { return experiments.Fig4ProportionalEncryption(fig4Nodes) },
+		5: func() (metrics.Figure, error) { return experiments.Fig5FixedEncryption(fig5Nodes) },
+		6: func() (metrics.Figure, error) { return experiments.Fig6RawPi(), nil },
+		7: func() (metrics.Figure, error) { return experiments.Fig7DistributedPiSweep(fig7Nodes, fig7Samples) },
+		8: func() (metrics.Figure, error) { return experiments.Fig8DistributedPiScaling(fig8Nodes) },
+	}
+	order := []int{2, 4, 5, 6, 7, 8}
+	if figNum != 0 {
+		if _, ok := gens[figNum]; !ok {
+			return fmt.Errorf("unknown figure %d (have 2,4,5,6,7,8)", figNum)
+		}
+		order = []int{figNum}
+	}
+	for _, n := range order {
+		fig, err := gens[n]()
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if tsvDir != "" {
+			if err := os.MkdirAll(tsvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(tsvDir, fig.ID+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fig.WriteTSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

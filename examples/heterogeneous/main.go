@@ -1,0 +1,108 @@
+// Heterogeneous-cluster example: the paper's §V open issue — "clusters
+// with an increasing level of heterogeneity, involving a dynamically
+// variable number of both nodes enabled with hardware accelerators and
+// general purpose nodes".
+//
+// Part 1 runs a real encryption job on a live cluster where only half
+// the nodes have SPEs (blocks on plain nodes transparently use the
+// host kernel), proving the programming model is unchanged.
+//
+// Part 2 sweeps the accelerated fraction on the simulated 32-node
+// testbed and prints how the CPU-intensive job's makespan responds —
+// the accelerator-aware mapper fallback at work.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"hetmr/internal/cluster"
+	"hetmr/internal/core"
+	"hetmr/internal/experiments"
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/kernels"
+	"hetmr/internal/spurt"
+)
+
+func main() {
+	livePart()
+	simPart()
+}
+
+// livePart: correctness on a half-accelerated functional cluster.
+func livePart() {
+	clus, err := core.NewLiveCluster(4,
+		core.WithBlockSize(32<<10),
+		core.WithAcceleratedNodes(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := make([]byte, 256<<10)
+	for i := range plain {
+		plain[i] = byte(i * 131)
+	}
+	if err := clus.FS.WriteFile("/data", plain, ""); err != nil {
+		log.Fatal(err)
+	}
+	cipher, err := kernels.NewCipher([]byte("heterogeneous-ke"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	kern := spurt.KernelFunc{KernelName: "aes-ctr", Fn: kernels.CTRBlockFunc(cipher, iv)}
+	if _, err := clus.RunStream(&core.StreamJob{
+		Name: "het-enc", Input: "/data", Output: "/data.aes",
+		Kernel: kern, Accelerated: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := clus.FS.ReadFile("/data.aes")
+	want := make([]byte, len(plain))
+	kernels.CTRStream(cipher, iv, 0, want, plain)
+	if !bytes.Equal(got, want) {
+		log.Fatal("heterogeneous ciphertext mismatch")
+	}
+	fmt.Printf("live: %d/%d accelerated nodes, ciphertext correct with transparent host fallback\n\n",
+		clus.AcceleratedCount(), len(clus.Nodes))
+}
+
+// simPart: performance of the Pi job as the accelerated fraction grows.
+func simPart() {
+	const nodes = 32
+	const samples = int64(2e10)
+	// Fine-grained tasks (8 maps per node instead of the paper's 2)
+	// let accelerated nodes finish early and pull extra work from the
+	// JobTracker — dynamic load balancing is what makes partial
+	// acceleration pay off.
+	const maps = nodes * 4
+	fmt.Printf("sim: Pi estimation, %d nodes, %.0g samples, %d maps, accelerator-aware scheduling\n",
+		nodes, float64(samples), maps)
+	fmt.Println("accel-fraction  time(s)  time(s) with speculation")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		var times [2]float64
+		for i, spec := range []bool{false, true} {
+			cfg := hadoop.DefaultConfig()
+			cfg.Speculative = spec
+			run, err := experiments.RunDistributed(nodes, cfg,
+				func(nn *hdfs.NameNode, _ []string) ([]hadoop.Split, error) {
+					return core.PiSplits(samples, maps)
+				},
+				hadoop.AcceleratedMapperFor(hadoop.CellPiMapper{}, hadoop.JavaPiMapper{}),
+				cluster.WithAcceleratedFraction(frac))
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = run.Seconds
+		}
+		fmt.Printf("%14.2f  %7.1f  %24.1f\n", frac, times[0], times[1])
+	}
+	fmt.Println("\nadding accelerated nodes speeds the job up, but mixed clusters are")
+	fmt.Println("straggler-bound: the last tasks sit on slow PPE-only nodes. Speculative")
+	fmt.Println("execution re-runs those stragglers on idle accelerated nodes — the")
+	fmt.Println("combination delivers the §V heterogeneous-cluster win without changing")
+	fmt.Println("the programming model or the job definition.")
+}

@@ -1,0 +1,42 @@
+// Pi example: the paper's CPU-intensive workload (§IV-B) run for real
+// on the live cluster — Monte Carlo Pi estimation distributed over
+// nodes and mappers, on the host path and on the SPE-offloaded path,
+// demonstrating the O(1/sqrt(N)) accuracy the paper quotes.
+//
+//	go run ./examples/pi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hetmr/internal/core"
+	"hetmr/internal/kernels"
+)
+
+func main() {
+	clus, err := core.NewLiveCluster(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, samples := range []int64{10_000, 1_000_000, 100_000_000} {
+		hostPi, _, err := clus.EstimatePi(samples, false, 2009)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cellPi, total, err := clus.EstimatePi(samples, true, 2009)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := kernels.PiErrorBound(samples)
+		fmt.Printf("samples=%-12d host pi=%.6f (err %.2e)  cell pi=%.6f (err %.2e)  O(1/sqrt N)=%.2e  [%d drawn]\n",
+			samples,
+			hostPi, math.Abs(hostPi-math.Pi),
+			cellPi, math.Abs(cellPi-math.Pi),
+			bound, total)
+	}
+	fmt.Println("\nthe paper: \"estimating Pi with 100,000,000 samples produces an actual")
+	fmt.Println("accuracy of approximately 4 digits\" — the error column above confirms it.")
+}

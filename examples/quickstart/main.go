@@ -1,0 +1,85 @@
+// Quickstart: run a word-count MapReduce job on the live two-level
+// cluster — the classic first program of the MapReduce model the paper
+// builds on (§II-A).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"hetmr/internal/core"
+	"hetmr/internal/kernels"
+)
+
+const corpus = `
+MapReduce is a programming model proposed by Google to facilitate the
+implementation of massively parallel applications that process large
+data sets. The programmer only has to implement the map function and
+the reduce function. The runtime distributes the work and the data
+across the nodes of the cluster and collects the partial results.
+`
+
+func main() {
+	// A 3-node functional cluster with small DFS blocks so the tiny
+	// corpus still spans several blocks and nodes.
+	clus, err := core.NewLiveCluster(3, core.WithBlockSize(128))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clus.FS.WriteFile("/corpus.txt", []byte(corpus), ""); err != nil {
+		log.Fatal(err)
+	}
+
+	job := &core.KVJob{
+		Name:  "wordcount",
+		Input: "/corpus.txt",
+		Map: func(record []byte, _ int64, emit func(k, v string)) error {
+			kernels.Words(record, func(w []byte) { emit(string(w), "1") })
+			return nil
+		},
+		Reduce: func(_ string, values []string) (string, error) {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return "", err
+				}
+				total += n
+			}
+			return strconv.Itoa(total), nil
+		},
+	}
+
+	results, err := clus.RunKV(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("word count over %d nodes, %d distinct words\n",
+		len(clus.Nodes), len(results))
+	// Show the most frequent words.
+	top := ""
+	best := 0
+	for _, kv := range results {
+		n, _ := strconv.Atoi(kv.Value)
+		if n > best || (n == best && kv.Key < top) {
+			best, top = n, kv.Key
+		}
+	}
+	fmt.Printf("most frequent word: %q (%d times)\n", top, best)
+	var sample []string
+	for _, kv := range results[:min(8, len(results))] {
+		sample = append(sample, kv.Key+"="+kv.Value)
+	}
+	fmt.Println("first keys:", strings.Join(sample, " "))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

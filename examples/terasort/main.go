@@ -1,0 +1,63 @@
+// TeraSort example: the paper's §IV-A aside analyzes the Terasort
+// contest to show MapReduce mappers are bound by record delivery, not
+// by sorting speed. This example runs the workload itself on the live
+// cluster — generate records, sort each DFS block on the node holding
+// it, merge the runs — and then reproduces the paper's delivery-bound
+// analysis on the simulated testbed.
+//
+//	go run ./examples/terasort
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmr/internal/core"
+	"hetmr/internal/experiments"
+	"hetmr/internal/kernels"
+)
+
+func main() {
+	// Live distributed sort.
+	clus, err := core.NewLiveCluster(4, core.WithBlockSize(50_000)) // 500 records per block
+	if err != nil {
+		log.Fatal(err)
+	}
+	const nRecords = 20_000
+	data := kernels.GenerateSortRecords(2009, nRecords)
+	if err := clus.FS.WriteFile("/teragen", data, ""); err != nil {
+		log.Fatal(err)
+	}
+	if err := clus.RunSort("/teragen", "/terasort-out"); err != nil {
+		log.Fatal(err)
+	}
+	out, err := clus.FS.ReadFile("/terasort-out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sorted, err := kernels.RecordsSorted(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sorted || len(out) != len(data) {
+		log.Fatal("terasort output invalid")
+	}
+	fmt.Printf("live: sorted %d records (%d bytes) across %d nodes; output verified\n\n",
+		nRecords, len(out), len(clus.Nodes))
+
+	// The paper's analysis: "the testbed is sorting 5.5MB/s [per
+	// node] ... what seems to point out that the effective data
+	// bandwidth at which data can be sent to the mappers was also the
+	// limiting factor, since the sorting capacity of a high-end
+	// processor may be well above that value."
+	fmt.Println("sim: per-node sorting rate vs. in-memory sort kernel speed (8 nodes, 64GB):")
+	for _, sortMBps := range []float64{25, 50, 500} {
+		perNode, err := experiments.TerasortAnalysis(8, 64, sortMBps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", experiments.TerasortSummary(8, 64, sortMBps, perNode))
+	}
+	fmt.Println("\na 20x faster sort kernel barely moves the per-node rate: record")
+	fmt.Println("delivery, not sorting, is the bottleneck — the paper's conclusion.")
+}

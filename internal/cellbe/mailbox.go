@@ -1,0 +1,116 @@
+package cellbe
+
+import (
+	"errors"
+	"sync"
+)
+
+// SPE mailboxes: the Cell's PPE<->SPE synchronization channels. Each
+// SPE has a 4-entry inbound mailbox (PPE writes, SPU reads) and a
+// 1-entry outbound mailbox (SPU writes, PPE reads), each carrying
+// 32-bit values. Kernels use them for work notification and status
+// reporting without touching main memory.
+const (
+	// InboundMailboxDepth is the SPU Read Inbound Mailbox queue depth.
+	InboundMailboxDepth = 4
+	// OutboundMailboxDepth is the SPU Write Outbound Mailbox depth.
+	OutboundMailboxDepth = 1
+)
+
+// ErrMailboxFull is returned by non-blocking writes to a full mailbox.
+var ErrMailboxFull = errors.New("cellbe: mailbox full")
+
+// ErrMailboxEmpty is returned by non-blocking reads of an empty
+// mailbox.
+var ErrMailboxEmpty = errors.New("cellbe: mailbox empty")
+
+// Mailbox is one direction's bounded 32-bit message queue. Blocking
+// operations model the stalling behaviour of the real channels;
+// non-blocking ones model the *_stat polling idiom.
+type Mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []uint32
+	depth int
+
+	writes int64
+	stalls int64
+}
+
+// newMailbox builds a mailbox of the given depth.
+func newMailbox(depth int) *Mailbox {
+	m := &Mailbox{depth: depth}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Depth returns the queue capacity.
+func (m *Mailbox) Depth() int { return m.depth }
+
+// Count returns the entries currently queued (the *_stat intrinsic).
+func (m *Mailbox) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Write blocks until space is available, then enqueues v.
+func (m *Mailbox) Write(v uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) >= m.depth {
+		m.stalls++
+		m.cond.Wait()
+	}
+	m.queue = append(m.queue, v)
+	m.writes++
+	m.cond.Broadcast()
+}
+
+// TryWrite enqueues v if space is available.
+func (m *Mailbox) TryWrite(v uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) >= m.depth {
+		m.stalls++
+		return ErrMailboxFull
+	}
+	m.queue = append(m.queue, v)
+	m.writes++
+	m.cond.Broadcast()
+	return nil
+}
+
+// Read blocks until a value is available.
+func (m *Mailbox) Read() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	m.cond.Broadcast()
+	return v
+}
+
+// TryRead dequeues a value if one is available.
+func (m *Mailbox) TryRead() (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return 0, ErrMailboxEmpty
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	m.cond.Broadcast()
+	return v, nil
+}
+
+// Stalls reports how many operations had to wait or were rejected on
+// a full queue.
+func (m *Mailbox) Stalls() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stalls
+}

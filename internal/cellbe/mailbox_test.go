@@ -1,0 +1,129 @@
+package cellbe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMailboxDepths(t *testing.T) {
+	chip := NewChip(0)
+	spe := chip.SPEs[0]
+	if spe.Inbound.Depth() != 4 {
+		t.Errorf("inbound depth = %d, want 4 (SPU Read Inbound Mailbox)", spe.Inbound.Depth())
+	}
+	if spe.Outbound.Depth() != 1 {
+		t.Errorf("outbound depth = %d, want 1 (SPU Write Outbound Mailbox)", spe.Outbound.Depth())
+	}
+}
+
+func TestMailboxFIFOAndCount(t *testing.T) {
+	m := newMailbox(4)
+	for i := uint32(1); i <= 4; i++ {
+		m.Write(i * 10)
+	}
+	if m.Count() != 4 {
+		t.Errorf("count = %d", m.Count())
+	}
+	for i := uint32(1); i <= 4; i++ {
+		if v := m.Read(); v != i*10 {
+			t.Errorf("read %d, want %d", v, i*10)
+		}
+	}
+	if m.Count() != 0 {
+		t.Errorf("count after drain = %d", m.Count())
+	}
+}
+
+func TestMailboxTryOps(t *testing.T) {
+	m := newMailbox(1)
+	if _, err := m.TryRead(); !errors.Is(err, ErrMailboxEmpty) {
+		t.Errorf("TryRead empty: %v", err)
+	}
+	if err := m.TryWrite(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryWrite(8); !errors.Is(err, ErrMailboxFull) {
+		t.Errorf("TryWrite full: %v", err)
+	}
+	if m.Stalls() != 1 {
+		t.Errorf("stalls = %d", m.Stalls())
+	}
+	v, err := m.TryRead()
+	if err != nil || v != 7 {
+		t.Errorf("TryRead = %d, %v", v, err)
+	}
+}
+
+func TestMailboxBlockingWrite(t *testing.T) {
+	m := newMailbox(1)
+	m.Write(1)
+	done := make(chan struct{})
+	go func() {
+		m.Write(2) // blocks until the reader drains
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("write to full mailbox did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v := m.Read(); v != 1 {
+		t.Fatalf("read %d", v)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocked write never completed")
+	}
+	if v := m.Read(); v != 2 {
+		t.Errorf("read %d, want 2", v)
+	}
+}
+
+// TestMailboxWorkNotification runs the canonical Cell idiom: the PPE
+// feeds work-unit IDs through the inbound mailboxes and collects
+// per-SPE status words from the outbound mailboxes.
+func TestMailboxWorkNotification(t *testing.T) {
+	chip := NewChip(0)
+	const unitsPerSPE = 10
+	var wg sync.WaitGroup
+	// PPE side: one feeder per SPE (the PPE thread multiplexes in
+	// reality; goroutines express the same protocol).
+	for _, spe := range chip.SPEs {
+		spe := spe
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := uint32(1); u <= unitsPerSPE; u++ {
+				spe.Inbound.Write(u)
+			}
+			spe.Inbound.Write(0) // poison pill
+		}()
+	}
+	totals := make([]uint32, len(chip.SPEs))
+	err := chip.RunOnSPEs(len(chip.SPEs), func(spe *SPE, worker int) error {
+		var sum uint32
+		for {
+			u := spe.Inbound.Read()
+			if u == 0 {
+				break
+			}
+			sum += u
+		}
+		spe.Outbound.Write(sum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, spe := range chip.SPEs {
+		totals[i] = spe.Outbound.Read()
+		want := uint32(unitsPerSPE * (unitsPerSPE + 1) / 2)
+		if totals[i] != want {
+			t.Errorf("SPE %d status = %d, want %d", i, totals[i], want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package cellbe
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmr/internal/perfmodel"
+)
+
+// MFC errors.
+var (
+	// ErrQueueFull is returned when the MFC already has the maximum
+	// number of outstanding requests (the real hardware stalls; SPE
+	// kernels must drain a tag group first).
+	ErrQueueFull = errors.New("cellbe: MFC command queue full")
+	// ErrRequestTooLarge is returned for DMA requests above 16 KB.
+	ErrRequestTooLarge = errors.New("cellbe: DMA request exceeds 16KB")
+	// ErrBadTag is returned for tags outside 0..31.
+	ErrBadTag = errors.New("cellbe: DMA tag must be in 0..31")
+)
+
+// dmaDir distinguishes get (main memory -> local store) from put.
+type dmaDir int
+
+const (
+	dmaGet dmaDir = iota
+	dmaPut
+)
+
+type dmaRequest struct {
+	dir  dmaDir
+	ls   *LSBuffer
+	lso  int // offset within ls
+	main []byte
+	n    int
+	tag  int
+}
+
+// MFCStats counts DMA traffic for assertions and the timing model.
+type MFCStats struct {
+	Requests     int
+	BytesToLS    int64
+	BytesFromLS  int64
+	MaxObserved  int // peak outstanding requests
+	StallsOnFull int // issue attempts rejected with ErrQueueFull
+}
+
+// MFC is an SPE's Memory Flow Controller: the only path between main
+// memory and the SPE's local store. Requests are issued
+// asynchronously, grouped by a 5-bit tag, and execute when the kernel
+// waits on the tag — mirroring how Cell kernels overlap DMA with
+// compute via double buffering.
+type MFC struct {
+	pending []dmaRequest
+	stats   MFCStats
+}
+
+// Stats returns a copy of the traffic counters.
+func (m *MFC) Stats() MFCStats { return m.stats }
+
+// Outstanding returns the number of queued, un-waited requests.
+func (m *MFC) Outstanding() int { return len(m.pending) }
+
+func (m *MFC) issue(req dmaRequest) error {
+	if req.tag < 0 || req.tag > 31 {
+		return ErrBadTag
+	}
+	if req.n > perfmodel.DMAMaxRequestBytes {
+		return fmt.Errorf("%w: %d bytes", ErrRequestTooLarge, req.n)
+	}
+	if req.n < 0 {
+		return fmt.Errorf("cellbe: negative DMA size %d", req.n)
+	}
+	if len(m.pending) >= perfmodel.DMAMaxInflight {
+		m.stats.StallsOnFull++
+		return ErrQueueFull
+	}
+	if req.lso < 0 || req.lso+req.n > req.ls.Size() {
+		return fmt.Errorf("cellbe: DMA overruns local store buffer: off %d + %d > %d",
+			req.lso, req.n, req.ls.Size())
+	}
+	if req.n > len(req.main) {
+		return fmt.Errorf("cellbe: DMA overruns main memory region: %d > %d",
+			req.n, len(req.main))
+	}
+	m.pending = append(m.pending, req)
+	m.stats.Requests++
+	if len(m.pending) > m.stats.MaxObserved {
+		m.stats.MaxObserved = len(m.pending)
+	}
+	return nil
+}
+
+// Get issues an asynchronous DMA from main memory into the local-store
+// buffer at lsOffset. n must be at most 16 KB; larger transfers must
+// be split into multiple requests by the kernel (as on real hardware).
+func (m *MFC) Get(dst *LSBuffer, lsOffset int, src []byte, tag int) error {
+	return m.issue(dmaRequest{dir: dmaGet, ls: dst, lso: lsOffset, main: src, n: len(src), tag: tag})
+}
+
+// Put issues an asynchronous DMA from the local-store buffer at
+// lsOffset out to main memory. len(dst) bytes are written.
+func (m *MFC) Put(src *LSBuffer, lsOffset int, dst []byte, tag int) error {
+	return m.issue(dmaRequest{dir: dmaPut, ls: src, lso: lsOffset, main: dst, n: len(dst), tag: tag})
+}
+
+// GetLarge issues as many requests as needed to transfer all of src,
+// respecting the 16 KB per-request limit. It consumes one queue slot
+// per 16 KB chunk and fails with ErrQueueFull if the queue cannot hold
+// them all.
+func (m *MFC) GetLarge(dst *LSBuffer, lsOffset int, src []byte, tag int) error {
+	for off := 0; off < len(src); off += perfmodel.DMAMaxRequestBytes {
+		end := off + perfmodel.DMAMaxRequestBytes
+		if end > len(src) {
+			end = len(src)
+		}
+		if err := m.Get(dst, lsOffset+off, src[off:end], tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutLarge is the outbound counterpart of GetLarge.
+func (m *MFC) PutLarge(src *LSBuffer, lsOffset int, dst []byte, tag int) error {
+	for off := 0; off < len(dst); off += perfmodel.DMAMaxRequestBytes {
+		end := off + perfmodel.DMAMaxRequestBytes
+		if end > len(dst) {
+			end = len(dst)
+		}
+		if err := m.Put(src, lsOffset+off, dst[off:end], tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitTag completes every outstanding request in the tag group,
+// performing the actual copies, and returns the number of requests
+// retired. This mirrors mfc_write_tag_mask + mfc_read_tag_status_all.
+func (m *MFC) WaitTag(tag int) int {
+	kept := m.pending[:0]
+	retired := 0
+	for _, req := range m.pending {
+		if req.tag != tag {
+			kept = append(kept, req)
+			continue
+		}
+		lsBytes := req.ls.Bytes()[req.lso : req.lso+req.n]
+		switch req.dir {
+		case dmaGet:
+			copy(lsBytes, req.main[:req.n])
+			m.stats.BytesToLS += int64(req.n)
+		case dmaPut:
+			copy(req.main[:req.n], lsBytes)
+			m.stats.BytesFromLS += int64(req.n)
+		}
+		retired++
+	}
+	// Zero dropped tail so retired requests are not retained.
+	for i := len(kept); i < len(m.pending); i++ {
+		m.pending[i] = dmaRequest{}
+	}
+	m.pending = kept
+	return retired
+}
+
+// WaitAll completes every outstanding request regardless of tag.
+func (m *MFC) WaitAll() int {
+	total := 0
+	for tag := 0; tag <= 31; tag++ {
+		total += m.WaitTag(tag)
+	}
+	return total
+}

@@ -1,0 +1,194 @@
+package cellbe
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hetmr/internal/perfmodel"
+)
+
+func TestMFCGetPutRoundTrip(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := mfc.Get(buf, 0, src, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Before WaitTag the copy has not landed.
+	if bytes.Equal(buf.Bytes()[:64], src[:64]) {
+		t.Error("DMA completed before WaitTag (should be asynchronous)")
+	}
+	if n := mfc.WaitTag(1); n != 1 {
+		t.Errorf("retired %d requests, want 1", n)
+	}
+	if !bytes.Equal(buf.Bytes(), src) {
+		t.Fatal("Get did not copy data")
+	}
+	dst := make([]byte, 4096)
+	if err := mfc.Put(buf, 0, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	mfc.WaitTag(2)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("Put did not copy data")
+	}
+	st := mfc.Stats()
+	if st.BytesToLS != 4096 || st.BytesFromLS != 4096 || st.Requests != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMFCRequestSizeLimit(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(32 * 1024)
+	big := make([]byte, perfmodel.DMAMaxRequestBytes+1)
+	if err := mfc.Get(buf, 0, big, 0); !errors.Is(err, ErrRequestTooLarge) {
+		t.Errorf("expected ErrRequestTooLarge, got %v", err)
+	}
+	exact := make([]byte, perfmodel.DMAMaxRequestBytes)
+	if err := mfc.Get(buf, 0, exact, 0); err != nil {
+		t.Errorf("16KB request should succeed: %v", err)
+	}
+}
+
+func TestMFCQueueDepthLimit(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(perfmodel.DMAMaxInflight*16 + 16)
+	chunk := make([]byte, 16)
+	for i := 0; i < perfmodel.DMAMaxInflight; i++ {
+		if err := mfc.Get(buf, i*16, chunk, 0); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := mfc.Get(buf, perfmodel.DMAMaxInflight*16, chunk, 0); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("17th request: expected ErrQueueFull, got %v", err)
+	}
+	if mfc.Stats().StallsOnFull != 1 {
+		t.Errorf("stalls = %d, want 1", mfc.Stats().StallsOnFull)
+	}
+	mfc.WaitTag(0)
+	if err := mfc.Get(buf, 0, chunk, 0); err != nil {
+		t.Errorf("request after drain: %v", err)
+	}
+}
+
+func TestMFCTagGroups(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(64)
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	mfc.Get(buf, 0, a, 1)
+	mfc.Get(buf, 16, b, 2)
+	if n := mfc.WaitTag(2); n != 1 {
+		t.Errorf("WaitTag(2) retired %d, want 1", n)
+	}
+	if !bytes.Equal(buf.Bytes()[16:20], b) {
+		t.Error("tag 2 data not copied")
+	}
+	if bytes.Equal(buf.Bytes()[0:4], a) {
+		t.Error("tag 1 data copied by WaitTag(2)")
+	}
+	if mfc.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", mfc.Outstanding())
+	}
+	if n := mfc.WaitAll(); n != 1 {
+		t.Errorf("WaitAll retired %d, want 1", n)
+	}
+	if !bytes.Equal(buf.Bytes()[0:4], a) {
+		t.Error("tag 1 data missing after WaitAll")
+	}
+}
+
+func TestMFCBadTag(t *testing.T) {
+	ls := NewLocalStore(1024)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(16)
+	for _, tag := range []int{-1, 32, 100} {
+		if err := mfc.Get(buf, 0, []byte{1}, tag); !errors.Is(err, ErrBadTag) {
+			t.Errorf("tag %d: expected ErrBadTag, got %v", tag, err)
+		}
+	}
+}
+
+func TestMFCBufferOverrun(t *testing.T) {
+	ls := NewLocalStore(1024)
+	mfc := &MFC{}
+	buf, _ := ls.Alloc(16)
+	if err := mfc.Get(buf, 8, make([]byte, 16), 0); err == nil {
+		t.Error("overrun of LS buffer should fail")
+	}
+	if err := mfc.Get(buf, -1, make([]byte, 4), 0); err == nil {
+		t.Error("negative LS offset should fail")
+	}
+}
+
+func TestMFCGetLargeSplits(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	mfc := &MFC{}
+	const size = 40 * 1024 // needs 3 requests
+	buf, _ := ls.Alloc(size)
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := mfc.GetLarge(buf, 0, src, 3); err != nil {
+		t.Fatal(err)
+	}
+	if mfc.Outstanding() != 3 {
+		t.Errorf("outstanding = %d, want 3", mfc.Outstanding())
+	}
+	mfc.WaitTag(3)
+	if !bytes.Equal(buf.Bytes()[:size], src) {
+		t.Fatal("GetLarge corrupted data")
+	}
+	dst := make([]byte, size)
+	if err := mfc.PutLarge(buf, 0, dst, 4); err != nil {
+		t.Fatal(err)
+	}
+	mfc.WaitTag(4)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("PutLarge corrupted data")
+	}
+}
+
+// Property: Get+WaitTag then Put+WaitTag is the identity for any
+// payload up to 16KB.
+func TestMFCRoundTripProperty(t *testing.T) {
+	ls := NewLocalStore(perfmodel.LocalStoreBytes)
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > perfmodel.DMAMaxRequestBytes {
+			data = data[:perfmodel.DMAMaxRequestBytes]
+		}
+		mfc := &MFC{}
+		buf, err := ls.Alloc(len(data))
+		if err != nil {
+			return false
+		}
+		defer ls.Free(buf)
+		if err := mfc.Get(buf, 0, data, 0); err != nil {
+			return false
+		}
+		mfc.WaitTag(0)
+		out := make([]byte, len(data))
+		if err := mfc.Put(buf, 0, out, 0); err != nil {
+			return false
+		}
+		mfc.WaitTag(0)
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package cellbe
+
+import "hetmr/internal/perfmodel"
+
+// This file contains the analytic timing model for SPE offload
+// sessions, shared by the single-node "raw" experiments (Fig. 2 and
+// Fig. 6) and by the discrete-event cluster simulation (the Cell
+// mapper's compute cost). The model is the standard double-buffered
+// offload pipeline:
+//
+//	t = init + pipelineFill + max(compute, dma) + perBlockIssue
+//
+// where compute is size/(perSPERate*nSPEs) and the DMA term is almost
+// never dominant on this workload mix (25.6 GB/s per SPE).
+
+// OffloadCost describes a modelled SPE offload session.
+type OffloadCost struct {
+	InitSeconds    float64 // SPE context setup for the session
+	ComputeSeconds float64 // aggregate kernel time across SPEs
+	DMASeconds     float64 // serialized DMA term (overlapped with compute)
+	IssueSeconds   float64 // per-request MFC issue overhead
+	TotalSeconds   float64 // modelled wall time of the session
+}
+
+// StreamOffloadTime models processing `bytes` of data streamed through
+// nSPEs in blockBytes chunks with per-SPE throughput perSPERate
+// (bytes/s), double buffered. It returns the full cost breakdown.
+func StreamOffloadTime(bytes int64, nSPEs int, blockBytes int, perSPERate float64) OffloadCost {
+	if bytes <= 0 || nSPEs <= 0 || blockBytes <= 0 || perSPERate <= 0 {
+		return OffloadCost{InitSeconds: perfmodel.SPUOffloadInitSeconds,
+			TotalSeconds: perfmodel.SPUOffloadInitSeconds}
+	}
+	nBlocks := (bytes + int64(blockBytes) - 1) / int64(blockBytes)
+	// Each block is DMA'd in and out once; requests are capped at
+	// 16 KB so a block may need several.
+	reqPerBlock := (blockBytes + perfmodel.DMAMaxRequestBytes - 1) / perfmodel.DMAMaxRequestBytes
+	issue := float64(2*nBlocks*int64(reqPerBlock)) * perfmodel.DMASetupSeconds / float64(nSPEs)
+	compute := float64(bytes) / (perSPERate * float64(nSPEs))
+	dma := 2 * float64(bytes) / (perfmodel.DMABytesPerSecond * float64(nSPEs))
+	// Pipeline fill: first block in before compute starts.
+	fill := float64(blockBytes) / perfmodel.DMABytesPerSecond
+	overlap := compute
+	if dma > overlap {
+		overlap = dma
+	}
+	total := perfmodel.SPUOffloadInitSeconds + fill + overlap + issue
+	return OffloadCost{
+		InitSeconds:    perfmodel.SPUOffloadInitSeconds,
+		ComputeSeconds: compute,
+		DMASeconds:     dma,
+		IssueSeconds:   issue,
+		TotalSeconds:   total,
+	}
+}
+
+// ComputeOffloadTime models a pure-compute offload (no data movement,
+// e.g. the Monte Carlo Pi kernel) of `work` units at perSPERate units
+// per second per SPE across nSPEs.
+func ComputeOffloadTime(work int64, nSPEs int, perSPERate float64) OffloadCost {
+	if work <= 0 || nSPEs <= 0 || perSPERate <= 0 {
+		return OffloadCost{InitSeconds: perfmodel.SPUOffloadInitSeconds,
+			TotalSeconds: perfmodel.SPUOffloadInitSeconds}
+	}
+	compute := float64(work) / (perSPERate * float64(nSPEs))
+	total := perfmodel.SPUOffloadInitSeconds + compute
+	return OffloadCost{
+		InitSeconds:    perfmodel.SPUOffloadInitSeconds,
+		ComputeSeconds: compute,
+		TotalSeconds:   total,
+	}
+}
+
+// HostComputeTime models a scalar host-CPU kernel (the "Java" variants
+// in the paper) processing `work` units at `rate` units/second, with a
+// small JIT/startup overhead.
+func HostComputeTime(work int64, rate float64) float64 {
+	const jvmWarmup = 1e-3
+	if work <= 0 || rate <= 0 {
+		return jvmWarmup
+	}
+	return jvmWarmup + float64(work)/rate
+}

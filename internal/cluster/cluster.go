@@ -1,0 +1,138 @@
+// Package cluster models the paper's testbed topology: a variable
+// number of IBM QS22 worker blades (dual Cell BE, DataNode + two map
+// slots each) plus one JS22 Power6 master blade (JobTracker +
+// NameNodes), all on Gigabit Ethernet. Each node carries the three
+// shared media the experiments exercise: its GbE NIC, the loopback
+// path the Hadoop RecordReader uses to move records from the
+// co-located DataNode into the Mappers, and its local disk.
+package cluster
+
+import (
+	"fmt"
+
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/sim"
+)
+
+// Node is one blade of the simulated cluster.
+type Node struct {
+	Name string
+	// Accelerated marks nodes with usable Cell SPEs. The paper's
+	// cluster is fully accelerated; the heterogeneous-cluster
+	// extension (paper §V) builds mixed clusters.
+	Accelerated bool
+
+	// NIC is the node's Gigabit Ethernet interface (shared by all
+	// flows in or out of the node).
+	NIC *sim.Link
+	// Loopback is the effective DataNode->Mapper record delivery path
+	// ("the loopback interface"), shared by the node's concurrent
+	// mappers. Its calibrated rate is deliberately the measured
+	// effective rate, not the interface's nominal capacity, per the
+	// paper's observation.
+	Loopback *sim.Link
+	// Disk is the node's local disk (DataNode storage, map output
+	// spills).
+	Disk *sim.Link
+}
+
+// Cluster is the simulated testbed.
+type Cluster struct {
+	Eng    *sim.Engine
+	Master *Node
+	Nodes  []*Node
+	byName map[string]*Node
+}
+
+// Option customizes cluster construction.
+type Option func(*config)
+
+type config struct {
+	acceleratedFraction float64
+	loopbackRate        float64
+	nicRate             float64
+	diskRate            float64
+}
+
+// WithAcceleratedFraction builds a heterogeneous cluster where only
+// the given fraction of worker nodes (rounded down, at least 0) have
+// accelerators — the paper's §V "increasing level of heterogeneity"
+// scenario.
+func WithAcceleratedFraction(f float64) Option {
+	return func(c *config) { c.acceleratedFraction = f }
+}
+
+// WithLoopbackRate overrides the effective record-delivery rate
+// (bytes/s), used by ablation benchmarks.
+func WithLoopbackRate(r float64) Option {
+	return func(c *config) { c.loopbackRate = r }
+}
+
+// WithNICRate overrides the NIC rate in bytes/s.
+func WithNICRate(r float64) Option {
+	return func(c *config) { c.nicRate = r }
+}
+
+// WithDiskRate overrides the disk rate in bytes/s.
+func WithDiskRate(r float64) Option {
+	return func(c *config) { c.diskRate = r }
+}
+
+// New builds a cluster of nWorkers QS22-like worker nodes plus the
+// JS22-like master on the given engine.
+func New(eng *sim.Engine, nWorkers int, opts ...Option) (*Cluster, error) {
+	if nWorkers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker, got %d", nWorkers)
+	}
+	cfg := config{
+		acceleratedFraction: 1.0,
+		loopbackRate:        perfmodel.LoopbackDeliveryBytesPerSec,
+		nicRate:             perfmodel.GbEBytesPerSecond,
+		diskRate:            perfmodel.DiskBytesPerSecond,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Cluster{Eng: eng, byName: make(map[string]*Node)}
+	nAccel := int(cfg.acceleratedFraction * float64(nWorkers))
+	for i := 0; i < nWorkers; i++ {
+		name := WorkerName(i)
+		n := &Node{
+			Name:        name,
+			Accelerated: i < nAccel,
+			NIC:         sim.NewLink(eng, name+"/nic", cfg.nicRate),
+			Loopback:    sim.NewLink(eng, name+"/lo", cfg.loopbackRate),
+			Disk:        sim.NewLink(eng, name+"/disk", cfg.diskRate),
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.byName[name] = n
+	}
+	c.Master = &Node{
+		Name:     "master",
+		NIC:      sim.NewLink(eng, "master/nic", cfg.nicRate),
+		Loopback: sim.NewLink(eng, "master/lo", cfg.loopbackRate),
+		Disk:     sim.NewLink(eng, "master/disk", cfg.diskRate),
+	}
+	c.byName["master"] = c.Master
+	return c, nil
+}
+
+// WorkerName returns the canonical name of worker i.
+func WorkerName(i int) string { return fmt.Sprintf("node%03d", i) }
+
+// ByName looks a node up by name (workers and master).
+func (c *Cluster) ByName(name string) (*Node, bool) {
+	n, ok := c.byName[name]
+	return n, ok
+}
+
+// AcceleratedCount returns the number of accelerator-equipped workers.
+func (c *Cluster) AcceleratedCount() int {
+	n := 0
+	for _, node := range c.Nodes {
+		if node.Accelerated {
+			n++
+		}
+	}
+	return n
+}

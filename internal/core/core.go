@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution: a
+// MapReduce execution environment that exploits both levels of
+// parallelism in a heterogeneous cluster — distribution of splits
+// across nodes (level 1, Hadoop-style) and offload of each mapper's
+// records onto the node's Cell BE SPEs in 4 KB blocks (level 2).
+//
+// Two runners share the same job definitions:
+//
+//   - LiveCluster executes jobs for real: goroutine-backed nodes, real
+//     bytes in the in-memory HDFS, real kernels on the functional Cell
+//     model. It is what the examples and correctness tests use.
+//   - The simulated runner (internal/hadoop on internal/sim) replays
+//     the same architecture against the calibrated performance model
+//     at the paper's 66-blade scale; package core provides the bridge
+//     that turns stored HDFS files into hadoop splits with locality
+//     metadata.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmr/internal/cellbe"
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/spurt"
+)
+
+// LiveNode is one worker of the live (functional) cluster: a name the
+// DFS knows it by, plus a QS22-like blade whose first Cell chip backs
+// the node's accelerator runtime.
+type LiveNode struct {
+	Name  string
+	Blade *cellbe.Blade
+	// Accel is the node's direct SPE offload runtime (nil on
+	// non-accelerated nodes of a heterogeneous cluster).
+	Accel *spurt.Runtime
+}
+
+// LiveCluster is the functional two-level runtime.
+type LiveCluster struct {
+	FS    *hdfs.NameNode
+	Nodes []*LiveNode
+	// MappersPerNode is the number of concurrent mappers per node
+	// (the paper runs 2, one per Cell processor).
+	MappersPerNode int
+}
+
+// LiveOption customizes NewLiveCluster.
+type LiveOption func(*liveConfig)
+
+type liveConfig struct {
+	blockSize      int64
+	replication    int
+	mappersPerNode int
+	acceleratedN   int // -1: all
+	speBlock       int
+}
+
+// WithBlockSize sets the DFS block size (default 64 MB).
+func WithBlockSize(n int64) LiveOption { return func(c *liveConfig) { c.blockSize = n } }
+
+// WithReplication sets the DFS replication factor (default 1, as in
+// the paper).
+func WithReplication(r int) LiveOption { return func(c *liveConfig) { c.replication = r } }
+
+// WithMappersPerNode sets concurrent mappers per node (default 2).
+func WithMappersPerNode(m int) LiveOption { return func(c *liveConfig) { c.mappersPerNode = m } }
+
+// WithAcceleratedNodes limits how many nodes get accelerators
+// (heterogeneous cluster extension; default all).
+func WithAcceleratedNodes(n int) LiveOption { return func(c *liveConfig) { c.acceleratedN = n } }
+
+// WithSPEBlockBytes sets the accelerator block size (default 4 KB as
+// in the paper's distributed experiments).
+func WithSPEBlockBytes(b int) LiveOption { return func(c *liveConfig) { c.speBlock = b } }
+
+// NewLiveCluster builds a functional cluster of n nodes.
+func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one node, got %d", n)
+	}
+	cfg := liveConfig{
+		blockSize:      perfmodel.HDFSBlockBytes,
+		replication:    perfmodel.ReplicationFactor,
+		mappersPerNode: perfmodel.MapSlotsPerNode,
+		acceleratedN:   -1,
+		speBlock:       perfmodel.SPEBlockBytes,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nn, err := hdfs.NewNameNode(cfg.blockSize, cfg.replication)
+	if err != nil {
+		return nil, err
+	}
+	c := &LiveCluster{FS: nn, MappersPerNode: cfg.mappersPerNode}
+	accelerated := cfg.acceleratedN
+	if accelerated < 0 {
+		accelerated = n
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%03d", i)
+		if _, err := nn.RegisterDataNode(name); err != nil {
+			return nil, err
+		}
+		node := &LiveNode{Name: name, Blade: cellbe.NewBlade()}
+		if i < accelerated {
+			rt, err := spurt.New(node.Blade.Chips[0], perfmodel.SPEsPerCell, cfg.speBlock)
+			if err != nil {
+				return nil, err
+			}
+			node.Accel = rt
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// AcceleratedCount reports how many nodes carry accelerators.
+func (c *LiveCluster) AcceleratedCount() int {
+	n := 0
+	for _, node := range c.Nodes {
+		if node.Accel != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// nodeByName finds a live node.
+func (c *LiveCluster) nodeByName(name string) (*LiveNode, bool) {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// ErrNoInput is returned when a job's input file does not exist.
+var ErrNoInput = errors.New("core: job input file not found")
+
+// SplitsFromFile converts a stored file's block layout into hadoop
+// splits for the simulated runner: numSplits splits of consecutive
+// records of recordBytes each, with record hosts and per-split
+// preferred hosts taken from the DFS block locations — exactly the
+// paper's partitioning ("an split size of FileSize/NumMappers and a
+// record size of 64MB", Fig. 3).
+func SplitsFromFile(nn *hdfs.NameNode, name string, numSplits int, recordBytes int64) ([]hadoop.Split, error) {
+	if numSplits <= 0 {
+		return nil, fmt.Errorf("core: numSplits must be positive, got %d", numSplits)
+	}
+	if recordBytes <= 0 {
+		return nil, fmt.Errorf("core: recordBytes must be positive, got %d", recordBytes)
+	}
+	locs, err := nn.Locations(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoInput, err)
+	}
+	size, err := nn.FileSize(name)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("core: input file %q is empty", name)
+	}
+	// hostAt returns the replica hosts of the block containing offset.
+	hostAt := func(off int64) []string {
+		for _, l := range locs {
+			if off >= l.Offset && off < l.Offset+l.Size {
+				return l.Hosts
+			}
+		}
+		return nil
+	}
+	splitBytes := (size + int64(numSplits) - 1) / int64(numSplits)
+	var splits []hadoop.Split
+	for i := 0; i < numSplits; i++ {
+		start := int64(i) * splitBytes
+		end := start + splitBytes
+		if end > size {
+			end = size
+		}
+		if start >= end {
+			break
+		}
+		var records []hadoop.Record
+		hostVotes := make(map[string]int)
+		for off := start; off < end; off += recordBytes {
+			n := recordBytes
+			if off+n > end {
+				n = end - off
+			}
+			hosts := hostAt(off)
+			records = append(records, hadoop.Record{Bytes: n, Hosts: hosts})
+			for _, h := range hosts {
+				hostVotes[h]++
+			}
+		}
+		splits = append(splits, hadoop.Split{
+			Index:          i,
+			Records:        records,
+			PreferredHosts: topHosts(hostVotes, 2),
+		})
+	}
+	// Re-index after possible truncation.
+	for i := range splits {
+		splits[i].Index = i
+	}
+	return splits, nil
+}
+
+// topHosts returns the up-to-k most frequent hosts, ties broken by
+// name for determinism.
+func topHosts(votes map[string]int, k int) []string {
+	type hv struct {
+		host string
+		n    int
+	}
+	var all []hv
+	for h, n := range votes {
+		all = append(all, hv{h, n})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[i].n || (all[j].n == all[i].n && all[j].host < all[i].host) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	var out []string
+	for _, e := range all {
+		out = append(out, e.host)
+	}
+	return out
+}
+
+// PiSplits builds the CPU-intensive job's splits: totalSamples spread
+// over numMaps map tasks (the Hadoop PiEstimator layout the paper
+// ported).
+func PiSplits(totalSamples int64, numMaps int) ([]hadoop.Split, error) {
+	if totalSamples <= 0 || numMaps <= 0 {
+		return nil, fmt.Errorf("core: need positive samples (%d) and maps (%d)", totalSamples, numMaps)
+	}
+	per := totalSamples / int64(numMaps)
+	rem := totalSamples % int64(numMaps)
+	splits := make([]hadoop.Split, numMaps)
+	for i := range splits {
+		s := per
+		if int64(i) < rem {
+			s++
+		}
+		if s == 0 {
+			s = 1 // every map does at least one sample
+		}
+		splits[i] = hadoop.Split{Index: i, Samples: s}
+	}
+	return splits, nil
+}

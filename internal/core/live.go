@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetmr/internal/hdfs"
+	"hetmr/internal/kernels"
+	"hetmr/internal/spurt"
+)
+
+// This file is the live (functional) two-level runner: jobs execute on
+// real bytes with goroutine-backed nodes, and accelerated jobs push
+// their record blocks through the node's SPE runtime. It mirrors the
+// prototype of paper §III: level 1 assigns blocks to nodes with
+// locality preference and bounded mapper slots; level 2 is the
+// intra-node SPE distribution.
+
+// KVJob is a key/value MapReduce job over a stored file (the classic
+// Hadoop programming model of §II-A).
+type KVJob struct {
+	Name  string
+	Input string
+	// Map consumes one record (a DFS block in the live runner) and
+	// emits key/value pairs.
+	Map func(record []byte, offset int64, emit func(key, value string)) error
+	// Reduce folds all values of one key.
+	Reduce func(key string, values []string) (string, error)
+}
+
+// KVResult holds a reduced key/value pair.
+type KVResult struct {
+	Key   string
+	Value string
+}
+
+// blockWork describes one block assignment for the live mappers.
+type blockWork struct {
+	index  int
+	offset int64
+	node   *LiveNode
+	id     hdfs.BlockID
+	host   string
+}
+
+// planBlocks assigns each block of the input to a node, preferring the
+// node that holds the block (level-1 locality scheduling).
+func (c *LiveCluster) planBlocks(input string) ([]blockWork, error) {
+	locs, err := c.FS.Locations(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoInput, err)
+	}
+	var work []blockWork
+	for i, loc := range locs {
+		if len(loc.Hosts) == 0 {
+			return nil, fmt.Errorf("core: input %q block %d has no live replica", input, i)
+		}
+		host := loc.Hosts[0]
+		node, ok := c.nodeByName(host)
+		if !ok {
+			// Replica on an unknown node (e.g. master): round-robin.
+			node = c.Nodes[i%len(c.Nodes)]
+			host = loc.Hosts[0]
+		}
+		work = append(work, blockWork{
+			index:  i,
+			offset: loc.Offset,
+			node:   node,
+			id:     loc.Block,
+			host:   host,
+		})
+	}
+	return work, nil
+}
+
+// forEachBlock runs fn over every input block with per-node mapper
+// slot limits, collecting the first error.
+func (c *LiveCluster) forEachBlock(work []blockWork,
+	fn func(w blockWork, data []byte) error) error {
+	slots := make(map[*LiveNode]chan struct{}, len(c.Nodes))
+	for _, n := range c.Nodes {
+		slots[n] = make(chan struct{}, c.MappersPerNode)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(work))
+	for _, w := range work {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem := slots[w.node]
+			sem <- struct{}{} // take a mapper slot on the node
+			defer func() { <-sem }()
+			data, err := c.FS.ReadBlock(w.id, w.host)
+			if err != nil {
+				errCh <- fmt.Errorf("core: read block %d: %w", w.id, err)
+				return
+			}
+			if err := fn(w, data); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunKV executes a key/value job and returns results sorted by key.
+func (c *LiveCluster) RunKV(job *KVJob) ([]KVResult, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("core: job %q needs Map and Reduce", job.Name)
+	}
+	work, err := c.planBlocks(job.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Map phase: per-mapper local aggregation, then merge (combiner
+	// style, which keeps the shuffle small exactly as Hadoop's
+	// combiners do).
+	intermediate := make(map[string][]string)
+	var mu sync.Mutex
+	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+		local := make(map[string][]string)
+		emit := func(k, v string) { local[k] = append(local[k], v) }
+		if err := job.Map(data, w.offset, emit); err != nil {
+			return fmt.Errorf("core: map on block %d: %w", w.index, err)
+		}
+		mu.Lock()
+		for k, vs := range local {
+			intermediate[k] = append(intermediate[k], vs...)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reduce phase: partition keys across nodes and reduce in
+	// parallel.
+	keys := make([]string, 0, len(intermediate))
+	for k := range intermediate {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	results := make([]KVResult, len(keys))
+	nPart := len(c.Nodes)
+	var rwg sync.WaitGroup
+	redErr := make(chan error, nPart)
+	for p := 0; p < nPart; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			for i := p; i < len(keys); i += nPart {
+				k := keys[i]
+				v, err := job.Reduce(k, intermediate[k])
+				if err != nil {
+					redErr <- fmt.Errorf("core: reduce key %q: %w", k, err)
+					return
+				}
+				results[i] = KVResult{Key: k, Value: v}
+			}
+		}(p)
+	}
+	rwg.Wait()
+	select {
+	case err := <-redErr:
+		return nil, err
+	default:
+	}
+	return results, nil
+}
+
+// StreamJob transforms a stored file record-by-record (the encryption
+// workload shape): each block is processed on its hosting node, via
+// the SPE runtime when Accelerated, and the transformed file is
+// written back to the DFS.
+type StreamJob struct {
+	Name   string
+	Input  string
+	Output string
+	// Kernel is the block transformation (e.g. AES-CTR).
+	Kernel spurt.BlockKernel
+	// Accelerated selects the level-2 SPE offload path; otherwise the
+	// kernel runs on the node's host core (the "Java" path).
+	Accelerated bool
+}
+
+// RunStream executes a stream job and returns the number of bytes
+// processed.
+func (c *LiveCluster) RunStream(job *StreamJob) (int64, error) {
+	if job.Kernel == nil {
+		return 0, fmt.Errorf("core: stream job %q needs a kernel", job.Name)
+	}
+	if job.Output == "" {
+		return 0, fmt.Errorf("core: stream job %q needs an output path", job.Name)
+	}
+	work, err := c.planBlocks(job.Input)
+	if err != nil {
+		return 0, err
+	}
+	outputs := make([][]byte, len(work))
+	var total int64
+	var totalMu sync.Mutex
+	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+		out := make([]byte, len(data))
+		if job.Accelerated && w.node.Accel != nil {
+			if err := w.node.Accel.Stream(offsetKernel{job.Kernel, w.offset}, data, out); err != nil {
+				return fmt.Errorf("core: accelerated stream on block %d: %w", w.index, err)
+			}
+		} else {
+			// Host path: process the block in SPE-sized chunks so the
+			// two paths produce identical output for offset-aware
+			// kernels.
+			copy(out, data)
+			chunk := 4096
+			for off := 0; off < len(out); off += chunk {
+				end := off + chunk
+				if end > len(out) {
+					end = len(out)
+				}
+				if err := job.Kernel.ProcessBlock(out[off:end], w.offset+int64(off)); err != nil {
+					return fmt.Errorf("core: host stream on block %d: %w", w.index, err)
+				}
+			}
+		}
+		outputs[w.index] = out
+		totalMu.Lock()
+		total += int64(len(data))
+		totalMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Commit the output file in block order.
+	wtr, err := c.FS.Create(job.Output, "")
+	if err != nil {
+		return 0, err
+	}
+	for _, out := range outputs {
+		if _, err := wtr.Write(out); err != nil {
+			return 0, err
+		}
+	}
+	if err := wtr.Close(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// offsetKernel rebases a block kernel's offsets to the block's
+// position within the whole file (the SPE runtime reports offsets
+// relative to its input buffer).
+type offsetKernel struct {
+	inner spurt.BlockKernel
+	base  int64
+}
+
+// Name implements spurt.BlockKernel.
+func (k offsetKernel) Name() string { return k.inner.Name() }
+
+// ProcessBlock implements spurt.BlockKernel.
+func (k offsetKernel) ProcessBlock(block []byte, offset int64) error {
+	return k.inner.ProcessBlock(block, k.base+offset)
+}
+
+// EstimatePi runs the CPU-intensive workload across the cluster:
+// samples are divided over nodes x mappers, each mapper either
+// offloading to the SPEs (accelerated) or sampling on the host core.
+// It returns the Pi estimate and the total samples actually drawn.
+func (c *LiveCluster) EstimatePi(samples int64, accelerated bool, seed uint64) (float64, int64, error) {
+	if samples <= 0 {
+		return 0, 0, fmt.Errorf("core: samples must be positive, got %d", samples)
+	}
+	nMappers := len(c.Nodes) * c.MappersPerNode
+	per := samples / int64(nMappers)
+	rem := samples % int64(nMappers)
+	var inside, total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, nMappers)
+	mapperID := 0
+	for _, node := range c.Nodes {
+		for m := 0; m < c.MappersPerNode; m++ {
+			node := node
+			id := mapperID
+			mapperID++
+			n := per
+			if int64(id) < rem {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Give each mapper a hashed seed domain distinct from
+				// the per-SPE streams PiWorkerFunc derives inside it.
+				mapperSeed := kernels.MixSeed(seed, 0x6d617070<<16|uint64(id))
+				var in int64
+				if accelerated && node.Accel != nil {
+					perWorker := n / int64(node.Accel.NSPEs())
+					extra := n % int64(node.Accel.NSPEs())
+					results, err := node.Accel.Compute(kernels.PiWorkerFunc(mapperSeed, perWorker))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for _, r := range results {
+						in += r.Value
+					}
+					// The remainder runs on the PPE, as real SPE
+					// kernels leave tails to the host.
+					in += kernels.CountInside(mapperSeed^0xabcdef, extra)
+				} else {
+					in = kernels.CountInside(mapperSeed, n)
+				}
+				mu.Lock()
+				inside += in
+				total += n
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	return kernels.EstimatePi(inside, total), total, nil
+}

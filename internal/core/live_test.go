@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/spurt"
+)
+
+// textCluster stores text across a small cluster with small blocks so
+// jobs span many blocks and nodes.
+func textCluster(t *testing.T, text string) *LiveCluster {
+	t.Helper()
+	c, err := NewLiveCluster(3, WithBlockSize(64), WithSPEBlockBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FS.WriteFile("/input.txt", []byte(text), ""); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// wordCountJob is the canonical KV job used in several tests.
+func wordCountJob() *KVJob {
+	return &KVJob{
+		Name:  "wordcount",
+		Input: "/input.txt",
+		Map: func(record []byte, _ int64, emit func(k, v string)) error {
+			kernels.Words(record, func(w []byte) { emit(string(w), "1") })
+			return nil
+		},
+		Reduce: func(_ string, values []string) (string, error) {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return "", err
+				}
+				total += n
+			}
+			return strconv.Itoa(total), nil
+		},
+	}
+}
+
+func TestRunKVWordCount(t *testing.T) {
+	// Words are whole multiples of the 64-byte block? No — blocks cut
+	// words arbitrarily; use 8-byte words aligned to make per-block
+	// counting exact (8 chars: "worddd \n"). Instead use text whose
+	// words never span block boundaries: 4-byte words, 64-byte blocks.
+	var sb strings.Builder
+	for i := 0; i < 160; i++ {
+		sb.WriteString(fmt.Sprintf("w%02d ", i%5)) // "w00 ".."w04 ", 4 bytes each
+	}
+	c := textCluster(t, sb.String())
+	res, err := c.RunKV(wordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d keys: %v", len(res), res)
+	}
+	for _, kv := range res {
+		if kv.Value != "32" {
+			t.Errorf("count[%s] = %s, want 32", kv.Key, kv.Value)
+		}
+	}
+	// Results must be sorted by key.
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Key >= res[i].Key {
+			t.Error("results not sorted")
+		}
+	}
+}
+
+func TestRunKVValidation(t *testing.T) {
+	c := textCluster(t, "hello world")
+	if _, err := c.RunKV(&KVJob{Name: "nil", Input: "/input.txt"}); err == nil {
+		t.Error("nil map/reduce should fail")
+	}
+	job := wordCountJob()
+	job.Input = "/missing"
+	if _, err := c.RunKV(job); !errors.Is(err, ErrNoInput) {
+		t.Errorf("missing input: %v", err)
+	}
+}
+
+func TestRunKVMapErrorPropagates(t *testing.T) {
+	c := textCluster(t, strings.Repeat("x ", 100))
+	boom := errors.New("map exploded")
+	job := &KVJob{
+		Name:  "boom",
+		Input: "/input.txt",
+		Map: func([]byte, int64, func(string, string)) error {
+			return boom
+		},
+		Reduce: func(string, []string) (string, error) { return "", nil },
+	}
+	if _, err := c.RunKV(job); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunKVReduceErrorPropagates(t *testing.T) {
+	c := textCluster(t, "a b c")
+	boom := errors.New("reduce exploded")
+	job := wordCountJob()
+	job.Reduce = func(string, []string) (string, error) { return "", boom }
+	if _, err := c.RunKV(job); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunStreamEncryptionBothPathsMatch(t *testing.T) {
+	cipher, err := kernels.NewCipher([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := []byte("fedcba9876543210")
+	plain := make([]byte, 100000)
+	for i := range plain {
+		plain[i] = byte(i * 7)
+	}
+
+	c, err := NewLiveCluster(3, WithBlockSize(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FS.WriteFile("/plain", plain, ""); err != nil {
+		t.Fatal(err)
+	}
+	kern := spurt.KernelFunc{KernelName: "aes-ctr", Fn: kernels.CTRBlockFunc(cipher, iv)}
+
+	n, err := c.RunStream(&StreamJob{
+		Name: "enc-cell", Input: "/plain", Output: "/enc-cell",
+		Kernel: kern, Accelerated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(plain)) {
+		t.Errorf("processed %d bytes, want %d", n, len(plain))
+	}
+	if _, err := c.RunStream(&StreamJob{
+		Name: "enc-java", Input: "/plain", Output: "/enc-java",
+		Kernel: kern, Accelerated: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cell, err := c.FS.ReadFile("/enc-cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	java, err := c.FS.ReadFile("/enc-java")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cell, java) {
+		t.Fatal("accelerated and host paths disagree")
+	}
+	// And both must equal the single sequential reference encryption.
+	want := make([]byte, len(plain))
+	kernels.CTRStream(cipher, iv, 0, want, plain)
+	if !bytes.Equal(cell, want) {
+		t.Fatal("distributed encryption differs from sequential reference")
+	}
+	// CTR decrypts itself: run the stream again over the ciphertext.
+	if _, err := c.RunStream(&StreamJob{
+		Name: "dec", Input: "/enc-cell", Output: "/dec",
+		Kernel: kern, Accelerated: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := c.FS.ReadFile("/dec")
+	if !bytes.Equal(dec, plain) {
+		t.Fatal("decryption did not restore the plaintext")
+	}
+}
+
+func TestRunStreamValidation(t *testing.T) {
+	c, _ := NewLiveCluster(1, WithBlockSize(1024))
+	c.FS.WriteFile("/x", []byte("data"), "")
+	if _, err := c.RunStream(&StreamJob{Name: "k", Input: "/x", Output: "/y"}); err == nil {
+		t.Error("nil kernel should fail")
+	}
+	kern := spurt.KernelFunc{KernelName: "id", Fn: func([]byte, int64) error { return nil }}
+	if _, err := c.RunStream(&StreamJob{Name: "k", Input: "/x", Kernel: kern}); err == nil {
+		t.Error("empty output should fail")
+	}
+	if _, err := c.RunStream(&StreamJob{Name: "k", Input: "/nope", Output: "/y", Kernel: kern}); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
+func TestRunStreamHeterogeneousFallback(t *testing.T) {
+	// Only 1 of 2 nodes accelerated: blocks on the plain node use the
+	// host path transparently; output must still be correct.
+	cipher, _ := kernels.NewCipher([]byte("abcdefgh12345678"))
+	iv := make([]byte, 16)
+	plain := make([]byte, 20000)
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	c, err := NewLiveCluster(2, WithBlockSize(4096), WithAcceleratedNodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FS.WriteFile("/p", plain, "")
+	kern := spurt.KernelFunc{KernelName: "aes", Fn: kernels.CTRBlockFunc(cipher, iv)}
+	if _, err := c.RunStream(&StreamJob{
+		Name: "het", Input: "/p", Output: "/c", Kernel: kern, Accelerated: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.FS.ReadFile("/c")
+	want := make([]byte, len(plain))
+	kernels.CTRStream(cipher, iv, 0, want, plain)
+	if !bytes.Equal(got, want) {
+		t.Fatal("heterogeneous cluster produced wrong ciphertext")
+	}
+}
+
+func TestEstimatePiLive(t *testing.T) {
+	c, err := NewLiveCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, accel := range []bool{false, true} {
+		pi, total, err := c.EstimatePi(400000, accel, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != 400000 {
+			t.Errorf("accel=%v: total = %d, want 400000", accel, total)
+		}
+		if math.Abs(pi-math.Pi) > 0.05 {
+			t.Errorf("accel=%v: pi = %g too far off", accel, pi)
+		}
+	}
+	if _, _, err := c.EstimatePi(0, true, 1); err == nil {
+		t.Error("zero samples should fail")
+	}
+}
+
+// Property: live word count equals the direct kernel on the whole
+// input, regardless of how blocks cut the text, as long as words do
+// not span blocks (4-char words, block size multiple of 4).
+func TestRunKVMatchesDirectProperty(t *testing.T) {
+	f := func(wordsRaw []uint8) bool {
+		if len(wordsRaw) == 0 {
+			return true
+		}
+		if len(wordsRaw) > 200 {
+			wordsRaw = wordsRaw[:200]
+		}
+		var sb strings.Builder
+		for _, w := range wordsRaw {
+			sb.WriteString(fmt.Sprintf("t%02d ", w%10))
+		}
+		text := sb.String()
+		c, err := NewLiveCluster(2, WithBlockSize(32))
+		if err != nil {
+			return false
+		}
+		if err := c.FS.WriteFile("/input.txt", []byte(text), ""); err != nil {
+			return false
+		}
+		res, err := c.RunKV(wordCountJob())
+		if err != nil {
+			return false
+		}
+		want := kernels.WordCount([]byte(text))
+		if len(res) != len(want) {
+			return false
+		}
+		for _, kv := range res {
+			if strconv.FormatInt(want[kv.Key], 10) != kv.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

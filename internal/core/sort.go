@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmr/internal/kernels"
+)
+
+// Distributed TeraSort-style sort on the live runner: each input block
+// is sorted on the node that stores it (map phase), and the sorted
+// runs are merged into the output file (reduce-side merge). The paper
+// uses the Terasort contest (§IV-A) to argue mappers are record-
+// delivery-bound; this job is the workload behind that argument.
+
+// RunSort sorts a stored file of 100-byte TeraSort records into
+// output. The DFS block size must be a multiple of the record size so
+// records never straddle blocks.
+func (c *LiveCluster) RunSort(input, output string) error {
+	if output == "" {
+		return fmt.Errorf("core: sort needs an output path")
+	}
+	if c.FS.BlockSize()%kernels.SortRecordBytes != 0 {
+		return fmt.Errorf("core: block size %d is not a multiple of the %d-byte record",
+			c.FS.BlockSize(), kernels.SortRecordBytes)
+	}
+	work, err := c.planBlocks(input)
+	if err != nil {
+		return err
+	}
+	// Map phase: sort each block where it lives.
+	runs := make([][]byte, len(work))
+	var mu sync.Mutex
+	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+		run := append([]byte(nil), data...)
+		if err := kernels.SortRecords(run); err != nil {
+			return fmt.Errorf("core: sort block %d: %w", w.index, err)
+		}
+		mu.Lock()
+		runs[w.index] = run
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Reduce phase: merge the sorted runs.
+	merged, err := kernels.MergeSortedRuns(runs)
+	if err != nil {
+		return err
+	}
+	return c.FS.WriteFile(output, merged, "")
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationLoopbackRateOpensGap(t *testing.T) {
+	fig, err := AblationLoopbackRate([]float64{8, 117})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := fig.FindSeries("Java/Cell")
+	if gap == nil {
+		t.Fatal("missing gap series")
+	}
+	slow, fast := gap.Y(8), gap.Y(117)
+	// The paper's data-intensive conclusion holds only at slow
+	// delivery: faster delivery must open the Java/Cell gap.
+	if fast <= slow {
+		t.Errorf("gap did not open: %.2f at 8MB/s vs %.2f at 117MB/s", slow, fast)
+	}
+	if slow > 1.3 {
+		t.Errorf("gap at paper-like delivery = %.2f, should be near 1", slow)
+	}
+	if fast < 1.5 {
+		t.Errorf("gap at fast delivery = %.2f, should expose the accelerator", fast)
+	}
+}
+
+func TestAblationHeartbeatMonotone(t *testing.T) {
+	fig, err := AblationHeartbeat([]float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.FindSeries("Cell Mapper")
+	if s.Y(10) <= s.Y(1) {
+		t.Errorf("longer heartbeats should lengthen the floor: %.1f vs %.1f",
+			s.Y(1), s.Y(10))
+	}
+}
+
+func TestAblationHousekeepingDominates(t *testing.T) {
+	fig, err := AblationHousekeeping([]float64{0.1, 2.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.FindSeries("Cell Mapper")
+	if ratio := s.Y(2.7) / s.Y(0.1); ratio < 2 {
+		t.Errorf("housekeeping sweep ratio = %.1f; it should dominate the 64-node floor", ratio)
+	}
+}
+
+func TestAblationSPEBlockSizeMild(t *testing.T) {
+	fig := AblationSPEBlockSize([]int{1 << 10, 4 << 10, 64 << 10})
+	s := fig.FindSeries("Cell BE")
+	// The 4KB choice costs little vs 64KB (within 5%).
+	if s.Y(4096) < 0.95*s.Y(65536) {
+		t.Errorf("4KB blocks cost too much: %.0f vs %.0f MB/s", s.Y(4096), s.Y(65536))
+	}
+	// But tiny blocks must cost something (issue overhead visible).
+	if !(s.Y(1024) < s.Y(65536)) {
+		t.Error("block size has no effect at all")
+	}
+}
+
+func TestAblationSPECountNearLinear(t *testing.T) {
+	fig := AblationSPECount()
+	s := fig.FindSeries("Cell BE")
+	if len(s.Points) != 8 {
+		t.Fatalf("got %d points", len(s.Points))
+	}
+	speedup := s.Y(8) / s.Y(1)
+	if speedup < 7.5 || speedup > 8.0 {
+		t.Errorf("8-SPE speedup = %.2f, want near-linear", speedup)
+	}
+	// Monotone increasing.
+	for n := 2; n <= 8; n++ {
+		if s.Y(float64(n)) <= s.Y(float64(n-1)) {
+			t.Errorf("bandwidth not monotone at %d SPEs", n)
+		}
+	}
+}
+
+func TestTerasortDeliveryBound(t *testing.T) {
+	slow, err := TerasortAnalysis(4, 16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := TerasortAnalysis(4, 16, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10x sort speed moves the per-node rate by < 25%.
+	if fast/slow > 1.25 {
+		t.Errorf("per-node rate moved %0.fx with 10x sort speed: not delivery-bound",
+			fast/slow)
+	}
+	// And the rate itself sits at single-digit-to-low-teens MB/s per
+	// node, the paper's observed regime.
+	if slow < 3 || slow > 40 {
+		t.Errorf("per-node rate %.1f MB/s outside the plausible regime", slow)
+	}
+	sum := TerasortSummary(4, 16, 50, slow)
+	if !strings.Contains(sum, "4 nodes") || !strings.Contains(sum, "16GB") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestFullFigureSweepsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps in short mode")
+	}
+	// Exercise the exact default-parameter paths cmd/repro uses, at
+	// the smallest default points.
+	if _, err := Fig4ProportionalEncryption([]int{Fig4Nodes[0]}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Fig5FixedEncryption([]int{Fig5Nodes[0]}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Fig7DistributedPiSweep(4, []int64{1e6}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Fig8DistributedPiScaling([]int{Fig8Nodes[0]}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,523 @@
+package hadoop
+
+import (
+	"fmt"
+
+	"hetmr/internal/cluster"
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/sim"
+)
+
+// TaskAttempt is one attempt at running a task (re-executions after
+// tracker failure and speculative duplicates are separate attempts).
+// Map attempts carry a Split; reduce attempts carry ReduceIndex >= 0.
+type TaskAttempt struct {
+	job         *jobState
+	Split       *Split
+	ReduceIndex int // -1 for map attempts
+	Attempt     int
+	Tracker     string
+	Started     sim.Time
+}
+
+// IsReduce reports whether this is a reduce-task attempt.
+func (a *TaskAttempt) IsReduce() bool { return a.ReduceIndex >= 0 }
+
+// Assignment is the JobTracker's heartbeat response: at most one new
+// task (0.19 assigned a single task per heartbeat).
+type Assignment struct {
+	Attempt *TaskAttempt
+}
+
+type taskReport struct {
+	attempt *TaskAttempt
+	stat    TaskStat
+}
+
+type msgKind int
+
+const (
+	msgHeartbeat msgKind = iota
+	msgSubmit
+	msgShutdown
+)
+
+type jtMsg struct {
+	kind            msgKind
+	tracker         *TaskTracker
+	freeSlots       int
+	freeReduceSlots int
+	completed       []taskReport
+	reply           *sim.Mailbox[Assignment]
+	job             *jobState
+}
+
+type jobState struct {
+	job      *Job
+	handle   *JobHandle
+	result   *JobResult
+	pending  []int
+	running  map[int][]*TaskAttempt
+	done     map[int]bool
+	finished bool
+
+	// Reduce phase state: reduces launch once every map is done.
+	pendingReduces []int
+	runningReduces map[int][]*TaskAttempt
+	doneReduces    map[int]bool
+	doneReduceN    int
+	mapOutputBytes int64
+
+	doneTasks     int
+	totalTaskTime sim.Time
+	attempts      int
+}
+
+// mapsDone reports whether the map phase has completed.
+func (js *jobState) mapsDone() bool { return js.doneTasks >= len(js.job.Splits) }
+
+type trackerInfo struct {
+	tt     *TaskTracker
+	lastHB sim.Time
+	dead   bool
+}
+
+// JobTracker is the master daemon: it queues jobs, partitions them
+// into tasks, assigns tasks on heartbeats with locality preference,
+// collects completions (serialized housekeeping), detects lost
+// trackers and re-queues their work.
+type JobTracker struct {
+	eng   *sim.Engine
+	clus  *cluster.Cluster
+	cfg   Config
+	inbox sim.Mailbox[jtMsg]
+
+	trackers map[string]*trackerInfo
+	queue    []*jobState
+	active   *jobState
+	stopped  bool
+}
+
+// newJobTracker builds and starts the JobTracker process.
+func newJobTracker(eng *sim.Engine, clus *cluster.Cluster, cfg Config) *JobTracker {
+	jt := &JobTracker{
+		eng:      eng,
+		clus:     clus,
+		cfg:      cfg,
+		trackers: make(map[string]*trackerInfo),
+	}
+	eng.Spawn("jobtracker", jt.run)
+	return jt
+}
+
+// submit enqueues a job (called via the runtime).
+func (jt *JobTracker) submit(js *jobState) {
+	jt.inbox.Send(jtMsg{kind: msgSubmit, job: js})
+}
+
+// shutdown makes the JobTracker process exit after draining its inbox.
+func (jt *JobTracker) shutdown() {
+	jt.inbox.Send(jtMsg{kind: msgShutdown})
+}
+
+func (jt *JobTracker) run(p *sim.Proc) {
+	for {
+		msg := jt.inbox.Recv(p)
+		switch msg.kind {
+		case msgShutdown:
+			jt.stopped = true
+			return
+		case msgSubmit:
+			jt.queue = append(jt.queue, msg.job)
+			if jt.active == nil {
+				jt.activateNext(p)
+			}
+		case msgHeartbeat:
+			jt.handleHeartbeat(p, msg)
+		}
+	}
+}
+
+// activateNext starts the next queued job (job setup: split
+// computation, staging).
+func (jt *JobTracker) activateNext(p *sim.Proc) {
+	if len(jt.queue) == 0 {
+		return
+	}
+	js := jt.queue[0]
+	jt.queue = jt.queue[1:]
+	p.Sleep(jt.cfg.JobSetup)
+	js.result.Started = p.Now()
+	jt.active = js
+}
+
+func (jt *JobTracker) handleHeartbeat(p *sim.Proc, msg jtMsg) {
+	info, ok := jt.trackers[msg.tracker.Node.Name]
+	if !ok {
+		info = &trackerInfo{tt: msg.tracker}
+		jt.trackers[msg.tracker.Node.Name] = info
+	}
+	info.lastHB = p.Now()
+
+	// The JobTracker is single-threaded: every heartbeat holds it for
+	// the RPC processing cost, and each reported completion adds the
+	// serialized bookkeeping ("collecting and sorting the partial
+	// results"). These serial sections are the emergent scaling floor.
+	p.Sleep(jt.cfg.HeartbeatProcess)
+	for _, rep := range msg.completed {
+		p.Sleep(jt.cfg.TaskHousekeeping)
+		jt.recordCompletion(rep)
+	}
+	jt.checkExpiredTrackers(p)
+	jt.maybeFinishActive(p)
+
+	var assign Assignment
+	if jt.active != nil && !info.dead {
+		if msg.freeSlots > 0 {
+			assign.Attempt = jt.assignTask(p, msg.tracker)
+		}
+		if assign.Attempt == nil && msg.freeReduceSlots > 0 {
+			assign.Attempt = jt.assignReduce(p, msg.tracker)
+		}
+	}
+	msg.reply.Send(assign)
+}
+
+// recordCompletion applies one task completion report.
+func (jt *JobTracker) recordCompletion(rep taskReport) {
+	if rep.attempt.IsReduce() {
+		jt.recordReduceCompletion(rep)
+		return
+	}
+	js := rep.attempt.job
+	idx := rep.attempt.Split.Index
+	// Drop this attempt from the running set.
+	live := js.running[idx][:0]
+	for _, a := range js.running[idx] {
+		if a != rep.attempt {
+			live = append(live, a)
+		}
+	}
+	if len(live) == 0 {
+		delete(js.running, idx)
+	} else {
+		js.running[idx] = live
+	}
+	stat := rep.stat
+	if js.done[idx] {
+		// A speculative or re-run duplicate finished after the split
+		// was already complete: wasted work.
+		stat.Won = false
+	} else {
+		js.done[idx] = true
+		stat.Won = true
+		js.doneTasks++
+		js.totalTaskTime += stat.End - stat.Start
+		js.mapOutputBytes += stat.Output
+	}
+	js.result.Tasks = append(js.result.Tasks, stat)
+	js.result.LocalReads += int64(stat.LocalHit)
+	js.result.RemoteReads += int64(stat.Remote)
+}
+
+// recordReduceCompletion applies a reduce-task completion report.
+func (jt *JobTracker) recordReduceCompletion(rep taskReport) {
+	js := rep.attempt.job
+	idx := rep.attempt.ReduceIndex
+	live := js.runningReduces[idx][:0]
+	for _, a := range js.runningReduces[idx] {
+		if a != rep.attempt {
+			live = append(live, a)
+		}
+	}
+	if len(live) == 0 {
+		delete(js.runningReduces, idx)
+	} else {
+		js.runningReduces[idx] = live
+	}
+	stat := rep.stat
+	if js.doneReduces[idx] {
+		stat.Won = false
+	} else {
+		js.doneReduces[idx] = true
+		stat.Won = true
+		js.doneReduceN++
+	}
+	js.result.Tasks = append(js.result.Tasks, stat)
+}
+
+// assignReduce hands out a reduce task once the map phase is complete
+// (Hadoop 0.19 had no slow-start shuffle overlap worth modelling at
+// the paper's job shapes).
+func (jt *JobTracker) assignReduce(p *sim.Proc, tt *TaskTracker) *TaskAttempt {
+	js := jt.active
+	if !js.mapsDone() || len(js.pendingReduces) == 0 {
+		return nil
+	}
+	idx := js.pendingReduces[0]
+	js.pendingReduces = js.pendingReduces[1:]
+	attempt := &TaskAttempt{
+		job:         js,
+		ReduceIndex: idx,
+		Attempt:     len(js.runningReduces[idx]),
+		Tracker:     tt.Node.Name,
+		Started:     p.Now(),
+	}
+	js.runningReduces[idx] = append(js.runningReduces[idx], attempt)
+	js.attempts++
+	return attempt
+}
+
+// assignTask picks a pending split for the tracker, preferring
+// data-local splits ("it tries to minimize the number of remote block
+// accesses"), or schedules a speculative duplicate for a straggler.
+func (jt *JobTracker) assignTask(p *sim.Proc, tt *TaskTracker) *TaskAttempt {
+	js := jt.active
+	pick := -1
+	for qi, idx := range js.pending {
+		for _, h := range js.job.Splits[idx].PreferredHosts {
+			if h == tt.Node.Name {
+				pick = qi
+				break
+			}
+		}
+		if pick >= 0 {
+			break
+		}
+	}
+	if pick < 0 && len(js.pending) > 0 {
+		pick = 0
+	}
+	if pick >= 0 {
+		idx := js.pending[pick]
+		js.pending = append(js.pending[:pick], js.pending[pick+1:]...)
+		return jt.launch(p, js, idx, tt)
+	}
+	if jt.cfg.Speculative {
+		return jt.maybeSpeculate(p, js, tt)
+	}
+	return nil
+}
+
+// maybeSpeculate duplicates the slowest straggler onto tt if it has
+// been running longer than the configured multiple of the average
+// completed-task time.
+func (jt *JobTracker) maybeSpeculate(p *sim.Proc, js *jobState, tt *TaskTracker) *TaskAttempt {
+	if js.doneTasks == 0 {
+		return nil
+	}
+	avg := js.totalTaskTime / sim.Time(js.doneTasks)
+	threshold := sim.Time(float64(avg) * jt.cfg.SpeculativeSlowdown)
+	var worst *TaskAttempt
+	for _, attempts := range js.running {
+		if len(attempts) != 1 {
+			continue // already duplicated
+		}
+		a := attempts[0]
+		if a.Tracker == tt.Node.Name {
+			continue // duplicate must run elsewhere
+		}
+		if p.Now()-a.Started <= threshold {
+			continue
+		}
+		if worst == nil || a.Started < worst.Started {
+			worst = a
+		}
+	}
+	if worst == nil {
+		return nil
+	}
+	return jt.launch(p, js, worst.Split.Index, tt)
+}
+
+// launch registers and returns a new attempt for split idx on tt.
+func (jt *JobTracker) launch(p *sim.Proc, js *jobState, idx int, tt *TaskTracker) *TaskAttempt {
+	attempt := &TaskAttempt{
+		job:         js,
+		Split:       &js.job.Splits[idx],
+		ReduceIndex: -1,
+		Attempt:     len(js.running[idx]) + attemptsSoFar(js, idx),
+		Tracker:     tt.Node.Name,
+		Started:     p.Now(),
+	}
+	js.running[idx] = append(js.running[idx], attempt)
+	js.attempts++
+	return attempt
+}
+
+// attemptsSoFar counts completed attempts of a split (for attempt
+// numbering only).
+func attemptsSoFar(js *jobState, idx int) int {
+	n := 0
+	for _, t := range js.result.Tasks {
+		if t.Split == idx {
+			n++
+		}
+	}
+	return n
+}
+
+// checkExpiredTrackers declares trackers lost after the expiry window
+// and re-queues their running tasks (the paper: "the JobTracker can
+// detect a node failure and reschedule the task to another
+// TaskTracker").
+func (jt *JobTracker) checkExpiredTrackers(p *sim.Proc) {
+	if jt.active == nil {
+		return
+	}
+	js := jt.active
+	for name, info := range jt.trackers {
+		if info.dead || p.Now()-info.lastHB <= jt.cfg.TrackerExpiry {
+			continue
+		}
+		info.dead = true
+		for idx, attempts := range js.running {
+			live := attempts[:0]
+			lost := false
+			for _, a := range attempts {
+				if a.Tracker == name {
+					lost = true
+				} else {
+					live = append(live, a)
+				}
+			}
+			if !lost {
+				continue
+			}
+			if len(live) == 0 {
+				delete(js.running, idx)
+				if !js.done[idx] {
+					js.pending = append(js.pending, idx)
+				}
+			} else {
+				js.running[idx] = live
+			}
+		}
+		for idx, attempts := range js.runningReduces {
+			live := attempts[:0]
+			lost := false
+			for _, a := range attempts {
+				if a.Tracker == name {
+					lost = true
+				} else {
+					live = append(live, a)
+				}
+			}
+			if !lost {
+				continue
+			}
+			if len(live) == 0 {
+				delete(js.runningReduces, idx)
+				if !js.doneReduces[idx] {
+					js.pendingReduces = append(js.pendingReduces, idx)
+				}
+			} else {
+				js.runningReduces[idx] = live
+			}
+		}
+	}
+}
+
+// maybeFinishActive completes the active job when every split is done,
+// then activates the next queued job.
+func (jt *JobTracker) maybeFinishActive(p *sim.Proc) {
+	js := jt.active
+	if js == nil || js.finished {
+		return
+	}
+	if !js.mapsDone() || js.doneReduceN < js.job.Reduces {
+		return
+	}
+	p.Sleep(jt.cfg.JobCleanup)
+	js.finished = true
+	js.result.Finished = p.Now()
+	js.result.Attempts = js.attempts
+	js.result.EnergyJoules = jt.jobEnergy(js)
+	jt.active = nil
+	js.handle.done.Open()
+	jt.activateNext(p)
+}
+
+// jobEnergy models cluster energy over the job: idle baseline on every
+// worker for the makespan plus the incremental busy power of each task
+// attempt (perfmodel energy extension; paper §V names this the open
+// question for data-intensive acceleration).
+func (jt *JobTracker) jobEnergy(js *jobState) float64 {
+	span := (js.result.Finished - js.result.Submitted).Seconds()
+	idle := span * float64(len(jt.clus.Nodes)) * perfmodel.QS22IdleWatts
+	var busy float64
+	perSlot := (perfmodel.QS22BusyWatts - perfmodel.QS22IdleWatts) / float64(jt.cfg.MapSlots)
+	for _, t := range js.result.Tasks {
+		busy += (t.End - t.Start).Seconds() * perSlot
+	}
+	return idle + busy
+}
+
+// Runtime wires a JobTracker and one TaskTracker per worker node and
+// provides the submission API.
+type Runtime struct {
+	Eng  *sim.Engine
+	Clus *cluster.Cluster
+	Cfg  Config
+	JT   *JobTracker
+	TTs  []*TaskTracker
+}
+
+// NewRuntime starts the Hadoop daemons on the cluster.
+func NewRuntime(eng *sim.Engine, clus *cluster.Cluster, cfg Config) *Runtime {
+	r := &Runtime{Eng: eng, Clus: clus, Cfg: cfg}
+	r.JT = newJobTracker(eng, clus, cfg)
+	for _, node := range clus.Nodes {
+		r.TTs = append(r.TTs, newTaskTracker(eng, r.JT, node, cfg))
+	}
+	return r
+}
+
+// Submit validates and enqueues a job, returning its handle.
+func (r *Runtime) Submit(job *Job) (*JobHandle, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	js := &jobState{
+		job:            job,
+		running:        make(map[int][]*TaskAttempt),
+		done:           make(map[int]bool),
+		runningReduces: make(map[int][]*TaskAttempt),
+		doneReduces:    make(map[int]bool),
+		result: &JobResult{
+			Name:      job.Name,
+			Submitted: r.Eng.Now(),
+		},
+	}
+	for i := range job.Splits {
+		js.pending = append(js.pending, i)
+		js.result.InputBytes += job.Splits[i].InputBytes()
+	}
+	for i := 0; i < job.Reduces; i++ {
+		js.pendingReduces = append(js.pendingReduces, i)
+	}
+	js.handle = &JobHandle{Job: job, done: &sim.Gate{}, result: js.result}
+	r.JT.submit(js)
+	return js.handle, nil
+}
+
+// Shutdown stops all daemons so the simulation can drain. Call after
+// every submitted job has completed.
+func (r *Runtime) Shutdown() {
+	for _, tt := range r.TTs {
+		tt.Kill()
+	}
+	r.JT.shutdown()
+}
+
+// KillNode simulates the failure of one worker: its TaskTracker stops
+// heartbeating and its running tasks never report.
+func (r *Runtime) KillNode(name string) error {
+	for _, tt := range r.TTs {
+		if tt.Node.Name == name {
+			tt.Kill()
+			return nil
+		}
+	}
+	return fmt.Errorf("hadoop: no tracker on node %q", name)
+}

@@ -1,0 +1,144 @@
+package hadoop
+
+import (
+	"hetmr/internal/cellbe"
+	"hetmr/internal/cluster"
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/sim"
+)
+
+// Mapper model implementations for the paper's workloads. In the
+// distributed experiments both "Java" variants execute on the QS22
+// worker blades, i.e. on the Cell's PPE core (the paper's Fig. 2 "PPC"
+// configuration), while the Cell variants offload to the blade's SPEs
+// — one mapper per Cell processor, so each mapper owns a full chip's
+// 8 SPEs ("1 Mapper running in each of the two Cell processors of the
+// QS22 blade").
+
+// EmptyMapper reads records but performs no computation and collects
+// no output, estimating the pure Hadoop runtime overhead (Fig. 5).
+type EmptyMapper struct{}
+
+// Name implements Mapper.
+func (EmptyMapper) Name() string { return "empty" }
+
+// RecordTime implements Mapper: no processing at all.
+func (EmptyMapper) RecordTime(int64) sim.Time { return 0 }
+
+// SampleTime implements Mapper.
+func (EmptyMapper) SampleTime(int64) sim.Time { return 0 }
+
+// OutputBytes implements Mapper: "did not collect any output".
+func (EmptyMapper) OutputBytes(int64) int64 { return 0 }
+
+// JavaAESMapper is the pure-Java AES kernel running on the worker's
+// PPE core.
+type JavaAESMapper struct{}
+
+// Name implements Mapper.
+func (JavaAESMapper) Name() string { return "java-aes" }
+
+// RecordTime implements Mapper.
+func (JavaAESMapper) RecordTime(n int64) sim.Time {
+	return sim.Seconds(cellbe.HostComputeTime(n, perfmodel.AESPPEBytesPerSec))
+}
+
+// SampleTime implements Mapper.
+func (JavaAESMapper) SampleTime(int64) sim.Time { return 0 }
+
+// OutputBytes implements Mapper: ciphertext is the same size as the
+// record.
+func (JavaAESMapper) OutputBytes(n int64) int64 { return n }
+
+// CellAESMapper offloads each record to one Cell chip's SPEs in 4 KB
+// blocks via the spurt runtime.
+type CellAESMapper struct{}
+
+// Name implements Mapper.
+func (CellAESMapper) Name() string { return "cell-aes" }
+
+// RecordTime implements Mapper.
+func (CellAESMapper) RecordTime(n int64) sim.Time {
+	cost := cellbe.StreamOffloadTime(n, perfmodel.SPEsPerCell,
+		perfmodel.SPEBlockBytes, perfmodel.AESSPEBytesPerSec)
+	return sim.Seconds(cost.TotalSeconds)
+}
+
+// SampleTime implements Mapper.
+func (CellAESMapper) SampleTime(int64) sim.Time { return 0 }
+
+// OutputBytes implements Mapper.
+func (CellAESMapper) OutputBytes(n int64) int64 { return n }
+
+// JavaPiMapper is the Hadoop PiEstimator sample kernel on the PPE.
+type JavaPiMapper struct{}
+
+// Name implements Mapper.
+func (JavaPiMapper) Name() string { return "java-pi" }
+
+// RecordTime implements Mapper.
+func (JavaPiMapper) RecordTime(int64) sim.Time { return 0 }
+
+// SampleTime implements Mapper.
+func (JavaPiMapper) SampleTime(w int64) sim.Time {
+	return sim.Seconds(cellbe.HostComputeTime(w, perfmodel.PiPPESamplesPerSec))
+}
+
+// OutputBytes implements Mapper: a Pi task emits one count.
+func (JavaPiMapper) OutputBytes(int64) int64 { return 0 }
+
+// CellPiMapper offloads the sampling loop to the SPEs.
+type CellPiMapper struct{}
+
+// Name implements Mapper.
+func (CellPiMapper) Name() string { return "cell-pi" }
+
+// RecordTime implements Mapper.
+func (CellPiMapper) RecordTime(int64) sim.Time { return 0 }
+
+// SampleTime implements Mapper.
+func (CellPiMapper) SampleTime(w int64) sim.Time {
+	cost := cellbe.ComputeOffloadTime(w, perfmodel.SPEsPerCell, perfmodel.PiSPESamplesPerSec)
+	return sim.Seconds(cost.TotalSeconds)
+}
+
+// OutputBytes implements Mapper.
+func (CellPiMapper) OutputBytes(int64) int64 { return 0 }
+
+// FixedMapper is a fully synthetic mapper for runtime tests: constant
+// per-record and per-sample costs.
+type FixedMapper struct {
+	Label      string
+	PerRecord  sim.Time
+	PerSample  sim.Time // per single sample
+	OutPerByte float64
+}
+
+// Name implements Mapper.
+func (m FixedMapper) Name() string { return m.Label }
+
+// RecordTime implements Mapper.
+func (m FixedMapper) RecordTime(int64) sim.Time { return m.PerRecord }
+
+// SampleTime implements Mapper.
+func (m FixedMapper) SampleTime(w int64) sim.Time { return m.PerSample * sim.Time(w) }
+
+// OutputBytes implements Mapper.
+func (m FixedMapper) OutputBytes(n int64) int64 { return int64(float64(n) * m.OutPerByte) }
+
+// StaticMapperFor adapts a fixed Mapper to the per-node factory
+// signature.
+func StaticMapperFor(m Mapper) func(*cluster.Node) Mapper {
+	return func(*cluster.Node) Mapper { return m }
+}
+
+// AcceleratedMapperFor returns cell on accelerator-equipped nodes and
+// java elsewhere — the heterogeneous-cluster fallback (paper §V).
+func AcceleratedMapperFor(cell, java Mapper) func(*cluster.Node) Mapper {
+	return func(n *cluster.Node) Mapper {
+		if n.Accelerated {
+			return cell
+		}
+		return java
+	}
+}

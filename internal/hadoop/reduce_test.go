@@ -1,0 +1,152 @@
+package hadoop
+
+import (
+	"testing"
+
+	"hetmr/internal/sim"
+)
+
+// reduceDataJob: maps produce output (OutPerByte 1) so the reducers
+// have a shuffle volume.
+func reduceDataJob(nSplits, reduces int) *Job {
+	job := simpleDataJob("with-reduce", nSplits, 2, 4<<20,
+		FixedMapper{Label: "m", PerRecord: 10 * sim.Millisecond, OutPerByte: 1})
+	job.Reduces = reduces
+	job.ReduceRate = 50e6
+	return job
+}
+
+func TestReducePhaseRuns(t *testing.T) {
+	res := runJob(t, 4, DefaultConfig(), reduceDataJob(8, 3))
+	var mapWins, reduceWins int
+	var lastMapEnd, firstReduceStart sim.Time
+	firstReduceStart = 1 << 62
+	for _, ts := range res.Tasks {
+		if !ts.Won {
+			continue
+		}
+		if ts.IsReduce {
+			reduceWins++
+			if ts.Start < firstReduceStart {
+				firstReduceStart = ts.Start
+			}
+		} else {
+			mapWins++
+			if ts.End > lastMapEnd {
+				lastMapEnd = ts.End
+			}
+		}
+	}
+	if mapWins != 8 || reduceWins != 3 {
+		t.Fatalf("wins: %d maps, %d reduces; want 8/3", mapWins, reduceWins)
+	}
+	// Barrier: no reduce may start before the last map completed.
+	if firstReduceStart < lastMapEnd {
+		t.Errorf("reduce started at %v before last map ended at %v",
+			firstReduceStart, lastMapEnd)
+	}
+	if res.Attempts != 11 {
+		t.Errorf("attempts = %d, want 11", res.Attempts)
+	}
+}
+
+func TestReduceShuffleCostScales(t *testing.T) {
+	// More map output -> longer reduce phase. Compare two identical
+	// jobs differing only in map output volume.
+	mk := func(outPerByte float64) sim.Time {
+		job := simpleDataJob("r", 4, 2, 16<<20,
+			FixedMapper{Label: "m", PerRecord: 0, OutPerByte: outPerByte})
+		job.Reduces = 1
+		job.ReduceRate = 50e6
+		res := runJob(t, 4, DefaultConfig(), job)
+		return res.Duration()
+	}
+	small, big := mk(0.01), mk(1.0)
+	if big <= small {
+		t.Errorf("reduce cost did not scale with shuffle volume: %v vs %v", small, big)
+	}
+}
+
+func TestZeroOutputReduceIsCheap(t *testing.T) {
+	// The PiEstimator shape: maps emit ~nothing, one reducer. The
+	// reduce phase should add little more than a heartbeat wave plus
+	// the task launch.
+	base := &Job{Name: "pi0", MapperFor: StaticMapperFor(
+		FixedMapper{Label: "m", PerSample: sim.Microsecond})}
+	for i := 0; i < 8; i++ {
+		base.Splits = append(base.Splits, Split{Index: i, Samples: 1_000_000})
+	}
+	noReduce := runJob(t, 4, DefaultConfig(), base)
+
+	withReduce := &Job{Name: "pi1", Reduces: 1, MapperFor: base.MapperFor}
+	withReduce.Splits = append([]Split(nil), base.Splits...)
+	r := runJob(t, 4, DefaultConfig(), withReduce)
+
+	extra := r.Duration() - noReduce.Duration()
+	cfg := DefaultConfig()
+	maxExtra := 3*cfg.HeartbeatInterval + cfg.TaskLaunch + 2*cfg.TaskHousekeeping
+	if extra < 0 || extra > maxExtra {
+		t.Errorf("empty reduce added %v, want within (0, %v]", extra, maxExtra)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	job := &Job{Name: "bad", Reduces: -1,
+		MapperFor: StaticMapperFor(EmptyMapper{}),
+		Splits:    []Split{{Index: 0, Samples: 1}}}
+	if err := job.Validate(); err == nil {
+		t.Error("negative reduces should fail validation")
+	}
+}
+
+func TestReduceReexecutionOnNodeFailure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrackerExpiry = 20 * sim.Second
+	job := simpleDataJob("rfail", 4, 2, 32<<20,
+		FixedMapper{Label: "m", PerRecord: 0, OutPerByte: 4})
+	job.Reduces = 2
+	job.ReduceRate = 1e6 // slow reducers (~4MB*8/2/1e6 = long)
+
+	res, err := tryRunJob(3, cfg, job, func(p *sim.Proc, rt *Runtime) {
+		// Wait until reduces are likely running, then kill a node.
+		p.Sleep(80 * sim.Second)
+		var victim string
+		for _, ts := range rt.TTs {
+			victim = ts.Node.Name
+		}
+		if err := rt.KillNode(victim); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("job never finished")
+	}
+	wins := 0
+	for _, ts := range res.Tasks {
+		if ts.IsReduce && ts.Won {
+			wins++
+		}
+	}
+	if wins != 2 {
+		t.Errorf("reduce wins = %d, want 2", wins)
+	}
+}
+
+func TestMapOutputAccounting(t *testing.T) {
+	job := simpleDataJob("acct", 4, 2, 8<<20,
+		FixedMapper{Label: "m", PerRecord: 0, OutPerByte: 0.5})
+	res := runJob(t, 2, DefaultConfig(), job)
+	var output int64
+	for _, ts := range res.Tasks {
+		if ts.Won && !ts.IsReduce {
+			output += ts.Output
+		}
+	}
+	want := int64(4 * 2 * (8 << 20) / 2)
+	if output != want {
+		t.Errorf("map output = %d, want %d", output, want)
+	}
+}

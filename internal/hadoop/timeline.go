@@ -1,0 +1,91 @@
+package hadoop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetmr/internal/sim"
+)
+
+// Timeline rendering: a text Gantt chart of a job's task attempts,
+// one row per attempt, for inspecting scheduling behaviour (ramp-up
+// waves, stragglers, speculative duplicates, failure re-execution).
+
+// RenderTimeline draws the job's task attempts over a width-column
+// canvas spanning submission to completion. Map attempts draw as 'm'
+// (capital M when they won), reduces as 'r'/'R'.
+func RenderTimeline(res *JobResult, width int) string {
+	if res == nil || len(res.Tasks) == 0 {
+		return "(no tasks)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	span := res.Finished - res.Submitted
+	if span <= 0 {
+		return "(empty span)\n"
+	}
+	col := func(t sim.Time) int {
+		c := int(float64(t-res.Submitted) / float64(span) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	tasks := append([]TaskStat(nil), res.Tasks...)
+	sort.SliceStable(tasks, func(i, j int) bool {
+		if tasks[i].Start != tasks[j].Start {
+			return tasks[i].Start < tasks[j].Start
+		}
+		return tasks[i].Split < tasks[j].Split
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d attempts over %s\n", res.Name, len(tasks), span)
+	for _, ts := range tasks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		glyph := byte('m')
+		if ts.IsReduce {
+			glyph = 'r'
+		}
+		if ts.Won {
+			glyph -= 'a' - 'A'
+		}
+		from, to := col(ts.Start), col(ts.End)
+		for i := from; i <= to; i++ {
+			row[i] = glyph
+		}
+		kind := "map"
+		if ts.IsReduce {
+			kind = "red"
+		}
+		fmt.Fprintf(&sb, "%s %3d/%d %-8s |%s|\n", kind, ts.Split, ts.Attempt, ts.Tracker, row)
+	}
+	return sb.String()
+}
+
+// SlotUtilization computes the fraction of available map-slot time the
+// job actually used (completed attempts only) — a scheduler efficiency
+// metric for the ablation studies.
+func SlotUtilization(res *JobResult, nodes, slotsPerNode int) float64 {
+	if res == nil || nodes <= 0 || slotsPerNode <= 0 {
+		return 0
+	}
+	span := (res.Finished - res.Started).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, ts := range res.Tasks {
+		if !ts.IsReduce {
+			busy += (ts.End - ts.Start).Seconds()
+		}
+	}
+	return busy / (span * float64(nodes*slotsPerNode))
+}

@@ -1,0 +1,122 @@
+package hadoop
+
+import (
+	"strings"
+	"testing"
+
+	"hetmr/internal/sim"
+)
+
+func timelineResult(t *testing.T) *JobResult {
+	t.Helper()
+	job := simpleDataJob("tl", 4, 2, 4<<20,
+		FixedMapper{Label: "m", PerRecord: 100 * sim.Millisecond, OutPerByte: 1})
+	job.Reduces = 1
+	job.ReduceRate = 50e6
+	return runJob(t, 2, DefaultConfig(), job)
+}
+
+func TestRenderTimeline(t *testing.T) {
+	res := timelineResult(t)
+	out := RenderTimeline(res, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 maps + 1 reduce.
+	if len(lines) != 6 {
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "tl") || !strings.Contains(lines[0], "5 attempts") {
+		t.Errorf("header = %q", lines[0])
+	}
+	var sawMap, sawReduce bool
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "map") && strings.Contains(l, "M") {
+			sawMap = true
+		}
+		if strings.HasPrefix(l, "red") && strings.Contains(l, "R") {
+			sawReduce = true
+		}
+		if !strings.Contains(l, "|") {
+			t.Errorf("row missing canvas: %q", l)
+		}
+	}
+	if !sawMap || !sawReduce {
+		t.Errorf("missing map/reduce rows:\n%s", out)
+	}
+}
+
+func TestRenderTimelineDegenerate(t *testing.T) {
+	if got := RenderTimeline(nil, 40); !strings.Contains(got, "no tasks") {
+		t.Errorf("nil result: %q", got)
+	}
+	if got := RenderTimeline(&JobResult{}, 40); !strings.Contains(got, "no tasks") {
+		t.Errorf("empty result: %q", got)
+	}
+	// Tiny width is clamped, not crashed.
+	res := timelineResult(t)
+	if got := RenderTimeline(res, 1); got == "" {
+		t.Error("clamped width produced nothing")
+	}
+}
+
+func TestSlotUtilization(t *testing.T) {
+	res := timelineResult(t)
+	u := SlotUtilization(res, 2, 2)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %g, want in (0,1]", u)
+	}
+	if SlotUtilization(nil, 2, 2) != 0 {
+		t.Error("nil result should be 0")
+	}
+	if SlotUtilization(res, 0, 2) != 0 {
+		t.Error("zero nodes should be 0")
+	}
+}
+
+// Property-style scheduler invariants over randomized jobs: every
+// split wins exactly once, times are sane, and record accounting
+// matches.
+func TestSchedulerInvariantsRandomized(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 8; trial++ {
+		nSplits := rng.Intn(12) + 1
+		nNodes := rng.Intn(5) + 1
+		recs := rng.Intn(4) + 1
+		job := &Job{Name: "rand", MapperFor: StaticMapperFor(
+			FixedMapper{Label: "m", PerRecord: sim.Time(rng.Intn(500)) * sim.Millisecond, OutPerByte: 0.5})}
+		totalRecords := 0
+		for i := 0; i < nSplits; i++ {
+			var records []Record
+			for r := 0; r < recs; r++ {
+				records = append(records, Record{Bytes: int64(rng.Intn(8)+1) << 20})
+			}
+			totalRecords += recs
+			job.Splits = append(job.Splits, Split{Index: i, Records: records})
+		}
+		res := runJob(t, nNodes, DefaultConfig(), job)
+		wins := map[int]int{}
+		var fetched int64
+		for _, ts := range res.Tasks {
+			if ts.End < ts.Start {
+				t.Fatalf("trial %d: task ends before start", trial)
+			}
+			if ts.Start < res.Started || ts.End > res.Finished {
+				t.Fatalf("trial %d: task outside job span", trial)
+			}
+			if ts.Won && !ts.IsReduce {
+				wins[ts.Split]++
+				fetched += int64(ts.LocalHit + ts.Remote)
+			}
+		}
+		if len(wins) != nSplits {
+			t.Fatalf("trial %d: %d splits won, want %d", trial, len(wins), nSplits)
+		}
+		for idx, n := range wins {
+			if n != 1 {
+				t.Fatalf("trial %d: split %d won %d times", trial, idx, n)
+			}
+		}
+		if fetched != int64(totalRecords) {
+			t.Fatalf("trial %d: fetched %d records, want %d", trial, fetched, totalRecords)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// The live runner hits the NameNode from many mapper goroutines at
+// once; these tests pin down the concurrency contract.
+
+func TestConcurrentWritesAndReads(t *testing.T) {
+	nn := newCluster(t, 1024, 1, 4)
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("/f%02d", w)
+			data := bytes.Repeat([]byte{byte(w)}, 3000+w)
+			if err := nn.WriteFile(name, data, ""); err != nil {
+				errs <- err
+				return
+			}
+			got, err := nn.ReadFile(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("file %s corrupted", name)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := len(nn.List()); got != writers {
+		t.Errorf("files = %d, want %d", got, writers)
+	}
+}
+
+func TestConcurrentReadersSameFile(t *testing.T) {
+	nn := newCluster(t, 512, 1, 3)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := nn.WriteFile("/shared", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := nn.ReadFile("/shared")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("concurrent read corrupted")
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestReaderSmallBuffer(t *testing.T) {
+	nn := newCluster(t, 64, 1, 2)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	nn.WriteFile("/f", data, "")
+	r, err := nn.Open("/f", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7-byte reads across 64-byte block boundaries.
+	var got []byte
+	buf := make([]byte, 7)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("small-buffer read corrupted data")
+	}
+}

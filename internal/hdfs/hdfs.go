@@ -1,0 +1,554 @@
+// Package hdfs is a from-scratch, in-memory implementation of the
+// Hadoop Distributed File System's architecture as the paper uses it
+// (§III-A): a master NameNode owning the namespace and block map, and
+// DataNodes storing fixed-size blocks on their local disks, with
+// configurable replication and locality-aware block placement.
+//
+// Files can carry real bytes (live execution, examples, tests) or be
+// synthetic — metadata and sizes only — so the simulated experiments
+// can describe the paper's 120 GB working sets without allocating
+// them.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the file system.
+var (
+	ErrNotFound      = errors.New("hdfs: file not found")
+	ErrExists        = errors.New("hdfs: file already exists")
+	ErrNoDataNodes   = errors.New("hdfs: no live datanodes")
+	ErrSynthetic     = errors.New("hdfs: synthetic file has no readable data")
+	ErrBlockLost     = errors.New("hdfs: block has no live replica")
+	ErrUnknownNode   = errors.New("hdfs: unknown datanode")
+	ErrNodeDead      = errors.New("hdfs: datanode is dead")
+	ErrBadReplFactor = errors.New("hdfs: replication factor must be >= 1")
+)
+
+// BlockID identifies one block cluster-wide.
+type BlockID int64
+
+// Block is a stored block replica. Data is nil for synthetic blocks.
+type Block struct {
+	ID   BlockID
+	Size int64
+	Data []byte
+}
+
+// DataNode stores block replicas for one cluster node.
+type DataNode struct {
+	Name   string
+	blocks map[BlockID]*Block
+	used   int64
+	alive  bool
+}
+
+// UsedBytes returns the bytes stored on this datanode.
+func (d *DataNode) UsedBytes() int64 { return d.used }
+
+// BlockCount returns the number of replicas stored here.
+func (d *DataNode) BlockCount() int { return len(d.blocks) }
+
+// Alive reports whether the node is serving.
+func (d *DataNode) Alive() bool { return d.alive }
+
+type fileMeta struct {
+	name      string
+	blocks    []BlockID
+	size      int64
+	synthetic bool
+}
+
+// BlockLocation describes one block of a file: its byte range within
+// the file and the datanodes holding replicas.
+type BlockLocation struct {
+	Block  BlockID
+	Offset int64 // offset of the block within the file
+	Size   int64
+	Hosts  []string // datanode names, primary first
+}
+
+// NameNode is the metadata master. All mutating operations go through
+// it, as in HDFS ("the master process manages the global name space
+// and controls the operations on files").
+type NameNode struct {
+	mu          sync.Mutex
+	blockSize   int64
+	replication int
+	files       map[string]*fileMeta
+	nodes       map[string]*DataNode
+	nodeOrder   []string // registration order, for deterministic placement
+	locations   map[BlockID][]string
+	blockSizes  map[BlockID]int64
+	nextBlock   BlockID
+}
+
+// NewNameNode creates a NameNode with the given block size and
+// replication factor (the paper: 64 MB blocks, replication 1).
+func NewNameNode(blockSize int64, replication int) (*NameNode, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("hdfs: block size %d must be positive", blockSize)
+	}
+	if replication < 1 {
+		return nil, ErrBadReplFactor
+	}
+	return &NameNode{
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string]*fileMeta),
+		nodes:       make(map[string]*DataNode),
+		locations:   make(map[BlockID][]string),
+		blockSizes:  make(map[BlockID]int64),
+	}, nil
+}
+
+// BlockSize returns the configured block size.
+func (nn *NameNode) BlockSize() int64 { return nn.blockSize }
+
+// Replication returns the configured replication factor.
+func (nn *NameNode) Replication() int { return nn.replication }
+
+// RegisterDataNode adds a datanode to the cluster.
+func (nn *NameNode) RegisterDataNode(name string) (*DataNode, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.nodes[name]; ok {
+		return nil, fmt.Errorf("hdfs: datanode %q already registered", name)
+	}
+	d := &DataNode{Name: name, blocks: make(map[BlockID]*Block), alive: true}
+	nn.nodes[name] = d
+	nn.nodeOrder = append(nn.nodeOrder, name)
+	return d, nil
+}
+
+// DataNodes returns the names of live datanodes in registration order.
+func (nn *NameNode) DataNodes() []string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []string
+	for _, n := range nn.nodeOrder {
+		if nn.nodes[n].alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// liveNodes returns live datanodes, least-loaded first (stable on
+// registration order for determinism).
+func (nn *NameNode) liveNodes() []*DataNode {
+	var out []*DataNode
+	for _, n := range nn.nodeOrder {
+		if d := nn.nodes[n]; d.alive {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].used < out[j].used })
+	return out
+}
+
+// place chooses replica hosts for a new block: the preferred node
+// first (HDFS writes the first replica on the writer's node), then the
+// least-loaded other nodes.
+func (nn *NameNode) place(preferred string) ([]*DataNode, error) {
+	live := nn.liveNodes()
+	if len(live) == 0 {
+		return nil, ErrNoDataNodes
+	}
+	var chosen []*DataNode
+	if preferred != "" {
+		if d, ok := nn.nodes[preferred]; ok && d.alive {
+			chosen = append(chosen, d)
+		}
+	}
+	for _, d := range live {
+		if len(chosen) >= nn.replication {
+			break
+		}
+		already := false
+		for _, c := range chosen {
+			if c == d {
+				already = true
+				break
+			}
+		}
+		if !already {
+			chosen = append(chosen, d)
+		}
+	}
+	return chosen, nil
+}
+
+// addBlock registers a block's replicas on the chosen nodes.
+func (nn *NameNode) addBlock(f *fileMeta, size int64, data []byte, preferred string) error {
+	hosts, err := nn.place(preferred)
+	if err != nil {
+		return err
+	}
+	id := nn.nextBlock
+	nn.nextBlock++
+	var names []string
+	for _, d := range hosts {
+		blk := &Block{ID: id, Size: size}
+		if data != nil {
+			blk.Data = append([]byte(nil), data...)
+		}
+		d.blocks[id] = blk
+		d.used += size
+		names = append(names, d.Name)
+	}
+	nn.locations[id] = names
+	nn.blockSizes[id] = size
+	f.blocks = append(f.blocks, id)
+	f.size += size
+	return nil
+}
+
+// CreateSynthetic creates a file of the given size whose blocks carry
+// no data. Blocks are spread across datanodes by the placement policy.
+func (nn *NameNode) CreateSynthetic(name string, size int64) error {
+	return nn.CreateSyntheticAt(name, size, "")
+}
+
+// CreateSyntheticAt is CreateSynthetic with a preferred primary
+// replica host — the HDFS writer-locality rule for data ingested on a
+// specific node ("HDFS can decide to change the blocks location in
+// order to favour local accesses").
+func (nn *NameNode) CreateSyntheticAt(name string, size int64, preferredNode string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if size < 0 {
+		return fmt.Errorf("hdfs: negative file size %d", size)
+	}
+	f := &fileMeta{name: name, synthetic: true}
+	remaining := size
+	for remaining > 0 {
+		n := nn.blockSize
+		if remaining < n {
+			n = remaining
+		}
+		if err := nn.addBlock(f, n, nil, preferredNode); err != nil {
+			return err
+		}
+		remaining -= n
+	}
+	nn.files[name] = f
+	return nil
+}
+
+// Writer streams data into a new file, cutting blocks at the block
+// size. Close finalizes the file.
+type Writer struct {
+	nn        *NameNode
+	f         *fileMeta
+	buf       []byte
+	preferred string
+	closed    bool
+}
+
+// Create opens a writer for a new file. preferredNode, when not empty,
+// receives the first replica of every block (writer locality).
+func (nn *NameNode) Create(name, preferredNode string) (*Writer, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f := &fileMeta{name: name}
+	nn.files[name] = f
+	return &Writer{nn: nn, f: f, preferred: preferredNode}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("hdfs: write on closed writer")
+	}
+	w.buf = append(w.buf, p...)
+	w.nn.mu.Lock()
+	defer w.nn.mu.Unlock()
+	for int64(len(w.buf)) >= w.nn.blockSize {
+		if err := w.nn.addBlock(w.f, w.nn.blockSize, w.buf[:w.nn.blockSize], w.preferred); err != nil {
+			return 0, err
+		}
+		w.buf = append([]byte(nil), w.buf[w.nn.blockSize:]...)
+	}
+	return len(p), nil
+}
+
+// Close flushes the final partial block.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.nn.mu.Lock()
+	defer w.nn.mu.Unlock()
+	if len(w.buf) > 0 {
+		if err := w.nn.addBlock(w.f, int64(len(w.buf)), w.buf, w.preferred); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	return nil
+}
+
+// WriteFile creates name with the given contents in one call.
+func (nn *NameNode) WriteFile(name string, data []byte, preferredNode string) error {
+	w, err := nn.Create(name, preferredNode)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Exists reports whether the file exists.
+func (nn *NameNode) Exists(name string) bool {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	_, ok := nn.files[name]
+	return ok
+}
+
+// FileSize returns the file's length in bytes.
+func (nn *NameNode) FileSize(name string) (int64, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f.size, nil
+}
+
+// Delete removes a file and frees its replicas.
+func (nn *NameNode) Delete(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, id := range f.blocks {
+		for _, host := range nn.locations[id] {
+			if d, ok := nn.nodes[host]; ok {
+				if blk, ok := d.blocks[id]; ok {
+					d.used -= blk.Size
+					delete(d.blocks, id)
+				}
+			}
+		}
+		delete(nn.locations, id)
+		delete(nn.blockSizes, id)
+	}
+	delete(nn.files, name)
+	return nil
+}
+
+// List returns all file names, sorted.
+func (nn *NameNode) List() []string {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []string
+	for name := range nn.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Locations returns the file's block layout with live replica hosts.
+func (nn *NameNode) Locations(name string) ([]BlockLocation, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	var out []BlockLocation
+	var off int64
+	for _, id := range f.blocks {
+		var hosts []string
+		for _, h := range nn.locations[id] {
+			if d, ok := nn.nodes[h]; ok && d.alive {
+				hosts = append(hosts, h)
+			}
+		}
+		out = append(out, BlockLocation{Block: id, Offset: off, Size: nn.blockSizes[id], Hosts: hosts})
+		off += nn.blockSizes[id]
+	}
+	return out, nil
+}
+
+// ReadBlock fetches a block's data from a specific datanode.
+func (nn *NameNode) ReadBlock(id BlockID, host string) ([]byte, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	d, ok := nn.nodes[host]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, host)
+	}
+	if !d.alive {
+		return nil, fmt.Errorf("%w: %s", ErrNodeDead, host)
+	}
+	blk, ok := d.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: block %d not on %s", id, host)
+	}
+	if blk.Data == nil {
+		return nil, ErrSynthetic
+	}
+	return blk.Data, nil
+}
+
+// Reader reads a file's real data sequentially, preferring replicas on
+// preferredNode (locality) when available.
+type Reader struct {
+	nn        *NameNode
+	locs      []BlockLocation
+	preferred string
+	blockIdx  int
+	blockOff  int
+	current   []byte
+}
+
+// Open returns a sequential reader over name's data.
+func (nn *NameNode) Open(name, preferredNode string) (*Reader, error) {
+	nn.mu.Lock()
+	f, ok := nn.files[name]
+	synthetic := ok && f.synthetic
+	nn.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if synthetic {
+		return nil, ErrSynthetic
+	}
+	locs, err := nn.Locations(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{nn: nn, locs: locs, preferred: preferredNode}, nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	for {
+		if r.current == nil {
+			if r.blockIdx >= len(r.locs) {
+				return 0, io.EOF
+			}
+			loc := r.locs[r.blockIdx]
+			if len(loc.Hosts) == 0 {
+				return 0, fmt.Errorf("%w: block %d", ErrBlockLost, loc.Block)
+			}
+			host := loc.Hosts[0]
+			for _, h := range loc.Hosts {
+				if h == r.preferred {
+					host = h
+					break
+				}
+			}
+			data, err := r.nn.ReadBlock(loc.Block, host)
+			if err != nil {
+				return 0, err
+			}
+			r.current = data
+			r.blockOff = 0
+		}
+		n := copy(p, r.current[r.blockOff:])
+		r.blockOff += n
+		if r.blockOff >= len(r.current) {
+			r.current = nil
+			r.blockIdx++
+		}
+		if n > 0 || len(p) == 0 {
+			return n, nil
+		}
+	}
+}
+
+// ReadFile returns the whole file's contents.
+func (nn *NameNode) ReadFile(name string) ([]byte, error) {
+	r, err := nn.Open(name, "")
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(r)
+}
+
+// KillDataNode marks a node dead. Its replicas become unavailable; the
+// NameNode re-replicates blocks that still have a live copy elsewhere
+// (with replication 1, as in the paper, a dead node means lost blocks,
+// which Locations will report as host-less).
+func (nn *NameNode) KillDataNode(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	d, ok := nn.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if !d.alive {
+		return fmt.Errorf("%w: %s", ErrNodeDead, name)
+	}
+	d.alive = false
+	// Re-replicate under-replicated blocks from surviving replicas.
+	for id, hosts := range nn.locations {
+		var liveHosts []*DataNode
+		for _, h := range hosts {
+			if n := nn.nodes[h]; n.alive {
+				liveHosts = append(liveHosts, n)
+			}
+		}
+		if len(liveHosts) == 0 || len(liveHosts) >= nn.replication {
+			continue
+		}
+		src := liveHosts[0].blocks[id]
+		for _, cand := range nn.liveNodes() {
+			if len(liveHosts) >= nn.replication {
+				break
+			}
+			if _, has := cand.blocks[id]; has {
+				continue
+			}
+			blk := &Block{ID: id, Size: src.Size}
+			if src.Data != nil {
+				blk.Data = append([]byte(nil), src.Data...)
+			}
+			cand.blocks[id] = blk
+			cand.used += src.Size
+			liveHosts = append(liveHosts, cand)
+		}
+		var names []string
+		for _, h := range liveHosts {
+			names = append(names, h.Name)
+		}
+		nn.locations[id] = names
+	}
+	return nil
+}
+
+// TotalBytes returns the bytes stored across live datanodes (replicas
+// counted separately).
+func (nn *NameNode) TotalBytes() int64 {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var total int64
+	for _, d := range nn.nodes {
+		if d.alive {
+			total += d.used
+		}
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+package kernels
+
+// Block-kernel adapters: closures with the signature the SPE runtimes
+// (spurt, cellmr) expect, so the kernels package stays independent of
+// the runtime packages — mirroring how the paper's SPE kernels were
+// compiled separately from the runtime that invoked them.
+
+// CTRBlockFunc returns a function encrypting an in-place block at a
+// given stream offset with AES-128 CTR. Safe for concurrent use from
+// multiple SPE workers: the cipher's expanded key is read-only.
+func CTRBlockFunc(c *Cipher, iv []byte) func(block []byte, offset int64) error {
+	ivCopy := append([]byte(nil), iv...)
+	return func(block []byte, offset int64) error {
+		CTRStream(c, ivCopy, offset, block, block)
+		return nil
+	}
+}
+
+// PiWorkerFunc returns a function computing one SPE worker's share of
+// a Monte Carlo Pi estimation: `samples` draws seeded uniquely per
+// worker, returning the inside count.
+func PiWorkerFunc(baseSeed uint64, samplesPerWorker int64) func(worker int) (int64, error) {
+	return func(worker int) (int64, error) {
+		return CountInside(MixSeed(baseSeed, uint64(worker)), samplesPerWorker), nil
+	}
+}

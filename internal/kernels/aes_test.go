@@ -1,0 +1,135 @@
+package kernels
+
+import (
+	"bytes"
+	"crypto/aes"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix C.1 vector.
+func TestAESFIPS197Vector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.EncryptBlock(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("FIPS-197 C.1: got %x, want %x", got, want)
+	}
+	back := make([]byte, 16)
+	c.DecryptBlock(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x, want %x", back, pt)
+	}
+}
+
+// FIPS-197 Appendix A.1 key expansion spot checks.
+func TestAESKeyExpansion(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w[4] and w[43] from the FIPS-197 walk-through.
+	if c.rk[4] != 0xa0fafe17 {
+		t.Errorf("w[4] = %08x, want a0fafe17", c.rk[4])
+	}
+	if c.rk[43] != 0xb6630ca6 {
+		t.Errorf("w[43] = %08x, want b6630ca6", c.rk[43])
+	}
+}
+
+func TestAESKeySizeError(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 24, 32} {
+		if _, err := NewCipher(make([]byte, n)); !errors.Is(err, ErrKeySize) {
+			t.Errorf("key size %d: expected ErrKeySize, got %v", n, err)
+		}
+	}
+}
+
+// Property: our cipher matches crypto/aes on random keys and blocks,
+// and the T-table fast path matches the FIPS-197 reference path.
+func TestAESMatchesStdlibProperty(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ref, err := aes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		r := make([]byte, 16)
+		ours.EncryptBlock(a, block[:])
+		ref.Encrypt(b, block[:])
+		ours.encryptBlockRef(r, block[:])
+		if !bytes.Equal(a, b) || !bytes.Equal(a, r) {
+			return false
+		}
+		ours.DecryptBlock(a, a)
+		return bytes.Equal(a, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAESEncryptDecryptInPlace(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	c, _ := NewCipher(key)
+	data := []byte("fedcba9876543210")
+	orig := append([]byte(nil), data...)
+	c.EncryptBlock(data, data)
+	if bytes.Equal(data, orig) {
+		t.Fatal("encryption was identity")
+	}
+	c.DecryptBlock(data, data)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("in-place roundtrip failed")
+	}
+}
+
+func TestAESShortBlockPanics(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	for name, fn := range map[string]func(){
+		"encrypt short src": func() { c.EncryptBlock(make([]byte, 16), make([]byte, 8)) },
+		"encrypt short dst": func() { c.EncryptBlock(make([]byte, 8), make([]byte, 16)) },
+		"decrypt short src": func() { c.DecryptBlock(make([]byte, 16), make([]byte, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSboxIsPermutationWithInverse(t *testing.T) {
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		if seen[s] {
+			t.Fatalf("sbox not a permutation: duplicate %02x", s)
+		}
+		seen[s] = true
+		if invSbox[s] != byte(i) {
+			t.Fatalf("invSbox[sbox[%02x]] = %02x", i, invSbox[s])
+		}
+	}
+	// Known anchor values.
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed {
+		t.Errorf("sbox anchors wrong: sbox[0]=%02x sbox[53]=%02x", sbox[0], sbox[0x53])
+	}
+}

@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"testing"
+)
+
+// Micro-benchmarks for the kernels: these quantify the *functional*
+// implementations on the host, independent of the calibrated Cell
+// model (which is what the figures use).
+
+func BenchmarkAESEncryptBlock(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	var blk [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.EncryptBlock(blk[:], blk[:])
+	}
+}
+
+func BenchmarkAESEncryptBlockStdlib(b *testing.B) {
+	c, _ := aes.NewCipher(make([]byte, 16))
+	var blk [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(blk[:], blk[:])
+	}
+}
+
+func BenchmarkCTRStream4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CTRStream(c, iv, 0, buf, buf)
+	}
+}
+
+func BenchmarkCTRStreamSIMD4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CTRStreamSIMD(c, iv, 0, buf, buf)
+	}
+}
+
+func BenchmarkCTRStreamStdlib4K(b *testing.B) {
+	c, _ := aes.NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		cipher.NewCTR(c, iv).XORKeyStream(buf, buf)
+	}
+}
+
+func BenchmarkCountInside(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CountInside(uint64(i), 100000)
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	data := make([]byte, 64<<10)
+	for i := range data {
+		if i%7 == 6 {
+			data[i] = ' '
+		} else {
+			data[i] = 'a' + byte(i%13)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		WordCount(data)
+	}
+}
+
+func BenchmarkSortRecords(b *testing.B) {
+	orig := GenerateSortRecords(1, 10000)
+	buf := make([]byte, len(orig))
+	b.SetBytes(int64(len(orig)))
+	for i := 0; i < b.N; i++ {
+		copy(buf, orig)
+		if err := SortRecords(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountInsideDeterministic(t *testing.T) {
+	a := CountInside(42, 10000)
+	b := CountInside(42, 10000)
+	if a != b {
+		t.Fatal("same seed gave different counts")
+	}
+	c := CountInside(43, 10000)
+	if a == c {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+func TestCountInsideBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int64(1000)
+		in := CountInside(seed, n)
+		return in >= 0 && in <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if CountInside(1, 0) != 0 {
+		t.Error("zero samples should count zero")
+	}
+}
+
+func TestPiAccuracyScalesWithSamples(t *testing.T) {
+	// Error should be O(1/sqrt(N)), the bound the paper states:
+	// "estimating Pi with 100,000,000 samples produces an actual
+	// accuracy of approximately 4 digits". We check a scaled-down
+	// version of the same claim.
+	for _, n := range []int64{10000, 1000000} {
+		in := CountInside(2009, n)
+		est := EstimatePi(in, n)
+		err := math.Abs(est - math.Pi)
+		// Allow 6 sigma of the binomial std dev.
+		bound := 6 * 4 * math.Sqrt(math.Pi/4*(1-math.Pi/4)/float64(n))
+		if err > bound {
+			t.Errorf("n=%d: |est-pi| = %g exceeds %g", n, err, bound)
+		}
+	}
+}
+
+func TestPiErrorImprovesWithN(t *testing.T) {
+	// Aggregate across seeds so the check is statistical, not lucky.
+	avgErr := func(n int64) float64 {
+		var sum float64
+		const seeds = 20
+		for s := uint64(0); s < seeds; s++ {
+			in := CountInside(s*7919+1, n)
+			sum += math.Abs(EstimatePi(in, n) - math.Pi)
+		}
+		return sum / seeds
+	}
+	small, large := avgErr(1000), avgErr(100000)
+	if large >= small {
+		t.Errorf("error did not shrink with N: %g -> %g", small, large)
+	}
+}
+
+func TestEstimatePiEdge(t *testing.T) {
+	if EstimatePi(0, 0) != 0 {
+		t.Error("zero total should yield 0")
+	}
+	if EstimatePi(1, 1) != 4.0 {
+		t.Error("all inside should yield 4")
+	}
+}
+
+func TestPiErrorBound(t *testing.T) {
+	if !math.IsInf(PiErrorBound(0), 1) {
+		t.Error("bound for 0 samples should be +Inf")
+	}
+	if b := PiErrorBound(100); b != 0.1 {
+		t.Errorf("bound(100) = %g, want 0.1", b)
+	}
+	if PiErrorBound(1e8) > 1.1e-4 {
+		t.Error("1e8 samples should bound error near 1e-4 (the paper's '4 digits')")
+	}
+}
+
+func TestCountsAdditiveAcrossSeeds(t *testing.T) {
+	// Distributed mappers each run an independent seed; totals are
+	// summed by the reducer. The sum of two independent halves must
+	// give a valid estimate too.
+	n := int64(200000)
+	in1 := CountInside(1, n/2)
+	in2 := CountInside(999, n/2)
+	est := EstimatePi(in1+in2, n)
+	if math.Abs(est-math.Pi) > 0.05 {
+		t.Errorf("combined estimate %g too far from pi", est)
+	}
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TeraSort-style record sorting (paper §IV-A discusses the Terasort
+// contest results to argue record delivery, not sorting speed, bounds
+// MapReduce mappers). Records are fixed-size: a 10-byte key followed
+// by 90 bytes of payload, sorted lexicographically by key.
+
+// SortRecordBytes is the TeraSort record size.
+const SortRecordBytes = 100
+
+// SortKeyBytes is the TeraSort key size.
+const SortKeyBytes = 10
+
+// ErrRecordSize is returned when a buffer is not a whole number of
+// records.
+var ErrRecordSize = errors.New("kernels: buffer is not a multiple of the 100-byte record size")
+
+// GenerateSortRecords produces n deterministic pseudo-random records
+// seeded by seed (the teragen role).
+func GenerateSortRecords(seed uint64, n int) []byte {
+	rng := piRNG{state: seed}
+	out := make([]byte, n*SortRecordBytes)
+	for i := 0; i < len(out); i += 8 {
+		v := rng.next()
+		for j := 0; j < 8 && i+j < len(out); j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// SortRecords sorts the records in buf in place by their 10-byte keys.
+func SortRecords(buf []byte) error {
+	if len(buf)%SortRecordBytes != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrRecordSize, len(buf))
+	}
+	n := len(buf) / SortRecordBytes
+	rec := func(i int) []byte { return buf[i*SortRecordBytes : (i+1)*SortRecordBytes] }
+	// Indirect sort then permute, so Swap stays cheap.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return bytes.Compare(rec(idx[a])[:SortKeyBytes], rec(idx[b])[:SortKeyBytes]) < 0
+	})
+	out := make([]byte, len(buf))
+	for to, from := range idx {
+		copy(out[to*SortRecordBytes:], rec(from))
+	}
+	copy(buf, out)
+	return nil
+}
+
+// RecordsSorted reports whether buf's records are in key order.
+func RecordsSorted(buf []byte) (bool, error) {
+	if len(buf)%SortRecordBytes != 0 {
+		return false, fmt.Errorf("%w: %d bytes", ErrRecordSize, len(buf))
+	}
+	n := len(buf) / SortRecordBytes
+	for i := 1; i < n; i++ {
+		prev := buf[(i-1)*SortRecordBytes : (i-1)*SortRecordBytes+SortKeyBytes]
+		cur := buf[i*SortRecordBytes : i*SortRecordBytes+SortKeyBytes]
+		if bytes.Compare(prev, cur) > 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MergeSortedRuns merges independently sorted record runs (the map
+// outputs) into one sorted buffer — the reduce-side merge.
+func MergeSortedRuns(runs [][]byte) ([]byte, error) {
+	var total int
+	for _, r := range runs {
+		if len(r)%SortRecordBytes != 0 {
+			return nil, fmt.Errorf("%w: run of %d bytes", ErrRecordSize, len(r))
+		}
+		total += len(r)
+	}
+	out := make([]byte, 0, total)
+	offs := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestKey []byte
+		for i, r := range runs {
+			if offs[i] >= len(r) {
+				continue
+			}
+			key := r[offs[i] : offs[i]+SortKeyBytes]
+			if best < 0 || bytes.Compare(key, bestKey) < 0 {
+				best, bestKey = i, key
+			}
+		}
+		out = append(out, runs[best][offs[best]:offs[best]+SortRecordBytes]...)
+		offs[best] += SortRecordBytes
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package kernels
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSortRecords(t *testing.T) {
+	a := GenerateSortRecords(1, 100)
+	if len(a) != 100*SortRecordBytes {
+		t.Fatalf("generated %d bytes", len(a))
+	}
+	b := GenerateSortRecords(1, 100)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different records")
+	}
+	c := GenerateSortRecords(2, 100)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds coincided")
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	buf := GenerateSortRecords(42, 500)
+	if err := SortRecords(buf); err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := RecordsSorted(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted {
+		t.Fatal("records not sorted")
+	}
+}
+
+func TestSortRecordsPreservesMultiset(t *testing.T) {
+	buf := GenerateSortRecords(7, 200)
+	// Count payload checksums before/after.
+	sum := func(b []byte) map[[SortRecordBytes]byte]int {
+		m := make(map[[SortRecordBytes]byte]int)
+		for i := 0; i < len(b); i += SortRecordBytes {
+			var rec [SortRecordBytes]byte
+			copy(rec[:], b[i:])
+			m[rec]++
+		}
+		return m
+	}
+	before := sum(buf)
+	if err := SortRecords(buf); err != nil {
+		t.Fatal(err)
+	}
+	after := sum(buf)
+	if len(before) != len(after) {
+		t.Fatal("record multiset changed size")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("record multiset changed")
+		}
+	}
+}
+
+func TestSortBadSize(t *testing.T) {
+	if err := SortRecords(make([]byte, 150)); !errors.Is(err, ErrRecordSize) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := RecordsSorted(make([]byte, 99)); !errors.Is(err, ErrRecordSize) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := MergeSortedRuns([][]byte{make([]byte, 10)}); !errors.Is(err, ErrRecordSize) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMergeSortedRuns(t *testing.T) {
+	// Split one generated set into 4 runs, sort each, merge, compare
+	// to sorting the whole thing.
+	whole := GenerateSortRecords(9, 400)
+	want := append([]byte(nil), whole...)
+	if err := SortRecords(want); err != nil {
+		t.Fatal(err)
+	}
+	var runs [][]byte
+	per := len(whole) / 4
+	for i := 0; i < 4; i++ {
+		run := append([]byte(nil), whole[i*per:(i+1)*per]...)
+		if err := SortRecords(run); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	got, err := MergeSortedRuns(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, _ := RecordsSorted(got)
+	if !sorted {
+		t.Fatal("merged output unsorted")
+	}
+	// Same multiset as the direct sort (stable order may differ for
+	// equal keys, but TeraSort only requires key order).
+	if len(got) != len(want) {
+		t.Fatal("merge lost records")
+	}
+}
+
+// Property: sorting is idempotent and the distributed map-sort +
+// reduce-merge pipeline yields sorted output for any partitioning.
+func TestMergePipelineProperty(t *testing.T) {
+	f := func(seed uint64, partsRaw uint8) bool {
+		parts := int(partsRaw)%6 + 1
+		whole := GenerateSortRecords(seed, 60)
+		per := 60 / parts * SortRecordBytes
+		var runs [][]byte
+		off := 0
+		for i := 0; i < parts-1; i++ {
+			run := append([]byte(nil), whole[off:off+per]...)
+			if SortRecords(run) != nil {
+				return false
+			}
+			runs = append(runs, run)
+			off += per
+		}
+		last := append([]byte(nil), whole[off:]...)
+		if SortRecords(last) != nil {
+			return false
+		}
+		runs = append(runs, last)
+		merged, err := MergeSortedRuns(runs)
+		if err != nil || len(merged) != len(whole) {
+			return false
+		}
+		ok, err := RecordsSorted(merged)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTRSIMDMatchesScalar(t *testing.T) {
+	c := mustCipher(t)
+	iv := []byte("simd-iv-simd-iv!")
+	src := make([]byte, 5000)
+	for i := range src {
+		src[i] = byte(i * 17)
+	}
+	want := make([]byte, len(src))
+	CTRStream(c, iv, 0, want, src)
+	got := make([]byte, len(src))
+	CTRStreamSIMD(c, iv, 0, got, src)
+	if !bytes.Equal(got, want) {
+		t.Fatal("SIMD CTR differs from scalar CTR")
+	}
+}
+
+// Property: SIMD and scalar CTR agree at every offset and length,
+// including unaligned heads and in-place operation.
+func TestCTRSIMDEquivalenceProperty(t *testing.T) {
+	c := mustCipher(t)
+	iv := []byte("0123456789abcdef")
+	f := func(data []byte, offRaw uint16) bool {
+		off := int64(offRaw)
+		want := make([]byte, len(data))
+		CTRStream(c, iv, off, want, data)
+		got := append([]byte(nil), data...)
+		CTRStreamSIMD(c, iv, off, got, got) // in place
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTRSIMDEmptyAndErrors(t *testing.T) {
+	c := mustCipher(t)
+	iv := make([]byte, 16)
+	CTRStreamSIMD(c, iv, 0, nil, nil) // no-op
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	CTRStreamSIMD(c, iv, 0, make([]byte, 3), make([]byte, 4))
+}
+
+func TestCTRBlockFuncSIMDConcurrent(t *testing.T) {
+	c := mustCipher(t)
+	iv := []byte("concurrent-iv-00")
+	fn := CTRBlockFuncSIMD(c, iv)
+	const n = 64
+	done := make(chan []byte, n)
+	for w := 0; w < n; w++ {
+		w := w
+		go func() {
+			block := make([]byte, 4096)
+			for i := range block {
+				block[i] = byte(i + w)
+			}
+			if err := fn(block, int64(w)*4096); err != nil {
+				done <- nil
+				return
+			}
+			done <- block
+		}()
+	}
+	for w := 0; w < n; w++ {
+		if <-done == nil {
+			t.Fatal("worker failed")
+		}
+	}
+}

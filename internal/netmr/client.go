@@ -1,0 +1,221 @@
+package netmr
+
+import (
+	"fmt"
+	"time"
+
+	"hetmr/internal/rpcnet"
+)
+
+// Client is the user-facing handle to a running netmr cluster: DFS
+// file I/O through the NameNode/DataNodes, job submission through the
+// JobTracker.
+type Client struct {
+	nnAddr    string
+	jtAddr    string
+	blockSize int64
+}
+
+// NewClient builds a client. blockSize governs how files are cut into
+// blocks on write.
+func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64) (*Client, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("netmr: block size must be positive, got %d", blockSize)
+	}
+	return &Client{nnAddr: nameNodeAddr, jtAddr: jobTrackerAddr, blockSize: blockSize}, nil
+}
+
+// WriteFile stores data under name, block by block. preferred, when
+// non-empty, is the DataNode address to favour for every block.
+func (c *Client) WriteFile(name string, data []byte, preferred string) error {
+	nnc, err := rpcnet.Dial(c.nnAddr)
+	if err != nil {
+		return err
+	}
+	defer nnc.Close()
+	for off := int64(0); off == 0 || off < int64(len(data)); off += c.blockSize {
+		end := off + c.blockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := data[off:end]
+		if len(chunk) == 0 && off > 0 {
+			break
+		}
+		var alloc AllocateReply
+		err := nnc.Call("Allocate", AllocateArgs{
+			File: name, Size: int64(len(chunk)), Preferred: preferred,
+		}, &alloc)
+		if err != nil {
+			return err
+		}
+		dnc, err := rpcnet.Dial(alloc.Block.Addr)
+		if err != nil {
+			return err
+		}
+		err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
+		dnc.Close()
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadFile fetches name's full contents.
+func (c *Client) ReadFile(name string) ([]byte, error) {
+	nnc, err := rpcnet.Dial(c.nnAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer nnc.Close()
+	var lookup LookupReply
+	if err := nnc.Call("Lookup", LookupArgs{File: name}, &lookup); err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, blk := range lookup.Blocks {
+		dnc, err := rpcnet.Dial(blk.Addr)
+		if err != nil {
+			return nil, err
+		}
+		var get GetReply
+		err = dnc.Call("Get", GetArgs{ID: blk.ID}, &get)
+		dnc.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, get.Data...)
+	}
+	return out, nil
+}
+
+// ListFiles returns the namespace listing.
+func (c *Client) ListFiles() ([]string, error) {
+	nnc, err := rpcnet.Dial(c.nnAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer nnc.Close()
+	var list ListReply
+	if err := nnc.Call("List", ListArgs{}, &list); err != nil {
+		return nil, err
+	}
+	return list.Files, nil
+}
+
+// Submit sends a job and returns its ID.
+func (c *Client) Submit(spec JobSpec) (int64, error) {
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer jtc.Close()
+	var reply SubmitReply
+	if err := jtc.Call("Submit", SubmitArgs{Spec: spec}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.JobID, nil
+}
+
+// Wait polls the job until completion or timeout, returning the
+// reduced result bytes.
+func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer jtc.Close()
+	deadline := time.Now().Add(timeout)
+	for {
+		var status StatusReply
+		if err := jtc.Call("Status", StatusArgs{JobID: jobID}, &status); err != nil {
+			return nil, err
+		}
+		if status.Done {
+			return status.Result, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done)",
+				jobID, status.Completed, status.Total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// SubmitAndWait is Submit followed by Wait.
+func (c *Client) SubmitAndWait(spec JobSpec, timeout time.Duration) ([]byte, error) {
+	id, err := c.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(id, timeout)
+}
+
+// Cluster bundles an in-process netmr deployment: one NameNode, one
+// JobTracker, n DataNodes and n TaskTrackers, all on loopback TCP.
+type Cluster struct {
+	NN     *NameNode
+	JT     *JobTracker
+	DNs    []*DataNode
+	TTs    []*TaskTracker
+	Client *Client
+}
+
+// StartCluster boots a full deployment with the given worker count,
+// slot count per tracker and DFS block size.
+func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration) (*Cluster, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("netmr: need at least one worker, got %d", workers)
+	}
+	nn, err := StartNameNode("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	jt, err := StartJobTracker("127.0.0.1:0", nn.Addr())
+	if err != nil {
+		nn.Close()
+		return nil, err
+	}
+	c := &Cluster{NN: nn, JT: jt}
+	for i := 0; i < workers; i++ {
+		dn, err := StartDataNode("127.0.0.1:0", nn.Addr())
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.DNs = append(c.DNs, dn)
+		tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), jt.Addr(), dn.Addr(), slots, heartbeat)
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.TTs = append(c.TTs, tt)
+	}
+	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize)
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	c.Client = client
+	return c, nil
+}
+
+// Shutdown stops every daemon.
+func (c *Cluster) Shutdown() {
+	for _, tt := range c.TTs {
+		tt.Stop()
+	}
+	for _, dn := range c.DNs {
+		dn.Close()
+	}
+	if c.JT != nil {
+		c.JT.Close()
+	}
+	if c.NN != nil {
+		c.NN.Close()
+	}
+}

@@ -1,0 +1,79 @@
+package netmr
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmr/internal/rpcnet"
+)
+
+// DataNode is a TCP block server: it stores block replicas in memory
+// and serves them to TaskTrackers — the hop the paper's RecordReader
+// measurement is about.
+type DataNode struct {
+	srv *rpcnet.Server
+
+	mu     sync.Mutex
+	blocks map[int64][]byte
+}
+
+// StartDataNode launches a DataNode on addr and registers it with the
+// NameNode.
+func StartDataNode(addr, nameNodeAddr string) (*DataNode, error) {
+	srv, err := rpcnet.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	dn := &DataNode{srv: srv, blocks: make(map[int64][]byte)}
+	srv.Handle("Put", dn.handlePut)
+	srv.Handle("Get", dn.handleGet)
+	nnc, err := rpcnet.Dial(nameNodeAddr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	defer nnc.Close()
+	if err := nnc.Call("Register", RegisterArgs{Addr: srv.Addr()}, nil); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return dn, nil
+}
+
+// Addr returns the DataNode's RPC address.
+func (dn *DataNode) Addr() string { return dn.srv.Addr() }
+
+// Close stops the server.
+func (dn *DataNode) Close() error { return dn.srv.Close() }
+
+// BlockCount reports stored replicas (for tests).
+func (dn *DataNode) BlockCount() int {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return len(dn.blocks)
+}
+
+func (dn *DataNode) handlePut(body []byte) (any, error) {
+	var args PutArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.blocks[args.ID] = append([]byte(nil), args.Data...)
+	return PutReply{}, nil
+}
+
+func (dn *DataNode) handleGet(body []byte) (any, error) {
+	var args GetArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	dn.mu.Lock()
+	data, ok := dn.blocks[args.ID]
+	dn.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netmr: block %d not on this datanode", args.ID)
+	}
+	return GetReply{Data: data}, nil
+}

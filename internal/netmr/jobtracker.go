@@ -1,0 +1,253 @@
+package netmr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/rpcnet"
+)
+
+// taskState tracks one task's lifecycle at the JobTracker.
+type taskState struct {
+	task       Task
+	assignedTo string
+	assignedAt time.Time
+	done       bool
+	output     []byte
+}
+
+// jobRecord is one submitted job.
+type jobRecord struct {
+	id        int64
+	spec      JobSpec
+	tasks     []*taskState
+	completed int
+	done      bool
+	result    []byte
+}
+
+// JobTracker is the TCP master daemon: it expands jobs into tasks,
+// assigns them on heartbeats, re-issues tasks whose lease expires
+// (tracker failure), and reduces the results.
+type JobTracker struct {
+	srv    *rpcnet.Server
+	nnAddr string
+	// TaskLease is how long an assigned task may stay silent before
+	// it is handed to another tracker.
+	TaskLease time.Duration
+
+	mu      sync.Mutex
+	nextJob int64
+	jobs    map[int64]*jobRecord
+}
+
+// StartJobTracker launches the JobTracker on addr.
+func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
+	srv, err := rpcnet.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	jt := &JobTracker{
+		srv:       srv,
+		nnAddr:    nameNodeAddr,
+		TaskLease: 10 * time.Second,
+		jobs:      make(map[int64]*jobRecord),
+	}
+	srv.Handle("Submit", jt.handleSubmit)
+	srv.Handle("Heartbeat", jt.handleHeartbeat)
+	srv.Handle("Status", jt.handleStatus)
+	return jt, nil
+}
+
+// Addr returns the JobTracker's RPC address.
+func (jt *JobTracker) Addr() string { return jt.srv.Addr() }
+
+// Close stops the server.
+func (jt *JobTracker) Close() error { return jt.srv.Close() }
+
+func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
+	var args SubmitArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	if _, err := lookupKernel(args.Spec.Kernel); err != nil {
+		return nil, err
+	}
+	tasks, err := jt.expand(args.Spec)
+	if err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	id := jt.nextJob
+	jt.nextJob++
+	rec := &jobRecord{id: id, spec: args.Spec}
+	for _, t := range tasks {
+		t.JobID = id
+		rec.tasks = append(rec.tasks, &taskState{task: t})
+	}
+	jt.jobs[id] = rec
+	return SubmitReply{JobID: id}, nil
+}
+
+// expand turns a job spec into tasks: one per input block for data
+// jobs, NumTasks equal shares for compute jobs.
+func (jt *JobTracker) expand(spec JobSpec) ([]Task, error) {
+	if spec.Input != "" {
+		nnc, err := rpcnet.Dial(jt.nnAddr)
+		if err != nil {
+			return nil, err
+		}
+		defer nnc.Close()
+		var lookup LookupReply
+		if err := nnc.Call("Lookup", LookupArgs{File: spec.Input}, &lookup); err != nil {
+			return nil, err
+		}
+		var tasks []Task
+		for i, blk := range lookup.Blocks {
+			tasks = append(tasks, Task{
+				TaskID: i,
+				Kernel: spec.Kernel,
+				Args:   spec.Args,
+				Block:  blk,
+			})
+		}
+		if len(tasks) == 0 {
+			return nil, fmt.Errorf("netmr: input %q has no blocks", spec.Input)
+		}
+		return tasks, nil
+	}
+	if spec.Samples <= 0 {
+		return nil, fmt.Errorf("netmr: job %q has neither input nor samples", spec.Name)
+	}
+	n := spec.NumTasks
+	if n <= 0 {
+		n = 1
+	}
+	per := spec.Samples / int64(n)
+	rem := spec.Samples % int64(n)
+	var tasks []Task
+	for i := 0; i < n; i++ {
+		s := per
+		if int64(i) < rem {
+			s++
+		}
+		if s == 0 {
+			s = 1
+		}
+		tasks = append(tasks, Task{
+			TaskID:  i,
+			Kernel:  spec.Kernel,
+			Args:    spec.Args,
+			Samples: s,
+			Seed:    kernels.MixSeed(2009, uint64(i)),
+		})
+	}
+	return tasks, nil
+}
+
+func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
+	var args HeartbeatArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	// Record completions.
+	for _, res := range args.Completed {
+		rec, ok := jt.jobs[res.JobID]
+		if !ok || res.TaskID < 0 || res.TaskID >= len(rec.tasks) {
+			continue
+		}
+		ts := rec.tasks[res.TaskID]
+		if ts.done {
+			continue // duplicate after re-issue: first result wins
+		}
+		ts.done = true
+		ts.output = res.Output
+		rec.completed++
+	}
+	// Finish jobs whose tasks are all done.
+	for _, rec := range jt.jobs {
+		if rec.done || rec.completed < len(rec.tasks) {
+			continue
+		}
+		kern, err := lookupKernel(rec.spec.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		partials := make([][]byte, len(rec.tasks))
+		for i, ts := range rec.tasks {
+			partials[i] = ts.output
+		}
+		result, err := kern.Reduce(partials)
+		if err != nil {
+			return nil, fmt.Errorf("netmr: reduce job %d: %w", rec.id, err)
+		}
+		rec.result = result
+		rec.done = true
+	}
+	// Assign pending (or lease-expired) tasks, oldest jobs first.
+	// Two passes per job: data-local tasks first (block on the
+	// tracker's co-located DataNode), then any remaining task — the
+	// paper's "tries to minimize the number of remote block accesses".
+	var reply HeartbeatReply
+	now := time.Now()
+	assignable := func(ts *taskState) bool {
+		if ts.done {
+			return false
+		}
+		return ts.assignedTo == "" || now.Sub(ts.assignedAt) >= jt.TaskLease
+	}
+	grant := func(ts *taskState) {
+		ts.assignedTo = args.TrackerID
+		ts.assignedAt = now
+		reply.Tasks = append(reply.Tasks, ts.task)
+	}
+	for id := int64(0); id < jt.nextJob && len(reply.Tasks) < args.FreeSlots; id++ {
+		rec, ok := jt.jobs[id]
+		if !ok || rec.done {
+			continue
+		}
+		if args.LocalDataNode != "" {
+			for _, ts := range rec.tasks {
+				if len(reply.Tasks) >= args.FreeSlots {
+					break
+				}
+				if assignable(ts) && ts.task.Block.Addr == args.LocalDataNode {
+					grant(ts)
+				}
+			}
+		}
+		for _, ts := range rec.tasks {
+			if len(reply.Tasks) >= args.FreeSlots {
+				break
+			}
+			if assignable(ts) {
+				grant(ts)
+			}
+		}
+	}
+	return reply, nil
+}
+
+func (jt *JobTracker) handleStatus(body []byte) (any, error) {
+	var args StatusArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	rec, ok := jt.jobs[args.JobID]
+	if !ok {
+		return nil, fmt.Errorf("netmr: unknown job %d", args.JobID)
+	}
+	return StatusReply{
+		Done:      rec.done,
+		Completed: rec.completed,
+		Total:     len(rec.tasks),
+		Result:    rec.result,
+	}, nil
+}

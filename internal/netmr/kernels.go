@@ -1,0 +1,169 @@
+package netmr
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/rpcnet"
+)
+
+// MapKernel is a named, registered computation the TaskTrackers can
+// run. Map consumes one task's input (block data, or samples for
+// compute kernels) and returns a gob-encoded partial result; Reduce
+// folds the partials, ordered by task ID, into the job result.
+type MapKernel struct {
+	// Map runs on the TaskTracker. data is nil for compute tasks.
+	Map func(task Task, data []byte) ([]byte, error)
+	// Reduce runs on the JobTracker when all tasks are done.
+	Reduce func(partials [][]byte) ([]byte, error)
+}
+
+// kernelRegistry holds the built-in kernels; RegisterKernel extends it
+// (must happen before daemons start — the registry is read-only at
+// runtime).
+var kernelRegistry = map[string]MapKernel{}
+
+// RegisterKernel adds a kernel under a unique name.
+func RegisterKernel(name string, k MapKernel) {
+	if _, dup := kernelRegistry[name]; dup {
+		panic(fmt.Sprintf("netmr: kernel %q already registered", name))
+	}
+	kernelRegistry[name] = k
+}
+
+// lookupKernel fetches a registered kernel.
+func lookupKernel(name string) (MapKernel, error) {
+	k, ok := kernelRegistry[name]
+	if !ok {
+		return MapKernel{}, fmt.Errorf("netmr: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+// AESArgs parameterizes the aes-ctr kernel.
+type AESArgs struct {
+	Key []byte
+	IV  []byte
+	// Offset of each task's block is derived from task ID x block
+	// size; BlockBytes carries that size.
+	BlockBytes int64
+}
+
+// wordCountPartial is the wordcount kernel's map output.
+type wordCountPartial struct {
+	Counts map[string]int64
+}
+
+// piPartial is the pi kernel's map output.
+type piPartial struct {
+	Inside int64
+	Total  int64
+}
+
+// PiResult is the pi kernel's reduced output.
+type PiResult struct {
+	Inside int64
+	Total  int64
+	Pi     float64
+}
+
+func init() {
+	RegisterKernel("wordcount", MapKernel{
+		Map: func(_ Task, data []byte) ([]byte, error) {
+			return rpcnet.Marshal(wordCountPartial{Counts: kernels.WordCount(data)})
+		},
+		Reduce: func(partials [][]byte) ([]byte, error) {
+			total := make(map[string]int64)
+			for _, p := range partials {
+				var part wordCountPartial
+				if err := rpcnet.Unmarshal(p, &part); err != nil {
+					return nil, err
+				}
+				for w, n := range part.Counts {
+					total[w] += n
+				}
+			}
+			return rpcnet.Marshal(total)
+		},
+	})
+
+	RegisterKernel("aes-ctr", MapKernel{
+		Map: func(task Task, data []byte) ([]byte, error) {
+			var args AESArgs
+			if err := rpcnet.Unmarshal(task.Args, &args); err != nil {
+				return nil, err
+			}
+			c, err := kernels.NewCipher(args.Key)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]byte, len(data))
+			offset := int64(task.TaskID) * args.BlockBytes
+			kernels.CTRStream(c, args.IV, offset, out, data)
+			return rpcnet.Marshal(out)
+		},
+		Reduce: func(partials [][]byte) ([]byte, error) {
+			// Partials arrive in task order: concatenate into the
+			// whole ciphertext.
+			var whole []byte
+			for _, p := range partials {
+				var chunk []byte
+				if err := rpcnet.Unmarshal(p, &chunk); err != nil {
+					return nil, err
+				}
+				whole = append(whole, chunk...)
+			}
+			return rpcnet.Marshal(whole)
+		},
+	})
+
+	RegisterKernel("pi", MapKernel{
+		Map: func(task Task, _ []byte) ([]byte, error) {
+			inside := kernels.CountInside(task.Seed, task.Samples)
+			return rpcnet.Marshal(piPartial{Inside: inside, Total: task.Samples})
+		},
+		Reduce: func(partials [][]byte) ([]byte, error) {
+			var inside, total int64
+			for _, p := range partials {
+				var part piPartial
+				if err := rpcnet.Unmarshal(p, &part); err != nil {
+					return nil, err
+				}
+				inside += part.Inside
+				total += part.Total
+			}
+			return rpcnet.Marshal(PiResult{
+				Inside: inside,
+				Total:  total,
+				Pi:     kernels.EstimatePi(inside, total),
+			})
+		},
+	})
+
+	RegisterKernel("grep", MapKernel{
+		Map: func(task Task, data []byte) ([]byte, error) {
+			var pattern []byte
+			if err := rpcnet.Unmarshal(task.Args, &pattern); err != nil {
+				return nil, err
+			}
+			var matches []string
+			kernels.GrepLines(data, pattern, func(_ int, line []byte) {
+				matches = append(matches, string(line))
+			})
+			return rpcnet.Marshal(matches)
+		},
+		Reduce: func(partials [][]byte) ([]byte, error) {
+			var all []string
+			for _, p := range partials {
+				var m []string
+				if err := rpcnet.Unmarshal(p, &m); err != nil {
+					return nil, err
+				}
+				all = append(all, m...)
+			}
+			sort.Strings(all)
+			return rpcnet.Marshal(all)
+		},
+	})
+}

@@ -1,0 +1,142 @@
+package netmr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetmr/internal/rpcnet"
+)
+
+// NameNode is the TCP metadata master: namespace and block placement.
+type NameNode struct {
+	srv *rpcnet.Server
+
+	mu        sync.Mutex
+	nextBlock int64
+	files     map[string][]BlockInfo
+	dataNodes []string       // registration order
+	loadByDN  map[string]int // blocks placed per datanode
+}
+
+// StartNameNode launches the NameNode on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func StartNameNode(addr string) (*NameNode, error) {
+	srv, err := rpcnet.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	nn := &NameNode{
+		srv:      srv,
+		files:    make(map[string][]BlockInfo),
+		loadByDN: make(map[string]int),
+	}
+	srv.Handle("Register", nn.handleRegister)
+	srv.Handle("Allocate", nn.handleAllocate)
+	srv.Handle("Lookup", nn.handleLookup)
+	srv.Handle("List", nn.handleList)
+	srv.Handle("Delete", nn.handleDelete)
+	return nn, nil
+}
+
+// Addr returns the NameNode's RPC address.
+func (nn *NameNode) Addr() string { return nn.srv.Addr() }
+
+// Close stops the server.
+func (nn *NameNode) Close() error { return nn.srv.Close() }
+
+func (nn *NameNode) handleRegister(body []byte) (any, error) {
+	var args RegisterArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	for _, d := range nn.dataNodes {
+		if d == args.Addr {
+			return RegisterReply{}, nil // idempotent
+		}
+	}
+	nn.dataNodes = append(nn.dataNodes, args.Addr)
+	return RegisterReply{}, nil
+}
+
+func (nn *NameNode) handleAllocate(body []byte) (any, error) {
+	var args AllocateArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if len(nn.dataNodes) == 0 {
+		return nil, fmt.Errorf("netmr: no datanodes registered")
+	}
+	// Writer locality first, then least-loaded.
+	target := ""
+	if args.Preferred != "" {
+		for _, d := range nn.dataNodes {
+			if d == args.Preferred {
+				target = d
+				break
+			}
+		}
+	}
+	if target == "" {
+		best := -1
+		for _, d := range nn.dataNodes {
+			if best < 0 || nn.loadByDN[d] < best {
+				best = nn.loadByDN[d]
+				target = d
+			}
+		}
+	}
+	blk := BlockInfo{ID: nn.nextBlock, Size: args.Size, Addr: target}
+	nn.nextBlock++
+	nn.loadByDN[target]++
+	nn.files[args.File] = append(nn.files[args.File], blk)
+	return AllocateReply{Block: blk}, nil
+}
+
+func (nn *NameNode) handleLookup(body []byte) (any, error) {
+	var args LookupArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	blocks, ok := nn.files[args.File]
+	if !ok {
+		return nil, fmt.Errorf("netmr: file %q not found", args.File)
+	}
+	out := make([]BlockInfo, len(blocks))
+	copy(out, blocks)
+	return LookupReply{Blocks: out}, nil
+}
+
+func (nn *NameNode) handleList(body []byte) (any, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var names []string
+	for f := range nn.files {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return ListReply{Files: names}, nil
+}
+
+func (nn *NameNode) handleDelete(body []byte) (any, error) {
+	var args DeleteArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[args.File]; !ok {
+		return nil, fmt.Errorf("netmr: file %q not found", args.File)
+	}
+	for _, blk := range nn.files[args.File] {
+		nn.loadByDN[blk.Addr]--
+	}
+	delete(nn.files, args.File)
+	return DeleteReply{}, nil
+}

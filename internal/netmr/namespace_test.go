@@ -1,0 +1,112 @@
+package netmr
+
+import (
+	"testing"
+	"time"
+
+	"hetmr/internal/rpcnet"
+)
+
+func TestDFSDeleteAndList(t *testing.T) {
+	c := startTestCluster(t, 2, 512)
+	for _, f := range []string{"/b", "/a", "/c"} {
+		if err := c.Client.WriteFile(f, make([]byte, 1000), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := c.Client.ListFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 || files[0] != "/a" || files[2] != "/c" {
+		t.Errorf("List = %v, want sorted [/a /b /c]", files)
+	}
+	// Delete through the raw RPC (the client has no sugar for it).
+	nnc, err := rpcnet.Dial(c.NN.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nnc.Close()
+	if err := nnc.Call("Delete", DeleteArgs{File: "/b"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = c.Client.ListFiles()
+	if len(files) != 2 {
+		t.Errorf("after delete: %v", files)
+	}
+	if err := nnc.Call("Delete", DeleteArgs{File: "/b"}, nil); err == nil {
+		t.Error("double delete should fail")
+	}
+	// Deleted file is gone from lookups.
+	if _, err := c.Client.ReadFile("/b"); err == nil {
+		t.Error("read of deleted file should fail")
+	}
+}
+
+func TestComputeJobDefaultTaskCount(t *testing.T) {
+	c := startTestCluster(t, 1, 512)
+	// NumTasks omitted: defaults to one task.
+	result, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "one", Kernel: "pi", Samples: 1000,
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pi PiResult
+	if err := rpcnet.Unmarshal(result, &pi); err != nil {
+		t.Fatal(err)
+	}
+	if pi.Total != 1000 {
+		t.Errorf("total = %d", pi.Total)
+	}
+}
+
+func TestDataNodeUnknownBlock(t *testing.T) {
+	c := startTestCluster(t, 1, 512)
+	dnc, err := rpcnet.Dial(c.DNs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dnc.Close()
+	var get GetReply
+	if err := dnc.Call("Get", GetArgs{ID: 9999}, &get); err == nil {
+		t.Error("get of unknown block should fail")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	c := startTestCluster(t, 1, 512)
+	nnc, err := rpcnet.Dial(c.NN.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nnc.Close()
+	// Re-registering the same DataNode address must not duplicate it.
+	addr := c.DNs[0].Addr()
+	for i := 0; i < 2; i++ {
+		if err := nnc.Call("Register", RegisterArgs{Addr: addr}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writes still place on the single datanode without error.
+	if err := c.Client.WriteFile("/x", make([]byte, 100), ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateWithoutDataNodes(t *testing.T) {
+	nn, err := StartNameNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	nnc, err := rpcnet.Dial(nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nnc.Close()
+	var alloc AllocateReply
+	if err := nnc.Call("Allocate", AllocateArgs{File: "/f", Size: 10}, &alloc); err == nil {
+		t.Error("allocation with no datanodes should fail")
+	}
+}

@@ -1,0 +1,171 @@
+package netmr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetmr/internal/rpcnet"
+)
+
+// TaskTracker is the TCP worker daemon: it polls the JobTracker with
+// heartbeats, pulls block data from DataNodes over the network (the
+// paper's measured delivery hop), runs the kernel, and reports results
+// on the next heartbeat.
+type TaskTracker struct {
+	ID        string
+	jtAddr    string
+	slots     int
+	heartbeat time.Duration
+	// LocalDataNode, when set, is the co-located DataNode's address;
+	// the JobTracker uses it for data-local assignment, and the
+	// tracker counts local vs remote fetches.
+	LocalDataNode string
+
+	mu          sync.Mutex
+	completed   []TaskResult
+	running     int
+	localFetch  int64
+	remoteFetch int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// FetchStats reports how many block fetches hit the co-located
+// DataNode versus a remote one.
+func (tt *TaskTracker) FetchStats() (local, remote int64) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.localFetch, tt.remoteFetch
+}
+
+// StartTaskTracker launches a tracker with the given slot count and
+// heartbeat interval, polling the JobTracker at jtAddr. localDataNode
+// is the co-located DataNode's address ("" when the tracker has none).
+func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat time.Duration) (*TaskTracker, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("netmr: tracker %q needs at least one slot", id)
+	}
+	if heartbeat <= 0 {
+		heartbeat = 100 * time.Millisecond
+	}
+	tt := &TaskTracker{
+		ID:            id,
+		jtAddr:        jtAddr,
+		slots:         slots,
+		heartbeat:     heartbeat,
+		LocalDataNode: localDataNode,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	go tt.loop()
+	return tt, nil
+}
+
+// Stop halts the heartbeat loop (simulating node death: in-flight
+// tasks are abandoned and the JobTracker's lease re-issues them).
+func (tt *TaskTracker) Stop() {
+	select {
+	case <-tt.stop:
+	default:
+		close(tt.stop)
+	}
+	<-tt.done
+}
+
+func (tt *TaskTracker) loop() {
+	defer close(tt.done)
+	client, err := rpcnet.Dial(tt.jtAddr)
+	if err != nil {
+		return
+	}
+	defer client.Close()
+	ticker := time.NewTicker(tt.heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-tt.stop:
+			return
+		case <-ticker.C:
+		}
+		tt.mu.Lock()
+		reports := tt.completed
+		tt.completed = nil
+		free := tt.slots - tt.running
+		tt.mu.Unlock()
+		var reply HeartbeatReply
+		err := client.Call("Heartbeat", HeartbeatArgs{
+			TrackerID:     tt.ID,
+			LocalDataNode: tt.LocalDataNode,
+			FreeSlots:     free,
+			Completed:     reports,
+		}, &reply)
+		if err != nil {
+			// JobTracker gone: requeue the unsent reports and retry
+			// on the next tick.
+			tt.mu.Lock()
+			tt.completed = append(reports, tt.completed...)
+			tt.mu.Unlock()
+			continue
+		}
+		for _, task := range reply.Tasks {
+			task := task
+			tt.mu.Lock()
+			tt.running++
+			tt.mu.Unlock()
+			go tt.runTask(task)
+		}
+	}
+}
+
+// runTask executes one task: fetch its block (if any), run the kernel,
+// queue the result.
+func (tt *TaskTracker) runTask(task Task) {
+	defer func() {
+		tt.mu.Lock()
+		tt.running--
+		tt.mu.Unlock()
+	}()
+	kern, err := lookupKernel(task.Kernel)
+	if err != nil {
+		return // unknown kernel: lease will re-issue elsewhere
+	}
+	var data []byte
+	if task.Block.Addr != "" {
+		tt.mu.Lock()
+		if task.Block.Addr == tt.LocalDataNode {
+			tt.localFetch++
+		} else {
+			tt.remoteFetch++
+		}
+		tt.mu.Unlock()
+		dnc, err := rpcnet.Dial(task.Block.Addr)
+		if err != nil {
+			return
+		}
+		var get GetReply
+		err = dnc.Call("Get", GetArgs{ID: task.Block.ID}, &get)
+		dnc.Close()
+		if err != nil {
+			return
+		}
+		data = get.Data
+	}
+	out, err := kern.Map(task, data)
+	if err != nil {
+		return
+	}
+	select {
+	case <-tt.stop:
+		return // node died before reporting
+	default:
+	}
+	tt.mu.Lock()
+	tt.completed = append(tt.completed, TaskResult{
+		JobID:  task.JobID,
+		TaskID: task.TaskID,
+		Output: out,
+	})
+	tt.mu.Unlock()
+}

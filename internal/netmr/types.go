@@ -1,0 +1,159 @@
+// Package netmr is the live system over real sockets: a compact
+// Hadoop-architecture MapReduce runtime whose daemons — NameNode,
+// DataNodes, JobTracker, TaskTrackers — are TCP servers exchanging
+// framed gob RPCs (internal/rpcnet), storing real blocks and running
+// real kernels. It is the in-process live runner's (internal/core)
+// distributed sibling: same roles as the paper's §III prototype, but
+// data actually crosses the network stack, including the
+// DataNode→TaskTracker hop whose effective bandwidth the paper
+// identified as the data-intensive bottleneck.
+package netmr
+
+// BlockInfo describes one stored block: its cluster-wide ID, size and
+// the DataNode serving it.
+type BlockInfo struct {
+	ID   int64
+	Size int64
+	Addr string // DataNode RPC address
+}
+
+// --- NameNode RPC messages ---
+
+// RegisterArgs announces a DataNode.
+type RegisterArgs struct {
+	Addr string
+}
+
+// RegisterReply acknowledges registration.
+type RegisterReply struct{}
+
+// AllocateArgs asks for a placement of one new block of a file.
+type AllocateArgs struct {
+	File      string
+	Size      int64
+	Preferred string // DataNode address to favour (writer locality)
+}
+
+// AllocateReply returns the new block's identity and home.
+type AllocateReply struct {
+	Block BlockInfo
+}
+
+// LookupArgs names a file.
+type LookupArgs struct {
+	File string
+}
+
+// LookupReply lists the file's blocks in order.
+type LookupReply struct {
+	Blocks []BlockInfo
+}
+
+// ListArgs requests the namespace listing.
+type ListArgs struct{}
+
+// ListReply returns sorted file names.
+type ListReply struct {
+	Files []string
+}
+
+// DeleteArgs names a file to remove.
+type DeleteArgs struct {
+	File string
+}
+
+// DeleteReply acknowledges deletion.
+type DeleteReply struct{}
+
+// --- DataNode RPC messages ---
+
+// PutArgs stores a block replica.
+type PutArgs struct {
+	ID   int64
+	Data []byte
+}
+
+// PutReply acknowledges storage.
+type PutReply struct{}
+
+// GetArgs fetches a block.
+type GetArgs struct {
+	ID int64
+}
+
+// GetReply carries the block data.
+type GetReply struct {
+	Data []byte
+}
+
+// --- JobTracker RPC messages ---
+
+// JobSpec describes a job: either a data job over Input (one map task
+// per block) or a compute job of NumTasks tasks sharing Samples.
+type JobSpec struct {
+	Name    string
+	Kernel  string // registry name
+	Args    []byte // kernel-specific, gob-encoded
+	Input   string // DFS input file ("" for compute jobs)
+	Samples int64  // compute jobs: total samples
+	// NumTasks for compute jobs (defaults to the tracker count).
+	NumTasks int
+}
+
+// SubmitArgs submits a job.
+type SubmitArgs struct {
+	Spec JobSpec
+}
+
+// SubmitReply returns the job ID.
+type SubmitReply struct {
+	JobID int64
+}
+
+// Task is one unit of work handed to a TaskTracker.
+type Task struct {
+	JobID   int64
+	TaskID  int
+	Kernel  string
+	Args    []byte
+	Block   BlockInfo // data tasks; Addr=="" for compute tasks
+	Samples int64     // compute tasks
+	Seed    uint64
+}
+
+// TaskResult reports one completed task.
+type TaskResult struct {
+	JobID  int64
+	TaskID int
+	Output []byte
+}
+
+// HeartbeatArgs is the TaskTracker's periodic report.
+type HeartbeatArgs struct {
+	TrackerID string
+	// LocalDataNode is the DataNode co-located with this tracker
+	// (same machine in the paper's deployment); the JobTracker
+	// prefers handing the tracker tasks whose block lives there.
+	LocalDataNode string
+	FreeSlots     int
+	Completed     []TaskResult
+}
+
+// HeartbeatReply assigns up to FreeSlots new tasks.
+type HeartbeatReply struct {
+	Tasks []Task
+}
+
+// StatusArgs polls a job.
+type StatusArgs struct {
+	JobID int64
+}
+
+// StatusReply reports completion; Result is the kernel's reduced
+// output once Done.
+type StatusReply struct {
+	Done      bool
+	Completed int
+	Total     int
+	Result    []byte
+}

@@ -1,0 +1,80 @@
+package rpcnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalUnencodable(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Error("marshalling a channel should fail")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	var out int
+	if err := Unmarshal([]byte{0xde, 0xad}, &out); err == nil {
+		t.Error("decoding garbage should fail")
+	}
+}
+
+func TestHandlerResultMarshalError(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("bad", func([]byte) (any, error) {
+		return make(chan int), nil // unencodable result
+	})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("bad", 1, nil); err == nil {
+		t.Error("unencodable handler result should surface as an error")
+	}
+}
+
+func TestHandlerBadArgument(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("typed", func(body []byte) (any, error) {
+		var v struct{ N int }
+		if err := Unmarshal(body, &v); err != nil {
+			return nil, err
+		}
+		return v.N, nil
+	})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Send a string where a struct is expected.
+	err = c.Call("typed", "not-a-struct", nil)
+	if err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("type mismatch error = %v", err)
+	}
+}
+
+func TestCallAfterServerClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Handle("echo", func(b []byte) (any, error) { return b, nil })
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	if err := c.Call("echo", 1, nil); err == nil {
+		t.Error("call after server close should fail")
+	}
+}

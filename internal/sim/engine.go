@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback in virtual time. Events with equal
+// timestamps fire in scheduling order (seq breaks ties), which keeps
+// runs deterministic.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core. It owns the virtual
+// clock and the pending-event calendar. All simulation activity —
+// plain events and process goroutines — is serialized through the
+// engine, so simulated state never needs locking.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is the handshake channel processes use to return control
+	// to the engine after being resumed.
+	yield chan struct{}
+
+	liveProcs int // processes spawned and not yet finished
+	blocked   int // processes currently parked on a waitpoint
+
+	rng *RNG
+
+	// Tracer, when non-nil, receives a line for every fired event.
+	Tracer func(at Time, what string)
+
+	stopped bool
+	current *Proc // process currently executing, nil when engine code runs
+}
+
+// NewEngine returns an engine with its clock at zero and the given
+// RNG seed (the seed only matters if the simulation draws randomness).
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Timer identifies a scheduled event so callers can cancel it before
+// it fires.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the event had not yet
+// fired (a false return means the callback already ran or was already
+// stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is an error in the model being simulated, so it panics.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative delays
+// are clamped to zero.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the calendar is empty, Stop is called, or
+// a deadlock is detected (live processes remain but no events are
+// pending). It returns the virtual time at which the run ended.
+func (e *Engine) Run() (Time, error) {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil is Run with a time horizon: events scheduled after the
+// horizon are left unfired and the clock stops at the horizon.
+func (e *Engine) RunUntil(horizon Time) (Time, error) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.t > horizon {
+			// Put it back for a later resumed run.
+			heap.Push(&e.events, ev)
+			e.now = horizon
+			return e.now, nil
+		}
+		if ev.t < e.now {
+			return e.now, fmt.Errorf("sim: event time %v went backwards from %v", ev.t, e.now)
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	if !e.stopped && e.liveProcs > 0 && e.blocked == e.liveProcs {
+		return e.now, fmt.Errorf("sim: deadlock at %v: %d process(es) blocked with no pending events", e.now, e.blocked)
+	}
+	return e.now, nil
+}
+
+// trace emits a trace line if tracing is enabled.
+func (e *Engine) trace(format string, args ...any) {
+	if e.Tracer != nil {
+		e.Tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}

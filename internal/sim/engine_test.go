@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want Time
+	}{
+		{0, 0},
+		{1, Second},
+		{0.001, Millisecond},
+		{1e-9, Nanosecond},
+		{2.5, 2*Second + 500*Millisecond},
+		{-1, -Second},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.s); got != c.want {
+			t.Errorf("Seconds(%g) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if got := Seconds(math.Inf(1)); got != Time(math.MaxInt64) {
+		t.Errorf("Seconds(+Inf) = %v, want MaxInt64", got)
+	}
+	if got := Seconds(math.NaN()); got != Time(math.MaxInt64) {
+		t.Errorf("Seconds(NaN) = %v, want MaxInt64", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("(2s).Seconds() = %g, want 2", got)
+	}
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds = %g, want 1.5", got)
+	}
+	if got := (1234567 * Nanosecond).String(); got != "0.001235s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTimeRoundTripProperty(t *testing.T) {
+	f := func(ns int64) bool {
+		tt := Time(ns)
+		back := Seconds(tt.Seconds())
+		diff := back - tt
+		if diff < 0 {
+			diff = -diff
+		}
+		// float64 has 53 bits of mantissa; allow relative rounding error.
+		tol := Time(1)
+		if ns > 1<<53 || ns < -(1<<53) {
+			tol = Time(math.Abs(float64(ns)) / float64(1<<50))
+		}
+		return diff <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	times := []Time{5 * Second, Second, 3 * Second, Second, 0, 10 * Millisecond}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 5*Second {
+		t.Errorf("end time = %v, want 5s", end)
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Errorf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(Second, func() { order = append(order, i) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break violated)", i, v, i)
+		}
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Random event cascades never move the clock backwards.
+	f := func(seed uint64, delays []uint32) bool {
+		e := NewEngine(seed)
+		last := Time(-1)
+		ok := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth >= len(delays) {
+				return
+			}
+			d := Time(delays[depth] % 1000000)
+			e.After(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				schedule(depth + 1)
+			})
+		}
+		schedule(0)
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(Second, func() { fired = true })
+	e.At(500*Millisecond, func() {
+		if !tm.Stop() {
+			t.Error("Stop returned false for pending timer")
+		}
+		if tm.Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(Second, func() { fired++ })
+	e.At(3*Second, func() { fired++ })
+	now, err := e.RunUntil(2 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 2*Second || fired != 1 {
+		t.Errorf("RunUntil: now=%v fired=%d, want 2s and 1", now, fired)
+	}
+	// Resume to completion.
+	now, err = e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 3*Second || fired != 2 {
+		t.Errorf("Run resume: now=%v fired=%d, want 3s and 2", now, fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(Second, func() { fired++; e.Stop() })
+	e.At(2*Second, func() { fired++ })
+	now, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != Second || fired != 1 {
+		t.Errorf("after Stop: now=%v fired=%d", now, fired)
+	}
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(Second, func() {
+		e.After(-5*Second, func() { ran = true })
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("negative After never ran")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var log []Time
+		for i := 0; i < 20; i++ {
+			e.After(e.RNG().Jitter(10*Second), func() { log = append(log, e.Now()) })
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

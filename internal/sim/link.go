@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// Link models a shared communication medium (a NIC, a loopback
+// interface, a disk, a switch backplane) with a fixed capacity in
+// bytes per second shared equally among all in-flight transfers
+// (processor sharing). Transfer blocks the calling process until its
+// bytes have drained.
+//
+// Processor sharing is implemented exactly: whenever the set of active
+// transfers changes, every transfer's remaining byte count is advanced
+// by elapsed-time x fair-share, and the completion event is
+// rescheduled for the new earliest finisher.
+type Link struct {
+	eng    *Engine
+	name   string
+	rate   float64 // bytes per second
+	active []*transfer
+
+	lastUpdate Time
+	pending    *Timer
+
+	// TotalBytes accumulates all bytes ever drained, for conservation
+	// checks in tests.
+	TotalBytes float64
+}
+
+type transfer struct {
+	p         *Proc
+	remaining float64
+	done      bool
+}
+
+// NewLink creates a link on the engine with the given capacity in
+// bytes per second.
+func NewLink(eng *Engine, name string, bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: link %q rate must be positive, got %g", name, bytesPerSec))
+	}
+	return &Link{eng: eng, name: name, rate: bytesPerSec}
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the link capacity in bytes per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Active returns the number of in-flight transfers.
+func (l *Link) Active() int { return len(l.active) }
+
+// Transfer moves size bytes across the link, blocking p until done.
+// Zero-size transfers complete immediately.
+func (l *Link) Transfer(p *Proc, size int64) {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: link %q: negative transfer size %d", l.name, size))
+	}
+	if size == 0 {
+		return
+	}
+	l.advance()
+	t := &transfer{p: p, remaining: float64(size)}
+	l.active = append(l.active, t)
+	l.reschedule()
+	p.park()
+}
+
+// TransferTime returns the time size bytes would take on an otherwise
+// idle link, without performing the transfer.
+func (l *Link) TransferTime(size int64) Time {
+	return Seconds(float64(size) / l.rate)
+}
+
+// advance drains remaining byte counts for time elapsed since the last
+// update, at the current fair share.
+func (l *Link) advance() {
+	now := l.eng.now
+	dt := (now - l.lastUpdate).Seconds()
+	l.lastUpdate = now
+	if dt <= 0 || len(l.active) == 0 {
+		return
+	}
+	share := l.rate / float64(len(l.active))
+	drained := share * dt
+	for _, t := range l.active {
+		t.remaining -= drained
+		l.TotalBytes += drained
+		if t.remaining < 0 {
+			// Completion events fire exactly at the scheduled instant;
+			// any residue here is floating-point noise.
+			l.TotalBytes += t.remaining
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule cancels any pending completion event and schedules one
+// for the transfer that will finish first under the current share.
+func (l *Link) reschedule() {
+	if l.pending != nil {
+		l.pending.Stop()
+		l.pending = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	minRem := l.active[0].remaining
+	for _, t := range l.active[1:] {
+		if t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	share := l.rate / float64(len(l.active))
+	dt := Seconds(minRem / share)
+	if dt < 1 {
+		// Never schedule a zero-delay completion: sub-nanosecond
+		// remainders would otherwise re-fire at the same timestamp
+		// forever.
+		dt = 1
+	}
+	l.pending = l.eng.After(dt, l.complete)
+}
+
+// complete finishes every transfer whose remaining bytes have drained
+// (within float tolerance), resumes their processes, and reschedules.
+func (l *Link) complete() {
+	l.pending = nil
+	l.advance()
+	// A remainder that would drain in ~1ns at full rate is rounding
+	// noise, not real payload.
+	eps := l.rate * 2e-9
+	if eps < 1e-6 {
+		eps = 1e-6
+	}
+	kept := l.active[:0]
+	var finished []*transfer
+	for _, t := range l.active {
+		if t.remaining <= eps {
+			l.TotalBytes += t.remaining
+			t.remaining = 0
+			t.done = true
+			finished = append(finished, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	l.active = kept
+	l.reschedule()
+	for _, t := range finished {
+		t.p.resume()
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkSingleTransfer(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 100) // 100 B/s
+	var done Time
+	e.Spawn("tx", func(p *Proc) {
+		l.Transfer(p, 200)
+		done = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2*Second {
+		t.Errorf("200B at 100B/s finished at %v, want 2s", done)
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	// Two equal transfers started together each get half the rate.
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 100)
+	var done [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("tx", func(p *Proc) {
+			l.Transfer(p, 100)
+			done[i] = p.Now()
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if d != 2*Second {
+			t.Errorf("transfer %d finished at %v, want 2s (fair share)", i, d)
+		}
+	}
+}
+
+func TestLinkLateJoiner(t *testing.T) {
+	// A: 100B starting at t=0. B: 100B starting at t=0.5s.
+	// 0..0.5: A alone drains 50B. Then both share 50 B/s each.
+	// A's remaining 50B takes 1s -> A done at 1.5s.
+	// Then B alone: B drained 50B during sharing, 50B left at 100B/s
+	// -> B done at 2.0s.
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 100)
+	var doneA, doneB Time
+	e.Spawn("A", func(p *Proc) {
+		l.Transfer(p, 100)
+		doneA = p.Now()
+	})
+	e.At(500*Millisecond, func() {
+		e.Spawn("B", func(p *Proc) {
+			l.Transfer(p, 100)
+			doneB = p.Now()
+		})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aWant := 1500 * Millisecond; absTime(doneA-aWant) > Microsecond {
+		t.Errorf("A done at %v, want %v", doneA, aWant)
+	}
+	if bWant := 2 * Second; absTime(doneB-bWant) > Microsecond {
+		t.Errorf("B done at %v, want %v", doneB, bWant)
+	}
+}
+
+func absTime(t Time) Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+func TestLinkZeroBytes(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 100)
+	var done Time
+	e.Spawn("tx", func(p *Proc) {
+		l.Transfer(p, 0)
+		done = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 0 {
+		t.Errorf("zero transfer took %v", done)
+	}
+}
+
+func TestLinkTransferTime(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 1e9)
+	if got := l.TransferTime(1e9); got != Second {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	if l.Rate() != 1e9 || l.Name() != "nic" {
+		t.Error("accessors wrong")
+	}
+}
+
+// Property: total bytes drained equals total bytes offered, and each
+// transfer takes at least size/rate (no transfer beats an idle link).
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(seed uint64, sizesRaw []uint16, delaysRaw []uint16) bool {
+		n := len(sizesRaw)
+		if n == 0 {
+			return true
+		}
+		if n > 20 {
+			n = 20
+		}
+		e := NewEngine(seed)
+		l := NewLink(e, "nic", 1000)
+		var total float64
+		ok := true
+		for i := 0; i < n; i++ {
+			size := int64(sizesRaw[i]%5000) + 1
+			var delay Time
+			if i < len(delaysRaw) {
+				delay = Time(delaysRaw[i]%3000) * Millisecond
+			}
+			total += float64(size)
+			e.At(delay, func() {
+				start := e.Now()
+				e.Spawn("tx", func(p *Proc) {
+					l.Transfer(p, size)
+					elapsed := p.Now() - start
+					if elapsed < l.TransferTime(size)-Microsecond {
+						ok = false // beat the physics
+					}
+				})
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		if math.Abs(l.TotalBytes-total) > 1e-3*total+1 {
+			return false
+		}
+		return ok && l.Active() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 100)
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative size")
+			}
+		}()
+		l.Transfer(p, -1)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-positive rate")
+		}
+	}()
+	NewLink(e, "bad", 0)
+}

@@ -1,0 +1,103 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between processes.
+// Send never blocks; Recv blocks the receiver until a message is
+// available. Used for RPC-style request/response between simulated
+// daemons (JobTracker, TaskTrackers, NameNode, DataNodes).
+type Mailbox[T any] struct {
+	queue   []T
+	waiters WaitQueue
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }
+
+// Send enqueues v and wakes one receiver if any is waiting.
+func (m *Mailbox[T]) Send(v T) {
+	m.queue = append(m.queue, v)
+	m.waiters.WakeOne()
+}
+
+// Recv dequeues the oldest message, blocking p until one arrives.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.queue) == 0 {
+		m.waiters.Wait(p)
+	}
+	v := m.queue[0]
+	var zero T
+	m.queue[0] = zero
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryRecv dequeues a message if one is available, without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	if len(m.queue) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.queue[0]
+	var zero T
+	m.queue[0] = zero
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Gate is a broadcast latch: processes wait on it until it is opened,
+// after which all current and future waits return immediately.
+type Gate struct {
+	open    bool
+	waiters WaitQueue
+}
+
+// Open releases all waiting processes and makes future Wait calls
+// return immediately.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.waiters.WakeAll()
+}
+
+// IsOpen reports whether the gate has been opened.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait blocks p until the gate opens.
+func (g *Gate) Wait(p *Proc) {
+	if g.open {
+		return
+	}
+	g.waiters.Wait(p)
+}
+
+// Counter is a countdown latch: Wait blocks until Done has been called
+// n times (like sync.WaitGroup in simulation time).
+type Counter struct {
+	remaining int
+	waiters   WaitQueue
+}
+
+// NewCounter creates a latch expecting n completions.
+func NewCounter(n int) *Counter { return &Counter{remaining: n} }
+
+// Add increases the expected completion count by delta.
+func (c *Counter) Add(delta int) { c.remaining += delta }
+
+// Remaining returns the completions still outstanding.
+func (c *Counter) Remaining() int { return c.remaining }
+
+// Done records one completion, waking waiters when the count hits zero.
+func (c *Counter) Done() {
+	c.remaining--
+	if c.remaining <= 0 {
+		c.waiters.WakeAll()
+	}
+}
+
+// Wait blocks p until the count reaches zero.
+func (c *Counter) Wait(p *Proc) {
+	for c.remaining > 0 {
+		c.waiters.Wait(p)
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMailboxSendRecv(t *testing.T) {
+	e := NewEngine(1)
+	var mb Mailbox[int]
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.At(Second, func() { mb.Send(1); mb.Send(2) })
+	e.At(2*Second, func() { mb.Send(3) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	var mb Mailbox[string]
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty mailbox returned ok")
+	}
+	mb.Send("a")
+	if mb.Len() != 1 {
+		t.Errorf("len = %d", mb.Len())
+	}
+	v, ok := mb.TryRecv()
+	if !ok || v != "a" {
+		t.Errorf("TryRecv = %q, %v", v, ok)
+	}
+}
+
+func TestMailboxFIFOProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		if len(vals) > 50 {
+			vals = vals[:50]
+		}
+		e := NewEngine(1)
+		var mb Mailbox[int]
+		var got []int
+		e.Spawn("recv", func(p *Proc) {
+			for range vals {
+				got = append(got, mb.Recv(p))
+			}
+		})
+		e.At(Second, func() {
+			for _, v := range vals {
+				mb.Send(v)
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMailboxMultipleReceivers(t *testing.T) {
+	e := NewEngine(1)
+	var mb Mailbox[int]
+	sum := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("r", func(p *Proc) {
+			sum += mb.Recv(p)
+		})
+	}
+	e.At(Second, func() { mb.Send(10); mb.Send(20) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 30 {
+		t.Errorf("sum = %d, want 30", sum)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds look identical")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if j := r.Jitter(Second); j < 0 || j >= Second {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	if r.Jitter(0) != 0 {
+		t.Error("Jitter(0) != 0")
+	}
+	if e := r.Exp(Second); e < 0 {
+		t.Errorf("Exp negative: %v", e)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(99)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(Second).Seconds()
+	}
+	mean := sum / n
+	if mean < 0.95 || mean > 1.05 {
+		t.Errorf("Exp mean = %g, want ~1.0", mean)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked streams identical")
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(321)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d has %d, want ~%d", i, c, n/10)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine whose execution is
+// interleaved with the engine through a strict handshake, so that at
+// most one process runs at a time and runs are deterministic.
+//
+// A process may only call its blocking methods (Sleep, Park, resource
+// Acquire, mailbox Recv, ...) from its own goroutine while it is the
+// running process.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process executing fn. The process body starts at the
+// current virtual time, but only after the currently executing event
+// or process yields, preserving run-to-completion semantics.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.liveProcs++
+	e.At(e.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// Re-panic on the engine side would deadlock the
+					// handshake; surface the panic with context instead.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+				}
+			}()
+			fn(p)
+			p.done = true
+			e.liveProcs--
+			e.yield <- struct{}{}
+		}()
+		<-e.yield // wait until the new process parks or finishes
+	})
+	return p
+}
+
+// park transfers control back to the engine and blocks until resume.
+func (p *Proc) park() {
+	p.eng.blocked++
+	p.eng.yield <- struct{}{}
+	<-p.wake
+	p.eng.blocked--
+}
+
+// resume restarts a parked process and waits for it to park again or
+// finish. Must be called from engine context (an event callback) or
+// from another running process.
+func (p *Proc) resume() {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished process %q", p.name))
+	}
+	p.wake <- struct{}{}
+	<-p.eng.yield
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.resume() })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute time t. Times in the
+// past return immediately.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.At(t, func() { p.resume() })
+	p.park()
+}
+
+// WaitQueue is a FIFO queue of parked processes, the building block
+// for condition-variable style synchronization.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Len returns the number of processes currently waiting.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks p until another process or event wakes it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// WakeOne resumes the longest-waiting process. The wakeup is scheduled
+// as an event at the current time, so the caller keeps running until
+// it next yields. It reports whether a process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	p.eng.At(p.eng.now, func() { p.resume() })
+	return true
+}
+
+// WakeAll resumes every waiting process in FIFO order.
+func (q *WaitQueue) WakeAll() {
+	for q.WakeOne() {
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted resource (CPU slots, DMA queue entries, map
+// slots, ...) acquired and released by processes. Waiters are served
+// FIFO; a waiter blocks until its full request can be granted, and
+// waiters behind it are not allowed to jump the queue even if their
+// smaller request would fit (no starvation).
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+
+	// waiting holds pending requests in arrival order.
+	waiting []*resourceReq
+}
+
+type resourceReq struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive, got %d", name, capacity))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns the number of free units.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// QueueLen returns the number of requests waiting.
+func (r *Resource) QueueLen() int { return len(r.waiting) }
+
+// Acquire blocks p until n units are granted.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q: acquire %d of capacity %d", r.name, n, r.capacity))
+	}
+	if len(r.waiting) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	req := &resourceReq{p: p, n: n}
+	r.waiting = append(r.waiting, req)
+	p.park()
+}
+
+// TryAcquire grants n units if immediately available (and no earlier
+// waiter is queued), reporting success. It never blocks.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		return false
+	}
+	if len(r.waiting) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and hands them to queued waiters in FIFO
+// order. Waiters are resumed via scheduled events at the current time.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: resource %q: release %d with %d in use", r.name, n, r.inUse))
+	}
+	r.inUse -= n
+	r.grant()
+}
+
+// grant admits queued requests that now fit, preserving FIFO order.
+func (r *Resource) grant() {
+	for len(r.waiting) > 0 {
+		req := r.waiting[0]
+		if r.inUse+req.n > r.capacity {
+			return
+		}
+		r.inUse += req.n
+		copy(r.waiting, r.waiting[1:])
+		r.waiting = r.waiting[:len(r.waiting)-1]
+		p := req.p
+		p.eng.At(p.eng.now, func() { p.resume() })
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceBasicAcquireRelease(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource("cpu", 2)
+	var holdTimes []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("worker", func(p *Proc) {
+			r.Acquire(p, 1)
+			holdTimes = append(holdTimes, p.Now())
+			p.Sleep(Second)
+			r.Release(1)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2: two start at t=0, two at t=1.
+	want := []Time{0, 0, Second, Second}
+	if len(holdTimes) != 4 {
+		t.Fatalf("holdTimes = %v", holdTimes)
+	}
+	for i := range want {
+		if holdTimes[i] != want[i] {
+			t.Errorf("acquire %d at %v, want %v", i, holdTimes[i], want[i])
+		}
+	}
+	if r.InUse() != 0 {
+		t.Errorf("in use = %d after all released", r.InUse())
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	// A large request queued first must not be starved by small
+	// requests that would fit.
+	e := NewEngine(1)
+	r := NewResource("mem", 4)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(Second)
+		r.Release(3)
+	})
+	e.At(10*Millisecond, func() {
+		e.Spawn("big", func(p *Proc) {
+			r.Acquire(p, 4)
+			order = append(order, "big")
+			r.Release(4)
+		})
+	})
+	e.At(20*Millisecond, func() {
+		e.Spawn("small", func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, "small")
+			r.Release(1)
+		})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Errorf("order = %v, want [big small]", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource("slots", 2)
+	if !r.TryAcquire(2) {
+		t.Error("TryAcquire(2) on empty resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Error("TryAcquire(1) succeeded over capacity")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Error("TryAcquire(1) after release failed")
+	}
+	r.Release(1)
+	_ = e
+}
+
+func TestResourceAccounting(t *testing.T) {
+	r := NewResource("r", 10)
+	if r.Capacity() != 10 || r.Available() != 10 || r.InUse() != 0 {
+		t.Error("fresh resource accounting wrong")
+	}
+	r.TryAcquire(4)
+	if r.Available() != 6 || r.InUse() != 4 {
+		t.Errorf("after acquire: avail=%d inuse=%d", r.Available(), r.InUse())
+	}
+	if r.Name() != "r" {
+		t.Errorf("name = %q", r.Name())
+	}
+}
+
+func TestResourceInvalidOps(t *testing.T) {
+	r := NewResource("r", 2)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("release unheld", func() { r.Release(1) })
+	mustPanic("zero capacity", func() { NewResource("bad", 0) })
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		mustPanic("over-capacity acquire", func() { r.Acquire(p, 3) })
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any pattern of unit acquire/hold/release, in-use never
+// exceeds capacity and ends at zero.
+func TestResourceNeverOversubscribedProperty(t *testing.T) {
+	f := func(capRaw uint8, holds []uint16) bool {
+		capacity := int(capRaw%8) + 1
+		if len(holds) > 40 {
+			holds = holds[:40]
+		}
+		e := NewEngine(uint64(capRaw))
+		r := NewResource("p", capacity)
+		ok := true
+		for _, h := range holds {
+			hold := Time(h%1000+1) * Millisecond
+			e.Spawn("w", func(p *Proc) {
+				r.Acquire(p, 1)
+				if r.InUse() > r.Capacity() {
+					ok = false
+				}
+				p.Sleep(hold)
+				r.Release(1)
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return ok && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

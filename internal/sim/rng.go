@@ -1,0 +1,59 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64) used for simulation-level randomness such as jittering
+// heartbeat phases. It is deliberately independent of math/rand so
+// simulation runs are reproducible across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns a Time uniformly distributed in [0, max).
+func (r *RNG) Jitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(r.Uint64() % uint64(max))
+}
+
+// Exp returns an exponentially distributed duration with the given
+// mean, for modelling think times and failure inter-arrivals.
+func (r *RNG) Exp(mean Time) Time {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return Seconds(-mean.Seconds() * math.Log(u))
+}
+
+// Fork derives an independent generator whose stream is a function of
+// this generator's next output, for giving sub-components their own
+// deterministic streams.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// Engine micro-benchmarks: event throughput bounds how large a
+// simulated cluster/duration is tractable.
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine(1)
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			e.After(Millisecond, fire)
+		}
+	}
+	e.After(Millisecond, fire)
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcSleepWake(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLinkTransfers(b *testing.B) {
+	e := NewEngine(1)
+	l := NewLink(e, "nic", 1e9)
+	e.Spawn("tx", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			l.Transfer(p, 1000)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMailboxRoundTrip(b *testing.B) {
+	e := NewEngine(1)
+	var req, resp Mailbox[int]
+	e.Spawn("server", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v := req.Recv(p)
+			resp.Send(v + 1)
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			req.Send(i)
+			resp.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used to model the paper's 66-blade testbed: virtual time, event
+// scheduling, goroutine-based processes with strict engine/process
+// alternation, FIFO resources, processor-sharing links and mailboxes.
+//
+// The engine is single-threaded from the simulation's point of view:
+// at most one process goroutine runs at any instant, and control is
+// handed back and forth through channel handshakes, so runs are fully
+// deterministic for a given seed and spawn order.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start
+// of the simulation. Using integer nanoseconds (rather than float
+// seconds) keeps event ordering exact and runs reproducible.
+type Time int64
+
+// Duration constants in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+// Values are rounded to the nearest nanosecond; infinities and NaN
+// saturate to the maximum representable Time.
+func Seconds(s float64) Time {
+	ns := s * float64(Second)
+	if math.IsNaN(ns) || ns > math.MaxInt64 {
+		return Time(math.MaxInt64)
+	}
+	if ns < math.MinInt64 {
+		return Time(math.MinInt64)
+	}
+	return Time(math.Round(ns))
+}
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as seconds with microsecond precision,
+// e.g. "12.345678s".
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerReceivesEvents(t *testing.T) {
+	e := NewEngine(1)
+	var lines []string
+	e.Tracer = func(at Time, what string) {
+		lines = append(lines, at.String()+" "+what)
+	}
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(Second)
+		e.trace("woke up")
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "woke up") && strings.HasPrefix(l, "1.000000s") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace lines = %v", lines)
+	}
+}
+
+func TestTraceNilTracerSafe(t *testing.T) {
+	e := NewEngine(1)
+	e.trace("nothing %d", 42) // must not panic with nil Tracer
+}
+
+func TestRunUntilWithSleepingProcResumes(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(10 * Second)
+		wake = p.Now()
+	})
+	if _, err := e.RunUntil(3 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 0 {
+		t.Error("proc woke before horizon")
+	}
+	if now := e.Now(); now != 3*Second {
+		t.Errorf("clock at %v", now)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 10*Second {
+		t.Errorf("proc woke at %v", wake)
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource("q", 1)
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			p.Sleep(Second)
+			r.Release(1)
+		})
+	}
+	e.At(500*Millisecond, func() {
+		if r.QueueLen() != 2 {
+			t.Errorf("queue len = %d, want 2", r.QueueLen())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueLen() != 0 {
+		t.Errorf("final queue len = %d", r.QueueLen())
+	}
+}

@@ -1,0 +1,160 @@
+// Package simd models the Cell BE's 128-bit SIMD execution contract
+// (paper §II-B): "vector operations that operate on memory contiguous
+// data sets of 16 bytes ... the Cell architecture requires every
+// vector operation to operate with aligned data to 16-byte memory
+// boundaries".
+//
+// Operations work lane-wise on 16-byte vectors and *enforce* the
+// alignment and length rules, so kernels written against this package
+// carry the same structural constraints as real SPE SIMD code. (Go
+// slices do not expose addresses portably; alignment here is the
+// data-layout alignment — offsets within a kernel's buffer — which is
+// the constraint SPE kernels actually program against, since local
+// store allocations are 16-byte aligned by the allocator.)
+package simd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VectorBytes is the SIMD width: 16 bytes per vector register.
+const VectorBytes = 16
+
+// Alignment errors.
+var (
+	// ErrLength is returned when operand lengths differ or are not a
+	// multiple of the vector width.
+	ErrLength = errors.New("simd: operand length must be a multiple of 16 and equal across operands")
+	// ErrAlignment is returned when an offset violates the 16-byte
+	// alignment rule.
+	ErrAlignment = errors.New("simd: offset not 16-byte aligned")
+)
+
+// CheckOffset validates the 16-byte alignment of a buffer offset.
+func CheckOffset(off int) error {
+	if off%VectorBytes != 0 {
+		return fmt.Errorf("%w: offset %d", ErrAlignment, off)
+	}
+	return nil
+}
+
+func checkOperands(dst []byte, srcs ...[]byte) error {
+	if len(dst)%VectorBytes != 0 {
+		return fmt.Errorf("%w: dst %d", ErrLength, len(dst))
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			return fmt.Errorf("%w: dst %d vs src %d", ErrLength, len(dst), len(s))
+		}
+	}
+	return nil
+}
+
+// XOR computes dst = a ^ b vector-wise. All operands must be the same
+// multiple-of-16 length. dst may alias a or b.
+func XOR(dst, a, b []byte) error {
+	if err := checkOperands(dst, a, b); err != nil {
+		return err
+	}
+	// Lane loop: each iteration is one 16-byte vector op.
+	for v := 0; v < len(dst); v += VectorBytes {
+		for i := 0; i < VectorBytes; i++ {
+			dst[v+i] = a[v+i] ^ b[v+i]
+		}
+	}
+	return nil
+}
+
+// AddSat computes dst = saturating-add(a, b) on unsigned byte lanes
+// (the Cell's vec_adds family).
+func AddSat(dst, a, b []byte) error {
+	if err := checkOperands(dst, a, b); err != nil {
+		return err
+	}
+	for v := 0; v < len(dst); v += VectorBytes {
+		for i := 0; i < VectorBytes; i++ {
+			s := uint16(a[v+i]) + uint16(b[v+i])
+			if s > 255 {
+				s = 255
+			}
+			dst[v+i] = byte(s)
+		}
+	}
+	return nil
+}
+
+// Splat fills dst with a repeated byte (vec_splat).
+func Splat(dst []byte, b byte) error {
+	if len(dst)%VectorBytes != 0 {
+		return fmt.Errorf("%w: dst %d", ErrLength, len(dst))
+	}
+	for i := range dst {
+		dst[i] = b
+	}
+	return nil
+}
+
+// CmpEq writes 0xFF to each lane of dst where a == b and 0x00
+// elsewhere (vec_cmpeq).
+func CmpEq(dst, a, b []byte) error {
+	if err := checkOperands(dst, a, b); err != nil {
+		return err
+	}
+	for v := 0; v < len(dst); v += VectorBytes {
+		for i := 0; i < VectorBytes; i++ {
+			if a[v+i] == b[v+i] {
+				dst[v+i] = 0xFF
+			} else {
+				dst[v+i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// Select computes dst = (mask & a) | (^mask & b) lane-wise (vec_sel).
+func Select(dst, a, b, mask []byte) error {
+	if err := checkOperands(dst, a, b, mask); err != nil {
+		return err
+	}
+	for v := 0; v < len(dst); v += VectorBytes {
+		for i := 0; i < VectorBytes; i++ {
+			dst[v+i] = mask[v+i]&a[v+i] | ^mask[v+i]&b[v+i]
+		}
+	}
+	return nil
+}
+
+// XORStream XORs a keystream into data in place using vector ops for
+// the aligned body and a scalar loop for the unaligned head/tail —
+// the standard structure of a Cell SIMD kernel. offset is data's
+// position in the logical stream (the head is unaligned when offset
+// is not a multiple of 16).
+func XORStream(data, keystream []byte, offset int64) error {
+	if len(data) != len(keystream) {
+		return fmt.Errorf("%w: data %d vs keystream %d", ErrLength, len(data), len(keystream))
+	}
+	head := 0
+	if mis := int(offset % VectorBytes); mis != 0 {
+		head = VectorBytes - mis
+		if head > len(data) {
+			head = len(data)
+		}
+	}
+	// Scalar head.
+	for i := 0; i < head; i++ {
+		data[i] ^= keystream[i]
+	}
+	body := (len(data) - head) / VectorBytes * VectorBytes
+	if body > 0 {
+		if err := XOR(data[head:head+body], data[head:head+body], keystream[head:head+body]); err != nil {
+			return err
+		}
+	}
+	// Scalar tail.
+	for i := head + body; i < len(data); i++ {
+		data[i] ^= keystream[i]
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package simd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func vec(n int, f func(i int) byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = f(i)
+	}
+	return b
+}
+
+func TestXOR(t *testing.T) {
+	a := vec(32, func(i int) byte { return byte(i) })
+	b := vec(32, func(i int) byte { return 0xFF })
+	dst := make([]byte, 32)
+	if err := XOR(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != byte(i)^0xFF {
+			t.Fatalf("dst[%d] = %02x", i, dst[i])
+		}
+	}
+	// Aliasing: dst == a.
+	if err := XOR(a, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, dst) {
+		t.Error("aliased XOR differs")
+	}
+}
+
+func TestLengthRules(t *testing.T) {
+	ops := map[string]func() error{
+		"xor bad len":    func() error { return XOR(make([]byte, 15), make([]byte, 15), make([]byte, 15)) },
+		"xor mismatch":   func() error { return XOR(make([]byte, 16), make([]byte, 32), make([]byte, 16)) },
+		"addsat bad":     func() error { return AddSat(make([]byte, 17), make([]byte, 17), make([]byte, 17)) },
+		"splat bad":      func() error { return Splat(make([]byte, 9), 1) },
+		"cmpeq mismatch": func() error { return CmpEq(make([]byte, 16), make([]byte, 16), make([]byte, 48)) },
+		"select bad":     func() error { return Select(make([]byte, 8), make([]byte, 8), make([]byte, 8), make([]byte, 8)) },
+	}
+	for name, fn := range ops {
+		if err := fn(); !errors.Is(err, ErrLength) {
+			t.Errorf("%s: got %v, want ErrLength", name, err)
+		}
+	}
+}
+
+func TestCheckOffset(t *testing.T) {
+	if err := CheckOffset(0); err != nil {
+		t.Error(err)
+	}
+	if err := CheckOffset(64); err != nil {
+		t.Error(err)
+	}
+	if err := CheckOffset(8); !errors.Is(err, ErrAlignment) {
+		t.Errorf("unaligned offset: %v", err)
+	}
+}
+
+func TestAddSat(t *testing.T) {
+	a := vec(16, func(i int) byte { return 200 })
+	b := vec(16, func(i int) byte { return byte(i * 20) })
+	dst := make([]byte, 16)
+	if err := AddSat(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		want := 200 + int(byte(i*20)) // operand lanes wrap at byte width
+		if want > 255 {
+			want = 255
+		}
+		if dst[i] != byte(want) {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestSplatCmpSelect(t *testing.T) {
+	a := make([]byte, 16)
+	if err := Splat(a, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b := vec(16, func(i int) byte {
+		if i%2 == 0 {
+			return 0xAB
+		}
+		return 0
+	})
+	mask := make([]byte, 16)
+	if err := CmpEq(mask, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mask {
+		want := byte(0)
+		if i%2 == 0 {
+			want = 0xFF
+		}
+		if m != want {
+			t.Errorf("mask[%d] = %02x, want %02x", i, m, want)
+		}
+	}
+	// Select a where mask, else b: even lanes from a (0xAB), odd from
+	// b (0).
+	dst := make([]byte, 16)
+	if err := Select(dst, a, b, mask); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		want := byte(0)
+		if i%2 == 0 {
+			want = 0xAB
+		}
+		if v != want {
+			t.Errorf("dst[%d] = %02x, want %02x", i, v, want)
+		}
+	}
+}
+
+// Property: XORStream equals a plain scalar XOR for any offset and
+// length (head/tail splitting must not change semantics).
+func TestXORStreamEqualsScalarProperty(t *testing.T) {
+	f := func(data []byte, offRaw uint16) bool {
+		off := int64(offRaw)
+		ks := vec(len(data), func(i int) byte { return byte(i*7 + 3) })
+		want := make([]byte, len(data))
+		for i := range data {
+			want[i] = data[i] ^ ks[i]
+		}
+		got := append([]byte(nil), data...)
+		if err := XORStream(got, ks, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORStreamLengthMismatch(t *testing.T) {
+	if err := XORStream(make([]byte, 4), make([]byte, 5), 0); !errors.Is(err, ErrLength) {
+		t.Errorf("got %v, want ErrLength", err)
+	}
+}
+
+// Property: XOR is an involution (applying twice restores the input).
+func TestXORInvolutionProperty(t *testing.T) {
+	f := func(seed uint8, nRaw uint8) bool {
+		n := (int(nRaw)%8 + 1) * 16
+		a := vec(n, func(i int) byte { return byte(i) * seed })
+		key := vec(n, func(i int) byte { return byte(i) ^ seed })
+		orig := append([]byte(nil), a...)
+		if err := XOR(a, a, key); err != nil {
+			return false
+		}
+		if err := XOR(a, a, key); err != nil {
+			return false
+		}
+		return bytes.Equal(a, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

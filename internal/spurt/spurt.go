@@ -1,0 +1,215 @@
+// Package spurt (SPU RunTime) is the paper's first native library:
+// "a simple runtime that allows us to divide and execute task on the
+// SPUs". It carves an input buffer into fixed-size blocks (4 KB in the
+// paper's distributed experiments), streams them through the SPEs with
+// double-buffered DMA, and runs a block kernel on each — the direct,
+// pthread-style offload path that reaches ~700 MB/s of AES throughput
+// in Figure 2.
+package spurt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hetmr/internal/cellbe"
+	"hetmr/internal/perfmodel"
+)
+
+// BlockKernel is the user-supplied computation applied to each block.
+// The block slice is local-store-backed and must be processed in
+// place; offset is the block's byte offset within the whole input, so
+// kernels like CTR encryption can be position-aware.
+type BlockKernel interface {
+	// Name identifies the kernel in diagnostics.
+	Name() string
+	// ProcessBlock transforms block in place.
+	ProcessBlock(block []byte, offset int64) error
+}
+
+// KernelFunc adapts a function to the BlockKernel interface.
+type KernelFunc struct {
+	KernelName string
+	Fn         func(block []byte, offset int64) error
+}
+
+// Name implements BlockKernel.
+func (k KernelFunc) Name() string { return k.KernelName }
+
+// ProcessBlock implements BlockKernel.
+func (k KernelFunc) ProcessBlock(block []byte, offset int64) error {
+	return k.Fn(block, offset)
+}
+
+// Runtime schedules block work onto a Cell chip's SPEs.
+type Runtime struct {
+	chip       *cellbe.Chip
+	nSPEs      int
+	blockBytes int
+}
+
+// New creates a runtime using nSPEs of the chip and the given block
+// size. Block size must fit the double-buffering budget of a 256 KB
+// local store and be 16-byte aligned (DMA alignment).
+func New(chip *cellbe.Chip, nSPEs, blockBytes int) (*Runtime, error) {
+	if chip == nil {
+		return nil, errors.New("spurt: nil chip")
+	}
+	if nSPEs <= 0 || nSPEs > len(chip.SPEs) {
+		return nil, fmt.Errorf("spurt: %d SPEs requested, chip has %d", nSPEs, len(chip.SPEs))
+	}
+	if blockBytes <= 0 || blockBytes%perfmodel.DMAAlignment != 0 {
+		return nil, fmt.Errorf("spurt: block size %d must be positive and 16-byte aligned", blockBytes)
+	}
+	// Two in-flight buffers per SPE plus kernel scratch must fit.
+	if 2*blockBytes > perfmodel.LocalStoreBytes/2 {
+		return nil, fmt.Errorf("spurt: block size %d too large for double buffering in a %d-byte local store",
+			blockBytes, perfmodel.LocalStoreBytes)
+	}
+	return &Runtime{chip: chip, nSPEs: nSPEs, blockBytes: blockBytes}, nil
+}
+
+// BlockBytes returns the configured block size.
+func (r *Runtime) BlockBytes() int { return r.blockBytes }
+
+// NSPEs returns the number of SPEs in use.
+func (r *Runtime) NSPEs() int { return r.nSPEs }
+
+// Stream runs kernel over input, writing transformed blocks to output
+// (which must be at least len(input) bytes). Blocks are distributed
+// dynamically: each SPE grabs the next unprocessed block, double
+// buffering DMA-in of block i+1 with compute on block i.
+func (r *Runtime) Stream(kernel BlockKernel, input, output []byte) error {
+	if len(output) < len(input) {
+		return fmt.Errorf("spurt: output %d bytes < input %d bytes", len(output), len(input))
+	}
+	if len(input) == 0 {
+		return nil
+	}
+	nBlocks := (len(input) + r.blockBytes - 1) / r.blockBytes
+	var next int64 // atomically claimed block index
+	takeBlock := func() (idx, start, end int, ok bool) {
+		i := int(atomic.AddInt64(&next, 1)) - 1
+		if i >= nBlocks {
+			return 0, 0, 0, false
+		}
+		start = i * r.blockBytes
+		end = start + r.blockBytes
+		if end > len(input) {
+			end = len(input)
+		}
+		return i, start, end, true
+	}
+
+	return r.chip.RunOnSPEs(r.nSPEs, func(spe *cellbe.SPE, worker int) error {
+		const tagCur, tagNext = 0, 1
+		bufA, err := spe.LS.Alloc(r.blockBytes)
+		if err != nil {
+			return fmt.Errorf("spurt: %v: %w", spe, err)
+		}
+		defer spe.LS.Free(bufA)
+		bufB, err := spe.LS.Alloc(r.blockBytes)
+		if err != nil {
+			return fmt.Errorf("spurt: %v: %w", spe, err)
+		}
+		defer spe.LS.Free(bufB)
+
+		cur, curStart, curEnd, ok := claimAndFetch(spe, bufA, tagCur, input, takeBlock)
+		if !ok {
+			return nil
+		}
+		curBuf, nextBuf := bufA, bufB
+		for {
+			// Prefetch the next block into the other buffer.
+			nxt, nxtStart, nxtEnd, more := claimAndFetch(spe, nextBuf, tagNext, input, takeBlock)
+
+			// Complete the DMA for the current block, compute, and
+			// DMA the result out.
+			spe.MFC.WaitTag(tagCur)
+			n := curEnd - curStart
+			if err := kernel.ProcessBlock(curBuf.Bytes()[:n], int64(curStart)); err != nil {
+				return fmt.Errorf("spurt: kernel %q block %d: %w", kernel.Name(), cur, err)
+			}
+			if err := spe.MFC.PutLarge(curBuf, 0, output[curStart:curEnd], tagCur); err != nil {
+				return fmt.Errorf("spurt: put block %d: %w", cur, err)
+			}
+			spe.MFC.WaitTag(tagCur)
+
+			if !more {
+				return nil
+			}
+			// Promote the prefetched block: retag by waiting is not
+			// needed — we simply treat tagNext as the current tag by
+			// swapping roles of the buffers and waiting on tagNext
+			// next iteration. To keep tags fixed, wait for the
+			// prefetch here and reissue nothing: the data is already
+			// in nextBuf.
+			spe.MFC.WaitTag(tagNext)
+			cur, curStart, curEnd = nxt, nxtStart, nxtEnd
+			curBuf, nextBuf = nextBuf, curBuf
+			// The promoted block's data is resident; make WaitTag a
+			// no-op by issuing nothing on tagCur.
+		}
+	})
+}
+
+// claimAndFetch claims the next block and issues its DMA-in.
+func claimAndFetch(spe *cellbe.SPE, buf *cellbe.LSBuffer, tag int, input []byte,
+	take func() (int, int, int, bool)) (idx, start, end int, ok bool) {
+	idx, start, end, ok = take()
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if err := spe.MFC.GetLarge(buf, 0, input[start:end], tag); err != nil {
+		// A failed issue is a programming error at this block size;
+		// surface it by processing synchronously via panic-free path:
+		// retry after draining (queue can only be full transiently
+		// with our two-buffer discipline).
+		spe.MFC.WaitTag(tag)
+		if err2 := spe.MFC.GetLarge(buf, 0, input[start:end], tag); err2 != nil {
+			panic(fmt.Sprintf("spurt: DMA issue failed after drain: %v", err2))
+		}
+	}
+	return idx, start, end, true
+}
+
+// ComputeResult is one worker's output from a Compute offload.
+type ComputeResult struct {
+	Worker int
+	Value  int64
+}
+
+// Compute runs a pure-compute task (no data streaming, e.g. Monte
+// Carlo sampling) split across the SPEs. fn receives the worker index
+// and returns the worker's partial result; results are collected in
+// worker order.
+func (r *Runtime) Compute(fn func(worker int) (int64, error)) ([]ComputeResult, error) {
+	results := make([]ComputeResult, r.nSPEs)
+	var mu sync.Mutex
+	err := r.chip.RunOnSPEs(r.nSPEs, func(spe *cellbe.SPE, worker int) error {
+		v, err := fn(worker)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[worker] = ComputeResult{Worker: worker, Value: v}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// EstimateStreamTime models the wall time of Stream for the simulated
+// experiments (the live path above is functional, not timed).
+func (r *Runtime) EstimateStreamTime(bytes int64, perSPERate float64) float64 {
+	return cellbe.StreamOffloadTime(bytes, r.nSPEs, r.blockBytes, perSPERate).TotalSeconds
+}
+
+// EstimateComputeTime models the wall time of Compute.
+func (r *Runtime) EstimateComputeTime(work int64, perSPERate float64) float64 {
+	return cellbe.ComputeOffloadTime(work, r.nSPEs, perSPERate).TotalSeconds
+}

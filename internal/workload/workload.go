@@ -1,0 +1,74 @@
+// Package workload generates the paper's evaluation datasets: the
+// encryption working sets laid out per the paper's data-distribution
+// model (Fig. 3 — split size FileSize/NumMappers, 64 MB records, data
+// ingested locally so the locality scheduler can keep reads on the
+// loopback path), and the Pi estimator's sample partitions.
+package workload
+
+import (
+	"fmt"
+
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/perfmodel"
+)
+
+// EncryptionDataset creates the data-intensive working set on the DFS:
+// one pinned sub-file per mapper (data ingested by the mapper's own
+// node, giving the first replica writer locality), and returns one
+// split per mapper whose records point at that node — the layout of
+// the paper's Figure 3.
+func EncryptionDataset(nn *hdfs.NameNode, nodes []string, mappersPerNode int,
+	bytesPerMapper int64) ([]hadoop.Split, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workload: no nodes")
+	}
+	if mappersPerNode <= 0 {
+		return nil, fmt.Errorf("workload: mappersPerNode must be positive, got %d", mappersPerNode)
+	}
+	if bytesPerMapper <= 0 {
+		return nil, fmt.Errorf("workload: bytesPerMapper must be positive, got %d", bytesPerMapper)
+	}
+	var splits []hadoop.Split
+	idx := 0
+	for _, node := range nodes {
+		for m := 0; m < mappersPerNode; m++ {
+			name := fmt.Sprintf("/enc/part-%05d", idx)
+			if err := nn.CreateSyntheticAt(name, bytesPerMapper, node); err != nil {
+				return nil, err
+			}
+			locs, err := nn.Locations(name)
+			if err != nil {
+				return nil, err
+			}
+			var records []hadoop.Record
+			for _, loc := range locs {
+				// One 64 MB record per 64 MB block (the paper's
+				// record size matches the block size).
+				for off := int64(0); off < loc.Size; off += perfmodel.RecordBytes {
+					n := int64(perfmodel.RecordBytes)
+					if off+n > loc.Size {
+						n = loc.Size - off
+					}
+					records = append(records, hadoop.Record{Bytes: n, Hosts: loc.Hosts})
+				}
+			}
+			splits = append(splits, hadoop.Split{
+				Index:          idx,
+				Records:        records,
+				PreferredHosts: []string{node},
+			})
+			idx++
+		}
+	}
+	return splits, nil
+}
+
+// TotalBytes sums the input bytes across splits.
+func TotalBytes(splits []hadoop.Split) int64 {
+	var total int64
+	for i := range splits {
+		total += splits[i].InputBytes()
+	}
+	return total
+}

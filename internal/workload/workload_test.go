@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/perfmodel"
+)
+
+func newFS(t *testing.T, nodes []string) *hdfs.NameNode {
+	t.Helper()
+	nn, err := hdfs.NewNameNode(perfmodel.HDFSBlockBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if _, err := nn.RegisterDataNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nn
+}
+
+func TestEncryptionDatasetLayout(t *testing.T) {
+	nodes := []string{"node000", "node001", "node002"}
+	nn := newFS(t, nodes)
+	const perMapper = 1 << 30 // 1GB: 16 records of 64MB
+	splits, err := EncryptionDataset(nn, nodes, 2, perMapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 6 {
+		t.Fatalf("got %d splits, want 6 (3 nodes x 2 mappers)", len(splits))
+	}
+	for i, s := range splits {
+		if s.Index != i {
+			t.Errorf("split %d index %d", i, s.Index)
+		}
+		if got := s.InputBytes(); got != perMapper {
+			t.Errorf("split %d has %d bytes, want %d", i, got, perMapper)
+		}
+		if len(s.Records) != 16 {
+			t.Errorf("split %d has %d records, want 16 (64MB each)", i, len(s.Records))
+		}
+		wantNode := nodes[i/2]
+		if len(s.PreferredHosts) != 1 || s.PreferredHosts[0] != wantNode {
+			t.Errorf("split %d preferred %v, want [%s]", i, s.PreferredHosts, wantNode)
+		}
+		// Every record's data sits on the split's node: the locality
+		// property the paper's loopback observation depends on.
+		for _, r := range s.Records {
+			local := false
+			for _, h := range r.Hosts {
+				if h == wantNode {
+					local = true
+				}
+			}
+			if !local {
+				t.Errorf("split %d record not hosted on %s: %v", i, wantNode, r.Hosts)
+			}
+		}
+	}
+	if got := TotalBytes(splits); got != 6*perMapper {
+		t.Errorf("TotalBytes = %d, want %d", got, 6*perMapper)
+	}
+	// Splits must drive a valid hadoop job.
+	job := &hadoop.Job{Name: "enc", Splits: splits,
+		MapperFor: hadoop.StaticMapperFor(hadoop.EmptyMapper{})}
+	if err := job.Validate(); err != nil {
+		t.Errorf("generated splits invalid: %v", err)
+	}
+}
+
+func TestEncryptionDatasetPartialRecord(t *testing.T) {
+	nodes := []string{"node000"}
+	nn := newFS(t, nodes)
+	// 100MB: one 64MB record plus one 36MB tail.
+	splits, err := EncryptionDataset(nn, nodes, 1, 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 || len(splits[0].Records) != 2 {
+		t.Fatalf("splits = %+v", splits)
+	}
+	if splits[0].Records[1].Bytes != 36<<20 {
+		t.Errorf("tail record = %d bytes", splits[0].Records[1].Bytes)
+	}
+}
+
+func TestEncryptionDatasetValidation(t *testing.T) {
+	nn := newFS(t, []string{"node000"})
+	if _, err := EncryptionDataset(nn, nil, 2, 1); err == nil {
+		t.Error("no nodes should fail")
+	}
+	if _, err := EncryptionDataset(nn, []string{"node000"}, 0, 1); err == nil {
+		t.Error("zero mappers should fail")
+	}
+	if _, err := EncryptionDataset(nn, []string{"node000"}, 2, 0); err == nil {
+		t.Error("zero bytes should fail")
+	}
+}
+
+func TestEncryptionDatasetDistinctFiles(t *testing.T) {
+	nodes := []string{"node000", "node001"}
+	nn := newFS(t, nodes)
+	if _, err := EncryptionDataset(nn, nodes, 2, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nn.List()); got != 4 {
+		t.Errorf("created %d files, want 4", got)
+	}
+	// A second generation on the same FS must fail (files exist), not
+	// silently reuse stale data.
+	if _, err := EncryptionDataset(nn, nodes, 2, 1<<20); err == nil {
+		t.Error("regeneration over existing files should fail")
+	}
+}
