@@ -1,0 +1,32 @@
+# Local targets mirror the CI pipeline (.github/workflows/ci.yml)
+# step for step, so a green `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: build test bench repro-quick fmt vet race ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+repro-quick:
+	$(GO) run ./cmd/repro -quick
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race repro-quick bench

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"hetmr/internal/cellbe"
 	"hetmr/internal/cellmr"
+	"hetmr/internal/engine"
 	"hetmr/internal/kernels"
 	"hetmr/internal/perfmodel"
 	"hetmr/internal/spurt"
@@ -74,31 +76,32 @@ func encBench(sizeMB int64, live bool) {
 	if sizeMB > 64 {
 		log.Fatal("cellbench: -live supports sizes up to 64 MB")
 	}
-	fmt.Println("\nlive functional run (real AES on the Cell model):")
-	cipher, err := kernels.NewCipher([]byte("cellbench-aeskey"))
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("\nlive functional run (real AES through the Cell MapReduce framework):")
+	key := []byte("cellbench-aeskey")
 	iv := make([]byte, 16)
 	input := make([]byte, bytesN)
 	for i := range input {
 		input[i] = byte(i * 31)
 	}
-	output := make([]byte, bytesN)
-	rt, err := spurt.New(cellbe.NewChip(0), perfmodel.SPEsPerCell, perfmodel.SPEBlockBytes)
+	// The engine's cellmr backend is the framework configuration of
+	// the figure above: PPE staging copy, SPE map workers.
+	res, err := engine.RunOnce("cellmr", engine.Config{}, &engine.Job{
+		Kind: engine.Encrypt, Input: input, Key: key, IV: iv,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	kern := spurt.KernelFunc{KernelName: "aes-ctr", Fn: kernels.CTRBlockFunc(cipher, iv)}
-	if err := rt.Stream(kern, input, output); err != nil {
+	cipher, err := kernels.NewCipher(key)
+	if err != nil {
 		log.Fatal(err)
 	}
 	want := make([]byte, bytesN)
 	kernels.CTRStream(cipher, iv, 0, want, input)
-	if !bytes.Equal(output, want) {
+	if !bytes.Equal(res.Bytes, want) {
 		log.Fatal("cellbench: SPE output does not match sequential reference")
 	}
-	fmt.Printf("  %d bytes encrypted on 8 SPE workers, output verified against sequential AES\n", bytesN)
+	fmt.Printf("  %d bytes encrypted on %d SPE workers in %v, output verified against sequential AES\n",
+		bytesN, perfmodel.SPEsPerCell, res.Elapsed.Round(time.Millisecond))
 }
 
 func piBench(samples int64, live bool) {

@@ -1,11 +1,14 @@
-// Command mrsim runs ad-hoc jobs on the simulated heterogeneous
-// cluster: pick a workload, mapper variant, cluster size and options,
-// and get the modelled makespan plus runtime statistics (locality,
-// attempts, energy).
+// Command mrsim runs ad-hoc jobs on any registered MapReduce backend:
+// pick a backend, a workload, a mapper variant and a cluster size, and
+// get either the calibrated model's makespan and runtime statistics
+// (backend sim) or a real execution's results (backends live, net,
+// cellmr).
 //
 //	mrsim -nodes 16 -workload enc -mapper cell -gb-per-mapper 1
 //	mrsim -nodes 50 -workload pi -mapper java -samples 1e11
 //	mrsim -nodes 32 -workload pi -mapper cell -samples 1e11 -accel-fraction 0.5 -speculative
+//	mrsim -backend live -nodes 4 -workload wc -mb 4
+//	mrsim -backend net -nodes 4 -workload pi -samples 1e7
 package main
 
 import (
@@ -13,101 +16,128 @@ import (
 	"fmt"
 	"os"
 
-	"hetmr/internal/cluster"
-	"hetmr/internal/core"
-	"hetmr/internal/experiments"
-	"hetmr/internal/hadoop"
-	"hetmr/internal/hdfs"
-	"hetmr/internal/perfmodel"
-	"hetmr/internal/workload"
+	"hetmr/internal/engine"
 )
 
 func main() {
+	backend := flag.String("backend", "sim", fmt.Sprintf("execution backend %v", engine.Backends()))
 	nodes := flag.Int("nodes", 16, "worker node count")
-	wl := flag.String("workload", "pi", "enc or pi")
+	wl := flag.String("workload", "pi", "enc, pi, wc or sort")
 	mapper := flag.String("mapper", "cell", "java, cell or empty")
-	gbPerMapper := flag.Float64("gb-per-mapper", 1, "input GB per mapper (enc)")
+	gbPerMapper := flag.Float64("gb-per-mapper", 1, "modelled input GB per mapper (backend sim data workloads)")
+	mb := flag.Float64("mb", 1, "materialized input MB (functional backends' data workloads)")
 	samples := flag.Float64("samples", 1e11, "total samples (pi)")
 	maps := flag.Int("maps", 0, "map task count (pi; default 2 per node)")
 	accelFraction := flag.Float64("accel-fraction", 1.0, "fraction of nodes with accelerators")
-	speculative := flag.Bool("speculative", false, "enable speculative execution")
-	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart")
+	speculative := flag.Bool("speculative", false, "enable speculative execution (sim)")
+	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart (sim)")
 	flag.Parse()
 
-	if err := run(*nodes, *wl, *mapper, *gbPerMapper, int64(*samples), *maps,
-		*accelFraction, *speculative, *timeline); err != nil {
+	accel := *accelFraction
+	if accel == 0 {
+		accel = engine.NoAcceleration
+	}
+	cfg := engine.Config{
+		Workers:       *nodes,
+		Mapper:        *mapper,
+		AccelFraction: accel,
+		Speculative:   *speculative,
+		Timeline:      *timeline,
+	}
+	job, err := buildJob(*backend, *wl, cfg, *gbPerMapper, *mb, int64(*samples), *maps)
+	if err == nil {
+		err = run(*backend, cfg, job)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes int, wl, mapper string, gbPerMapper float64, samples int64,
-	maps int, accelFraction float64, speculative, timeline bool) error {
-	cfg := hadoop.DefaultConfig()
-	cfg.Speculative = speculative
-	if maps <= 0 {
-		maps = nodes * perfmodel.MapSlotsPerNode
-	}
-
-	var mapperFor func(*cluster.Node) hadoop.Mapper
-	var buildSplits func(*hdfs.NameNode, []string) ([]hadoop.Split, error)
+// buildJob translates the CLI workload flags into an engine job.
+func buildJob(backend, wl string, cfg engine.Config, gbPerMapper, mb float64,
+	samples int64, maps int) (*engine.Job, error) {
+	var kind engine.Kind
 	switch wl {
 	case "enc":
-		perMapper := int64(gbPerMapper * float64(1<<30))
-		buildSplits = func(nn *hdfs.NameNode, nodeNames []string) ([]hadoop.Split, error) {
-			return workload.EncryptionDataset(nn, nodeNames, perfmodel.MapSlotsPerNode, perMapper)
-		}
-		switch mapper {
-		case "java":
-			mapperFor = hadoop.StaticMapperFor(hadoop.JavaAESMapper{})
-		case "cell":
-			mapperFor = hadoop.AcceleratedMapperFor(hadoop.CellAESMapper{}, hadoop.JavaAESMapper{})
-		case "empty":
-			mapperFor = hadoop.StaticMapperFor(hadoop.EmptyMapper{})
-		default:
-			return fmt.Errorf("unknown mapper %q", mapper)
-		}
+		kind = engine.Encrypt
 	case "pi":
-		buildSplits = func(*hdfs.NameNode, []string) ([]hadoop.Split, error) {
-			return core.PiSplits(samples, maps)
-		}
-		switch mapper {
-		case "java":
-			mapperFor = hadoop.StaticMapperFor(hadoop.JavaPiMapper{})
-		case "cell":
-			mapperFor = hadoop.AcceleratedMapperFor(hadoop.CellPiMapper{}, hadoop.JavaPiMapper{})
-		case "empty":
-			mapperFor = hadoop.StaticMapperFor(hadoop.EmptyMapper{})
-		default:
-			return fmt.Errorf("unknown mapper %q", mapper)
-		}
+		kind = engine.Pi
+	case "wc":
+		kind = engine.Wordcount
+	case "sort":
+		kind = engine.Sort
 	default:
-		return fmt.Errorf("unknown workload %q (enc|pi)", wl)
+		return nil, fmt.Errorf("unknown workload %q (enc|pi|wc|sort)", wl)
 	}
+	job := &engine.Job{Kind: kind}
+	switch kind {
+	case engine.Pi:
+		job.Samples = samples
+		job.Tasks = maps
+	default:
+		if backend == "sim" {
+			// Modelled size: the paper's GB-scale working sets.
+			job.InputBytes = int64(gbPerMapper * float64(int64(1)<<30) * float64(cfg.Workers*2))
+		} else {
+			// Real bytes on functional backends.
+			job.InputBytes = int64(mb * float64(int64(1)<<20))
+			if kind == engine.Sort {
+				job.InputBytes -= job.InputBytes % 100 // whole records
+			}
+		}
+		if kind == engine.Encrypt {
+			job.Key = []byte("mrsim-aes-key-16")
+		}
+	}
+	return job, nil
+}
 
-	run, err := experiments.RunDistributed(nodes, cfg, buildSplits, mapperFor,
-		cluster.WithAcceleratedFraction(accelFraction))
+func run(backend string, cfg engine.Config, job *engine.Job) error {
+	res, err := engine.RunOnce(backend, cfg, job)
 	if err != nil {
 		return err
 	}
-	res := run.Result
-	fmt.Printf("workload=%s mapper=%s nodes=%d accel=%.0f%% speculative=%v\n",
-		wl, mapper, nodes, accelFraction*100, speculative)
-	fmt.Printf("  makespan        %.2f s (setup-adjusted: %.2f s)\n",
-		res.Duration().Seconds(), (res.Finished - res.Started).Seconds())
-	fmt.Printf("  tasks           %d completed reports, %d attempts launched\n",
-		len(res.Tasks), res.Attempts)
-	if res.InputBytes > 0 {
-		fmt.Printf("  input           %.2f GB (%d local reads, %d remote)\n",
-			float64(res.InputBytes)/(1<<30), res.LocalReads, res.RemoteReads)
+	accel := cfg.AccelFraction
+	if accel == engine.NoAcceleration {
+		accel = 0
 	}
-	fmt.Printf("  energy          %.1f kJ (%.4f kWh)\n",
-		res.EnergyJoules/1e3, res.EnergyJoules/3.6e6)
-	fmt.Printf("  slot use        %.0f%% of map-slot time\n",
-		100*hadoop.SlotUtilization(res, nodes, perfmodel.MapSlotsPerNode))
-	if timeline {
-		fmt.Println()
-		fmt.Print(hadoop.RenderTimeline(res, 100))
+	fmt.Printf("backend=%s workload=%s mapper=%s nodes=%d accel=%.0f%% speculative=%v\n",
+		backend, job.Kind, cfg.Mapper, cfg.Workers, accel*100, cfg.Speculative)
+	if res.Sim != nil {
+		s := res.Sim
+		fmt.Printf("  makespan        %.2f s (setup-adjusted: %.2f s)\n",
+			s.MakespanSeconds, s.SetupAdjustedSeconds)
+		fmt.Printf("  tasks           %d completed reports, %d attempts launched\n",
+			s.Tasks, s.Attempts)
+		if s.InputBytes > 0 {
+			fmt.Printf("  input           %.2f GB (%d local reads, %d remote)\n",
+				float64(s.InputBytes)/(1<<30), s.LocalReads, s.RemoteReads)
+		}
+		fmt.Printf("  energy          %.1f kJ (%.4f kWh)\n",
+			s.EnergyJoules/1e3, s.EnergyJoules/3.6e6)
+		fmt.Printf("  slot use        %.0f%% of map-slot time\n", 100*s.SlotUtilization)
+		if s.Timeline != "" {
+			fmt.Println()
+			fmt.Print(s.Timeline)
+		}
+	} else {
+		fmt.Printf("  wall time       %v\n", res.Elapsed)
+	}
+	switch job.Kind {
+	case engine.Pi:
+		if res.Total > 0 {
+			fmt.Printf("  pi              %.6f (%d of %d samples inside)\n",
+				res.Pi, res.Inside, res.Total)
+		}
+	case engine.Wordcount:
+		if res.Pairs != nil {
+			fmt.Printf("  distinct words  %d\n", len(res.Pairs))
+		}
+	case engine.Sort, engine.Encrypt:
+		if res.Bytes != nil {
+			fmt.Printf("  output          %d bytes\n", len(res.Bytes))
+		}
 	}
 	return nil
 }

@@ -1,8 +1,8 @@
 // Encryption example: the paper's data-intensive workload (§IV-A) run
-// for real on the live cluster — AES-128/CTR over a DFS file, once on
-// the host path ("Java mapper") and once offloaded to the Cell SPEs in
-// 4 KB blocks ("Cell mapper") — then verified byte-identical and
-// decrypted back.
+// for real through the engine — AES-128/CTR over a distributed
+// dataset, once with Cell-accelerated mappers (SPE offload in 4 KB
+// blocks) and once on the host path ("Java mapper") — verified
+// byte-identical and decrypted back (CTR is an involution).
 //
 //	go run ./examples/encryption
 package main
@@ -12,80 +12,64 @@ import (
 	"fmt"
 	"log"
 
-	"hetmr/internal/core"
-	"hetmr/internal/kernels"
-	"hetmr/internal/spurt"
+	"hetmr/internal/engine"
 )
 
 func main() {
-	clus, err := core.NewLiveCluster(4, core.WithBlockSize(64<<10))
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	// A 1 MB "large working set" of compressible enterprise-looking
-	// data, spread over the cluster.
+	// data, spread over the cluster in 64 KB blocks.
 	plain := make([]byte, 1<<20)
 	pattern := []byte("confidential-record-")
 	for i := range plain {
 		plain[i] = pattern[i%len(pattern)] + byte(i>>10)
 	}
-	if err := clus.FS.WriteFile("/dataset", plain, ""); err != nil {
-		log.Fatal(err)
-	}
-
-	cipher, err := kernels.NewCipher([]byte("128-bit-aes-key!"))
-	if err != nil {
-		log.Fatal(err)
-	}
+	key := []byte("128-bit-aes-key!")
 	iv := []byte("hetmr-example-iv")
-	kern := spurt.KernelFunc{KernelName: "aes-ctr", Fn: kernels.CTRBlockFunc(cipher, iv)}
+	job := &engine.Job{Kind: engine.Encrypt, Input: plain, Key: key, IV: iv}
+	base := engine.Config{Workers: 4, BlockSize: 64 << 10}
 
 	// Cell-accelerated pass.
-	n, err := clus.RunStream(&core.StreamJob{
-		Name: "encrypt-cell", Input: "/dataset", Output: "/dataset.aes.cell",
-		Kernel: kern, Accelerated: true,
-	})
+	cellCfg := base
+	cellCfg.Mapper = "cell"
+	cell, err := engine.RunOnce("live", cellCfg, job)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cell-accelerated mappers encrypted %d bytes across %d nodes\n",
-		n, len(clus.Nodes))
+	fmt.Printf("cell-accelerated mappers encrypted %d bytes across %d nodes in %v\n",
+		len(cell.Bytes), base.Workers, cell.Elapsed)
 
 	// Host ("Java") pass.
-	if _, err := clus.RunStream(&core.StreamJob{
-		Name: "encrypt-java", Input: "/dataset", Output: "/dataset.aes.java",
-		Kernel: kern, Accelerated: false,
-	}); err != nil {
+	javaCfg := base
+	javaCfg.Mapper = "java"
+	java, err := engine.RunOnce("live", javaCfg, job)
+	if err != nil {
 		log.Fatal(err)
 	}
-
-	cell, _ := clus.FS.ReadFile("/dataset.aes.cell")
-	java, _ := clus.FS.ReadFile("/dataset.aes.java")
-	if !bytes.Equal(cell, java) {
+	if !bytes.Equal(cell.Bytes, java.Bytes) {
 		log.Fatal("accelerated and host ciphertexts differ")
 	}
 	fmt.Println("host and SPE-offloaded ciphertexts are byte-identical")
 
-	// CTR is an involution: stream the ciphertext again to decrypt.
-	if _, err := clus.RunStream(&core.StreamJob{
-		Name: "decrypt", Input: "/dataset.aes.cell", Output: "/dataset.plain",
-		Kernel: kern, Accelerated: true,
-	}); err != nil {
+	// The single-node Cell framework (the paper's second native
+	// library) computes the same bytes through its own staging path.
+	fw, err := engine.RunOnce("cellmr", engine.Config{}, job)
+	if err != nil {
 		log.Fatal(err)
 	}
-	back, _ := clus.FS.ReadFile("/dataset.plain")
-	if !bytes.Equal(back, plain) {
+	if !bytes.Equal(fw.Bytes, cell.Bytes) {
+		log.Fatal("cellmr framework ciphertext differs")
+	}
+	fmt.Println("node-level cellmr framework agrees byte-for-byte")
+
+	// CTR is an involution: stream the ciphertext again to decrypt.
+	back, err := engine.RunOnce("live", cellCfg, &engine.Job{
+		Kind: engine.Encrypt, Input: cell.Bytes, Key: key, IV: iv,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(back.Bytes, plain) {
 		log.Fatal("decryption failed")
 	}
 	fmt.Println("decryption restored the original dataset")
-
-	// DMA accounting from the functional Cell model.
-	var dma int64
-	for _, node := range clus.Nodes {
-		for _, chip := range node.Blade.Chips {
-			dma += chip.TotalDMABytes()
-		}
-	}
-	fmt.Printf("total bytes moved through SPE local stores (DMA): %d\n", dma)
 }

@@ -3,13 +3,15 @@
 // variable number of both nodes enabled with hardware accelerators and
 // general purpose nodes".
 //
-// Part 1 runs a real encryption job on a live cluster where only half
-// the nodes have SPEs (blocks on plain nodes transparently use the
-// host kernel), proving the programming model is unchanged.
+// Part 1 runs a real encryption job through the engine on a live
+// cluster where only half the nodes have SPEs (blocks on plain nodes
+// transparently use the host kernel), proving the programming model is
+// unchanged.
 //
 // Part 2 sweeps the accelerated fraction on the simulated 32-node
-// testbed and prints how the CPU-intensive job's makespan responds —
-// the accelerator-aware mapper fallback at work.
+// testbed — same engine API, backend "sim" — and prints how the
+// CPU-intensive job's makespan responds: the accelerator-aware mapper
+// fallback at work.
 //
 //	go run ./examples/heterogeneous
 package main
@@ -19,13 +21,8 @@ import (
 	"fmt"
 	"log"
 
-	"hetmr/internal/cluster"
-	"hetmr/internal/core"
-	"hetmr/internal/experiments"
-	"hetmr/internal/hadoop"
-	"hetmr/internal/hdfs"
+	"hetmr/internal/engine"
 	"hetmr/internal/kernels"
-	"hetmr/internal/spurt"
 )
 
 func main() {
@@ -35,46 +32,37 @@ func main() {
 
 // livePart: correctness on a half-accelerated functional cluster.
 func livePart() {
-	clus, err := core.NewLiveCluster(4,
-		core.WithBlockSize(32<<10),
-		core.WithAcceleratedNodes(2))
-	if err != nil {
-		log.Fatal(err)
-	}
 	plain := make([]byte, 256<<10)
 	for i := range plain {
 		plain[i] = byte(i * 131)
 	}
-	if err := clus.FS.WriteFile("/data", plain, ""); err != nil {
-		log.Fatal(err)
-	}
-	cipher, err := kernels.NewCipher([]byte("heterogeneous-ke"))
+	key := []byte("heterogeneous-ke")
+	iv := make([]byte, 16)
+	res, err := engine.RunOnce("live", engine.Config{
+		Workers:       4,
+		BlockSize:     32 << 10,
+		AccelFraction: 0.5,
+	}, &engine.Job{Kind: engine.Encrypt, Input: plain, Key: key, IV: iv})
 	if err != nil {
 		log.Fatal(err)
 	}
-	iv := make([]byte, 16)
-	kern := spurt.KernelFunc{KernelName: "aes-ctr", Fn: kernels.CTRBlockFunc(cipher, iv)}
-	if _, err := clus.RunStream(&core.StreamJob{
-		Name: "het-enc", Input: "/data", Output: "/data.aes",
-		Kernel: kern, Accelerated: true,
-	}); err != nil {
+	cipher, err := kernels.NewCipher(key)
+	if err != nil {
 		log.Fatal(err)
 	}
-	got, _ := clus.FS.ReadFile("/data.aes")
 	want := make([]byte, len(plain))
 	kernels.CTRStream(cipher, iv, 0, want, plain)
-	if !bytes.Equal(got, want) {
+	if !bytes.Equal(res.Bytes, want) {
 		log.Fatal("heterogeneous ciphertext mismatch")
 	}
-	fmt.Printf("live: %d/%d accelerated nodes, ciphertext correct with transparent host fallback\n\n",
-		clus.AcceleratedCount(), len(clus.Nodes))
+	fmt.Printf("live: 2/4 accelerated nodes, ciphertext correct with transparent host fallback\n\n")
 }
 
 // simPart: performance of the Pi job as the accelerated fraction grows.
 func simPart() {
 	const nodes = 32
 	const samples = int64(2e10)
-	// Fine-grained tasks (8 maps per node instead of the paper's 2)
+	// Fine-grained tasks (4 maps per node instead of the paper's 2)
 	// let accelerated nodes finish early and pull extra work from the
 	// JobTracker — dynamic load balancing is what makes partial
 	// acceleration pay off.
@@ -85,18 +73,23 @@ func simPart() {
 	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
 		var times [2]float64
 		for i, spec := range []bool{false, true} {
-			cfg := hadoop.DefaultConfig()
-			cfg.Speculative = spec
-			run, err := experiments.RunDistributed(nodes, cfg,
-				func(nn *hdfs.NameNode, _ []string) ([]hadoop.Split, error) {
-					return core.PiSplits(samples, maps)
-				},
-				hadoop.AcceleratedMapperFor(hadoop.CellPiMapper{}, hadoop.JavaPiMapper{}),
-				cluster.WithAcceleratedFraction(frac))
+			accel := frac
+			if accel == 0 {
+				accel = engine.NoAcceleration
+			}
+			cfg := engine.Config{
+				Workers:       nodes,
+				Mapper:        "cell",
+				AccelFraction: accel,
+				Speculative:   spec,
+			}
+			res, err := engine.RunOnce("sim", cfg, &engine.Job{
+				Kind: engine.Pi, Samples: samples, Tasks: maps,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			times[i] = run.Seconds
+			times[i] = res.Sim.MakespanSeconds
 		}
 		fmt.Printf("%14.2f  %7.1f  %24.1f\n", frac, times[0], times[1])
 	}

@@ -1,7 +1,9 @@
-// Pi example: the paper's CPU-intensive workload (§IV-B) run for real
-// on the live cluster — Monte Carlo Pi estimation distributed over
-// nodes and mappers, on the host path and on the SPE-offloaded path,
-// demonstrating the O(1/sqrt(N)) accuracy the paper quotes.
+// Pi example: the paper's CPU-intensive workload (§IV-B) — Monte
+// Carlo Pi estimation distributed over nodes and mappers. The engine
+// runs the identical canonical job on every backend (the estimates
+// agree bit-for-bit), and the live cluster additionally demonstrates
+// the SPE-offloaded path against the host path, confirming the
+// O(1/sqrt(N)) accuracy the paper quotes.
 //
 //	go run ./examples/pi
 package main
@@ -12,15 +14,31 @@ import (
 	"math"
 
 	"hetmr/internal/core"
+	"hetmr/internal/engine"
 	"hetmr/internal/kernels"
 )
 
 func main() {
+	// One canonical job, every backend: the engine hands each runner
+	// the same task decomposition, so the estimates are identical.
+	const samples = 1_000_000
+	fmt.Printf("engine: pi with %d samples, identical job on every backend\n", samples)
+	for _, backend := range []string{"live", "sim", "net"} {
+		res, err := engine.RunOnce(backend, engine.Config{Workers: 4},
+			&engine.Job{Kind: engine.Pi, Samples: samples})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s pi=%.6f (err %.2e) in %v\n",
+			backend, res.Pi, math.Abs(res.Pi-math.Pi), res.Elapsed)
+	}
+
+	// The live cluster's two paths at growing sample counts.
 	clus, err := core.NewLiveCluster(4)
 	if err != nil {
 		log.Fatal(err)
 	}
-
+	fmt.Println("\nlive cluster, host path vs SPE-offloaded path:")
 	for _, samples := range []int64{10_000, 1_000_000, 100_000_000} {
 		hostPi, _, err := clus.EstimatePi(samples, false, 2009)
 		if err != nil {

@@ -1,18 +1,21 @@
-// Quickstart: run a word-count MapReduce job on the live two-level
-// cluster — the classic first program of the MapReduce model the paper
-// builds on (§II-A).
+// Quickstart: run a word-count MapReduce job — the classic first
+// program of the MapReduce model the paper builds on (§II-A) — on any
+// registered backend through the engine API. The same Job runs
+// unchanged on the live two-level cluster, the calibrated simulator or
+// the TCP-backed distributed runtime.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -backend net
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
 
-	"hetmr/internal/core"
-	"hetmr/internal/kernels"
+	"hetmr/internal/engine"
 )
 
 const corpus = `
@@ -24,46 +27,27 @@ across the nodes of the cluster and collects the partial results.
 `
 
 func main() {
-	// A 3-node functional cluster with small DFS blocks so the tiny
-	// corpus still spans several blocks and nodes.
-	clus, err := core.NewLiveCluster(3, core.WithBlockSize(128))
+	backend := flag.String("backend", "live",
+		fmt.Sprintf("execution backend %v", engine.Backends()))
+	flag.Parse()
+
+	// A 3-node cluster with small DFS blocks so the tiny corpus still
+	// spans several blocks and nodes.
+	cfg := engine.Config{Workers: 3, BlockSize: 128}
+	res, err := engine.RunOnce(*backend, cfg, &engine.Job{
+		Kind:  engine.Wordcount,
+		Input: []byte(corpus),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := clus.FS.WriteFile("/corpus.txt", []byte(corpus), ""); err != nil {
-		log.Fatal(err)
-	}
 
-	job := &core.KVJob{
-		Name:  "wordcount",
-		Input: "/corpus.txt",
-		Map: func(record []byte, _ int64, emit func(k, v string)) error {
-			kernels.Words(record, func(w []byte) { emit(string(w), "1") })
-			return nil
-		},
-		Reduce: func(_ string, values []string) (string, error) {
-			total := 0
-			for _, v := range values {
-				n, err := strconv.Atoi(v)
-				if err != nil {
-					return "", err
-				}
-				total += n
-			}
-			return strconv.Itoa(total), nil
-		},
-	}
-
-	results, err := clus.RunKV(job)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("word count over %d nodes, %d distinct words\n",
-		len(clus.Nodes), len(results))
-	// Show the most frequent words.
+	fmt.Printf("word count on backend %q over %d nodes: %d distinct words in %v\n",
+		res.Backend, cfg.Workers, len(res.Pairs), res.Elapsed)
+	// Show the most frequent word.
 	top := ""
 	best := 0
-	for _, kv := range results {
+	for _, kv := range res.Pairs {
 		n, _ := strconv.Atoi(kv.Value)
 		if n > best || (n == best && kv.Key < top) {
 			best, top = n, kv.Key
@@ -71,7 +55,7 @@ func main() {
 	}
 	fmt.Printf("most frequent word: %q (%d times)\n", top, best)
 	var sample []string
-	for _, kv := range results[:min(8, len(results))] {
+	for _, kv := range res.Pairs[:min(8, len(res.Pairs))] {
 		sample = append(sample, kv.Key+"="+kv.Value)
 	}
 	fmt.Println("first keys:", strings.Join(sample, " "))

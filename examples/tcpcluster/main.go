@@ -1,9 +1,10 @@
-// TCP cluster example: the paper's architecture over real sockets.
-// Boots a NameNode, DataNodes, a JobTracker and TaskTrackers as TCP
-// daemons on loopback, stores a dataset in the distributed FS, and
-// runs the paper's two workloads as real distributed jobs — AES
-// encryption of the stored blocks and a Monte Carlo Pi estimation —
-// with block data genuinely crossing the network stack.
+// TCP cluster example: the paper's architecture over real sockets,
+// driven through the engine's "net" backend. Booting the backend
+// starts a NameNode, DataNodes, a JobTracker and TaskTrackers as TCP
+// daemons on loopback; the example then runs the paper's two workloads
+// as real distributed jobs — AES encryption of the stored blocks and a
+// Monte Carlo Pi estimation — with block data genuinely crossing the
+// network stack.
 //
 //	go run ./examples/tcpcluster
 package main
@@ -12,73 +13,57 @@ import (
 	"bytes"
 	"fmt"
 	"log"
-	"time"
 
+	"hetmr/internal/engine"
 	"hetmr/internal/kernels"
 	"hetmr/internal/netmr"
-	"hetmr/internal/rpcnet"
 )
 
 func main() {
 	const blockSize = 64 << 10
-	clus, err := netmr.StartCluster(4, 2, blockSize, 50*time.Millisecond)
+	runner, err := engine.New("net", engine.Config{Workers: 4, BlockSize: blockSize})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer clus.Shutdown()
-	fmt.Printf("daemons up: NameNode %s, JobTracker %s, %d DataNodes, %d TaskTrackers\n",
-		clus.NN.Addr(), clus.JT.Addr(), len(clus.DNs), len(clus.TTs))
+	defer runner.Close()
+	// The net backend exposes its deployment for daemon-level detail.
+	if nr, ok := runner.(interface{ Cluster() *netmr.Cluster }); ok {
+		clus := nr.Cluster()
+		fmt.Printf("daemons up: NameNode %s, JobTracker %s, %d DataNodes, %d TaskTrackers\n",
+			clus.NN.Addr(), clus.JT.Addr(), len(clus.DNs), len(clus.TTs))
+	}
 
-	// Store a working set in the DFS.
+	// A 1 MB working set, stored block by block across the DataNodes.
 	plain := make([]byte, 1<<20)
 	for i := range plain {
 		plain[i] = byte(i * 131)
 	}
-	if err := clus.Client.WriteFile("/dataset", plain, ""); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("stored /dataset: %d bytes in %d-byte blocks across the DataNodes\n",
-		len(plain), blockSize)
-
-	// Distributed AES encryption (data-intensive workload).
 	key := []byte("tcp-cluster-key!")
 	iv := []byte("tcp-cluster-iv!!")
-	args, err := rpcnet.Marshal(netmr.AESArgs{Key: key, IV: iv, BlockBytes: blockSize})
+
+	// Distributed AES encryption (data-intensive workload).
+	enc, err := runner.Run(&engine.Job{
+		Kind: engine.Encrypt, Input: plain, Key: key, IV: iv,
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	start := time.Now()
-	result, err := clus.Client.SubmitAndWait(netmr.JobSpec{
-		Name: "encrypt", Kernel: "aes-ctr", Input: "/dataset", Args: args,
-	}, 30*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var cipherText []byte
-	if err := rpcnet.Unmarshal(result, &cipherText); err != nil {
 		log.Fatal(err)
 	}
 	cip, _ := kernels.NewCipher(key)
 	want := make([]byte, len(plain))
 	kernels.CTRStream(cip, iv, 0, want, plain)
-	if !bytes.Equal(cipherText, want) {
+	if !bytes.Equal(enc.Bytes, want) {
 		log.Fatal("ciphertext mismatch")
 	}
 	fmt.Printf("aes-ctr job: %d bytes encrypted by the TaskTrackers in %v; verified\n",
-		len(cipherText), time.Since(start).Round(time.Millisecond))
+		len(enc.Bytes), enc.Elapsed)
 
 	// Distributed Pi estimation (CPU-intensive workload).
-	start = time.Now()
-	result, err = clus.Client.SubmitAndWait(netmr.JobSpec{
-		Name: "pi", Kernel: "pi", Samples: 8_000_000, NumTasks: 8,
-	}, 30*time.Second)
+	pi, err := runner.Run(&engine.Job{
+		Kind: engine.Pi, Samples: 8_000_000, Tasks: 8,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var pi netmr.PiResult
-	if err := rpcnet.Unmarshal(result, &pi); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("pi job: %d samples over 8 tasks in %v -> pi ~= %.6f\n",
-		pi.Total, time.Since(start).Round(time.Millisecond), pi.Pi)
+		pi.Total, pi.Elapsed, pi.Pi)
 }

@@ -1,49 +1,46 @@
 // TeraSort example: the paper's §IV-A aside analyzes the Terasort
 // contest to show MapReduce mappers are bound by record delivery, not
-// by sorting speed. This example runs the workload itself on the live
-// cluster — generate records, sort each DFS block on the node holding
-// it, merge the runs — and then reproduces the paper's delivery-bound
-// analysis on the simulated testbed.
+// by sorting speed. This example runs the workload itself through the
+// engine — generate records, sort each DFS block on the node holding
+// it, merge the runs — on a chosen backend, then reproduces the
+// paper's delivery-bound analysis on the simulated testbed.
 //
 //	go run ./examples/terasort
+//	go run ./examples/terasort -backend net
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"hetmr/internal/core"
+	"hetmr/internal/engine"
 	"hetmr/internal/experiments"
 	"hetmr/internal/kernels"
 )
 
 func main() {
-	// Live distributed sort.
-	clus, err := core.NewLiveCluster(4, core.WithBlockSize(50_000)) // 500 records per block
-	if err != nil {
-		log.Fatal(err)
-	}
+	backend := flag.String("backend", "live",
+		fmt.Sprintf("execution backend %v", engine.Backends()))
+	flag.Parse()
+
+	// Distributed sort: 500 records per 50 KB block.
 	const nRecords = 20_000
 	data := kernels.GenerateSortRecords(2009, nRecords)
-	if err := clus.FS.WriteFile("/teragen", data, ""); err != nil {
-		log.Fatal(err)
-	}
-	if err := clus.RunSort("/teragen", "/terasort-out"); err != nil {
-		log.Fatal(err)
-	}
-	out, err := clus.FS.ReadFile("/terasort-out")
+	res, err := engine.RunOnce(*backend, engine.Config{Workers: 4, BlockSize: 50_000},
+		&engine.Job{Kind: engine.Sort, Input: data})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sorted, err := kernels.RecordsSorted(out)
+	sorted, err := kernels.RecordsSorted(res.Bytes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !sorted || len(out) != len(data) {
+	if !sorted || len(res.Bytes) != len(data) {
 		log.Fatal("terasort output invalid")
 	}
-	fmt.Printf("live: sorted %d records (%d bytes) across %d nodes; output verified\n\n",
-		nRecords, len(out), len(clus.Nodes))
+	fmt.Printf("%s: sorted %d records (%d bytes) across 4 nodes in %v; output verified\n\n",
+		res.Backend, nRecords, len(res.Bytes), res.Elapsed)
 
 	// The paper's analysis: "the testbed is sorting 5.5MB/s [per
 	// node] ... what seems to point out that the effective data

@@ -1,0 +1,3 @@
+module hetmr
+
+go 1.22

@@ -189,14 +189,38 @@ func (f *Framework) Run(input []byte, mapFn MapFunc, reduceFn ReduceFunc) ([]KV,
 
 // shuffleReduce partitions spilled pairs by key hash, sorts each
 // partition, reduces runs of equal keys, and merges the sorted
-// partitions into one sorted result.
+// partitions into one sorted result. The partition stage fans the
+// per-SPE spill regions out concurrently — one lock-free worker per
+// spill hashing into its own sub-buckets, gathered in worker order so
+// partition contents stay deterministic — the PPE-side analogue of
+// the partitioned shuffle the distributed runner uses at node level.
 func (f *Framework) shuffleReduce(spills [][]KV, reduceFn ReduceFunc) []KV {
 	nPart := f.nSPEs
+	// Hash each spill region into per-worker sub-buckets concurrently,
+	// then gather in worker order so the partition contents stay
+	// deterministic.
+	sub := make([][][]KV, len(spills))
+	var pwg sync.WaitGroup
+	for w, spill := range spills {
+		if len(spill) == 0 {
+			continue
+		}
+		pwg.Add(1)
+		go func(w int, spill []KV) {
+			defer pwg.Done()
+			buckets := make([][]KV, nPart)
+			for _, kv := range spill {
+				p := int(hash64(kv.Key) % uint64(nPart))
+				buckets[p] = append(buckets[p], kv)
+			}
+			sub[w] = buckets
+		}(w, spill)
+	}
+	pwg.Wait()
 	parts := make([][]KV, nPart)
-	for _, spill := range spills {
-		for _, kv := range spill {
-			p := int(hash64(kv.Key) % uint64(nPart))
-			parts[p] = append(parts[p], kv)
+	for _, buckets := range sub {
+		for p, b := range buckets {
+			parts[p] = append(parts[p], b...)
 		}
 	}
 	// Sort + reduce each partition (the framework runs these stages

@@ -23,6 +23,7 @@ import (
 	"hetmr/internal/cellbe"
 	"hetmr/internal/hadoop"
 	"hetmr/internal/hdfs"
+	"hetmr/internal/kernels"
 	"hetmr/internal/perfmodel"
 	"hetmr/internal/spurt"
 )
@@ -242,23 +243,16 @@ func topHosts(votes map[string]int, k int) []string {
 
 // PiSplits builds the CPU-intensive job's splits: totalSamples spread
 // over numMaps map tasks (the Hadoop PiEstimator layout the paper
-// ported).
+// ported). The per-task sample counts come from the canonical
+// decomposition (kernels.SplitSamples) so simulated task sizing always
+// matches what the functional runners execute.
 func PiSplits(totalSamples int64, numMaps int) ([]hadoop.Split, error) {
 	if totalSamples <= 0 || numMaps <= 0 {
 		return nil, fmt.Errorf("core: need positive samples (%d) and maps (%d)", totalSamples, numMaps)
 	}
-	per := totalSamples / int64(numMaps)
-	rem := totalSamples % int64(numMaps)
 	splits := make([]hadoop.Split, numMaps)
-	for i := range splits {
-		s := per
-		if int64(i) < rem {
-			s++
-		}
-		if s == 0 {
-			s = 1 // every map does at least one sample
-		}
-		splits[i] = hadoop.Split{Index: i, Samples: s}
+	for i, task := range kernels.SplitSamples(totalSamples, numMaps, 0) {
+		splits[i] = hadoop.Split{Index: i, Samples: task.Samples}
 	}
 	return splits, nil
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
 
 	"hetmr/internal/hdfs"
@@ -27,6 +27,14 @@ type KVJob struct {
 	Map func(record []byte, offset int64, emit func(key, value string)) error
 	// Reduce folds all values of one key.
 	Reduce func(key string, values []string) (string, error)
+	// Combine, when set, pre-reduces each mapper's local output before
+	// the shuffle (Hadoop's combiner): it folds a key's local values
+	// into one value of the same type, cutting shuffle volume. Reduce
+	// must accept combined values.
+	Combine func(key string, values []string) (string, error)
+	// Reducers is the number of shuffle partitions (and the bound on
+	// parallel reducers). 0 selects max(GOMAXPROCS, cluster nodes).
+	Reducers int
 }
 
 // KVResult holds a reduced key/value pair.
@@ -112,6 +120,10 @@ func (c *LiveCluster) forEachBlock(work []blockWork,
 }
 
 // RunKV executes a key/value job and returns results sorted by key.
+// The shuffle between the phases is partitioned: each mapper's output
+// is hash-split into per-reducer buckets (after the optional map-side
+// combine) so mappers never serialize on a global table, and the
+// buckets reduce in parallel.
 func (c *LiveCluster) RunKV(job *KVJob) ([]KVResult, error) {
 	if job.Map == nil || job.Reduce == nil {
 		return nil, fmt.Errorf("core: job %q needs Map and Reduce", job.Name)
@@ -120,60 +132,32 @@ func (c *LiveCluster) RunKV(job *KVJob) ([]KVResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Map phase: per-mapper local aggregation, then merge (combiner
-	// style, which keeps the shuffle small exactly as Hadoop's
-	// combiners do).
-	intermediate := make(map[string][]string)
-	var mu sync.Mutex
+	nPart := job.Reducers
+	if nPart <= 0 {
+		nPart = runtime.GOMAXPROCS(0)
+		if n := len(c.Nodes); n > nPart {
+			nPart = n
+		}
+	}
+	shuffle := newPartitionedShuffle(nPart)
 	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
 		local := make(map[string][]string)
 		emit := func(k, v string) { local[k] = append(local[k], v) }
 		if err := job.Map(data, w.offset, emit); err != nil {
 			return fmt.Errorf("core: map on block %d: %w", w.index, err)
 		}
-		mu.Lock()
-		for k, vs := range local {
-			intermediate[k] = append(intermediate[k], vs...)
+		if job.Combine != nil {
+			if err := combineLocal(local, job.Combine); err != nil {
+				return err
+			}
 		}
-		mu.Unlock()
+		shuffle.insert(local)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Reduce phase: partition keys across nodes and reduce in
-	// parallel.
-	keys := make([]string, 0, len(intermediate))
-	for k := range intermediate {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	results := make([]KVResult, len(keys))
-	nPart := len(c.Nodes)
-	var rwg sync.WaitGroup
-	redErr := make(chan error, nPart)
-	for p := 0; p < nPart; p++ {
-		rwg.Add(1)
-		go func(p int) {
-			defer rwg.Done()
-			for i := p; i < len(keys); i += nPart {
-				k := keys[i]
-				v, err := job.Reduce(k, intermediate[k])
-				if err != nil {
-					redErr <- fmt.Errorf("core: reduce key %q: %w", k, err)
-					return
-				}
-				results[i] = KVResult{Key: k, Value: v}
-			}
-		}(p)
-	}
-	rwg.Wait()
-	select {
-	case err := <-redErr:
-		return nil, err
-	default:
-	}
-	return results, nil
+	return shuffle.reduceAll(job.Reduce)
 }
 
 // StreamJob transforms a stored file record-by-record (the encryption
@@ -336,4 +320,41 @@ func (c *LiveCluster) EstimatePi(samples int64, accelerated bool, seed uint64) (
 	default:
 	}
 	return kernels.EstimatePi(inside, total), total, nil
+}
+
+// RunPiTasks draws each canonical Monte Carlo task
+// (kernels.SampleSplit) on the host core of a cluster node —
+// round-robin placement, bounded by each node's mapper slots — and
+// returns the aggregate inside/total counts. Unlike EstimatePi, which
+// derives its own per-mapper seed domains (and may offload to the
+// SPEs), this executes exactly the given decomposition, which is what
+// makes results comparable across engine backends.
+func (c *LiveCluster) RunPiTasks(tasks []kernels.SampleSplit) (inside, total int64, err error) {
+	for i, t := range tasks {
+		if t.Samples <= 0 {
+			return 0, 0, fmt.Errorf("core: pi task %d has %d samples", i, t.Samples)
+		}
+	}
+	slots := make([]chan struct{}, len(c.Nodes))
+	for i := range slots {
+		slots[i] = make(chan struct{}, c.MappersPerNode)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		sem := slots[i%len(slots)]
+		wg.Add(1)
+		go func(t kernels.SampleSplit) {
+			defer wg.Done()
+			sem <- struct{}{} // take a mapper slot on the node
+			defer func() { <-sem }()
+			in := kernels.CountInside(t.Seed, t.Samples)
+			mu.Lock()
+			inside += in
+			total += t.Samples
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	return inside, total, nil
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// sumReduce folds decimal values by addition.
+func sumReduce(_ string, values []string) (string, error) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return "", err
+		}
+		total += n
+	}
+	return strconv.Itoa(total), nil
+}
+
+func TestPartitionedShuffleGroupsAndSorts(t *testing.T) {
+	s := newPartitionedShuffle(8)
+	// Three "mappers" emitting overlapping key sets, inserted
+	// concurrently.
+	var wg sync.WaitGroup
+	for m := 0; m < 3; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			local := make(map[string][]string)
+			for k := 0; k < 50; k++ {
+				key := fmt.Sprintf("key-%02d", k)
+				local[key] = append(local[key], "1", "1")
+			}
+			s.insert(local)
+		}(m)
+	}
+	wg.Wait()
+	results, err := s.reduceAll(sumReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 50 {
+		t.Fatalf("got %d keys, want 50", len(results))
+	}
+	for i, kv := range results {
+		want := fmt.Sprintf("key-%02d", i)
+		if kv.Key != want {
+			t.Fatalf("result %d: key %q, want %q (global sort order)", i, kv.Key, want)
+		}
+		if kv.Value != "6" {
+			t.Fatalf("key %q: value %s, want 6 (3 mappers x 2 emits)", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestPartitionedShuffleSinglePartition(t *testing.T) {
+	s := newPartitionedShuffle(0) // clamps to 1
+	s.insert(map[string][]string{"a": {"1"}, "b": {"2", "3"}})
+	results, err := s.reduceAll(sumReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Key != "a" || results[1].Value != "5" {
+		t.Fatalf("unexpected results %+v", results)
+	}
+}
+
+func TestPartitionedShuffleReduceError(t *testing.T) {
+	s := newPartitionedShuffle(4)
+	s.insert(map[string][]string{"bad": {"x"}})
+	if _, err := s.reduceAll(sumReduce); err == nil {
+		t.Fatal("want reduce error for non-numeric value")
+	}
+}
+
+func TestCombineLocal(t *testing.T) {
+	local := map[string][]string{
+		"a": {"1", "2", "3"},
+		"b": {"4"},
+	}
+	if err := combineLocal(local, sumReduce); err != nil {
+		t.Fatal(err)
+	}
+	if len(local["a"]) != 1 || local["a"][0] != "6" {
+		t.Fatalf("combine left %v for key a, want [6]", local["a"])
+	}
+	if len(local["b"]) != 1 || local["b"][0] != "4" {
+		t.Fatalf("single-value key b changed: %v", local["b"])
+	}
+}
+
+func TestRunKVWithCombiner(t *testing.T) {
+	clus, err := NewLiveCluster(3, WithBlockSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("alpha beta alpha gamma beta alpha delta gamma alpha beta ")
+	if err := clus.FS.WriteFile("/in.txt", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	job := &KVJob{
+		Name:  "wc",
+		Input: "/in.txt",
+		Map: func(record []byte, _ int64, emit func(k, v string)) error {
+			for _, w := range splitWords(record) {
+				emit(w, "1")
+			}
+			return nil
+		},
+		Reduce:   sumReduce,
+		Combine:  sumReduce,
+		Reducers: 4,
+	}
+	got, err := clus.RunKV(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same job without a combiner must agree.
+	job2 := *job
+	job2.Combine = nil
+	job2.Reducers = 1
+	want, err := clus.RunKV(&job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("combiner changed key count: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: combined %+v vs plain %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// splitWords is a minimal space splitter for the test corpus.
+func splitWords(b []byte) []string {
+	var out []string
+	start := -1
+	for i, c := range b {
+		if c == ' ' || c == '\n' {
+			if start >= 0 {
+				out = append(out, string(b[start:i]))
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, string(b[start:]))
+	}
+	return out
+}

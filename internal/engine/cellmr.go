@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hetmr/internal/cellbe"
+	"hetmr/internal/cellmr"
+	"hetmr/internal/kernels"
+	"hetmr/internal/perfmodel"
+)
+
+// cellmrRunner executes jobs on the node-level Cell MapReduce
+// framework (internal/cellmr): one chip, SPE workers, the PPE staging
+// copy the paper's Figure 2 charges the framework for. It is a
+// single-node backend — Workers is ignored — and its fixed-size KV
+// records cannot express string-keyed or record-merge jobs, so only
+// Encrypt (the framework's RunStream mode) is supported.
+type cellmrRunner struct {
+	cfg Config
+	fw  *cellmr.Framework
+}
+
+func init() {
+	Register("cellmr", func(cfg Config) (Runner, error) {
+		fw, err := cellmr.New(cellbe.NewChip(0), perfmodel.SPEsPerCell, perfmodel.SPEBlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		return &cellmrRunner{cfg: cfg, fw: fw}, nil
+	})
+}
+
+// Backend implements Runner.
+func (r *cellmrRunner) Backend() string { return "cellmr" }
+
+// Close implements Runner.
+func (r *cellmrRunner) Close() error { return nil }
+
+// Framework exposes the underlying framework for staging/spill
+// statistics.
+func (r *cellmrRunner) Framework() *cellmr.Framework { return r.fw }
+
+// Run implements Runner.
+func (r *cellmrRunner) Run(job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Kind != Encrypt {
+		return nil, fmt.Errorf("%w: %s on cellmr", ErrUnsupported, job.Kind)
+	}
+	start := time.Now()
+	input := job.Input
+	if len(input) == 0 {
+		input = syntheticInput(job.InputBytes)
+	}
+	cipher, err := kernels.NewCipher(job.Key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(input))
+	ctr := kernels.CTRBlockFunc(cipher, job.iv())
+	if err := r.fw.RunStream(ctr, input, out); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Backend: r.Backend(),
+		Elapsed: time.Since(start),
+		Bytes:   out,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"hetmr/internal/kernels"
+)
+
+// SameResult checks the cross-backend conformance contract for one job
+// kind: the reference result must be non-trivial and the other
+// backend's result must match it exactly. Both the conformance test
+// suite and `repro -conformance` use this single definition, so the
+// CI gate and the tests cannot drift apart.
+func SameResult(kind Kind, ref, other *Result) error {
+	switch kind {
+	case Wordcount:
+		if len(ref.Pairs) == 0 {
+			return fmt.Errorf("reference backend %s produced no pairs", ref.Backend)
+		}
+		if len(other.Pairs) != len(ref.Pairs) {
+			return fmt.Errorf("%d vs %d distinct words", len(ref.Pairs), len(other.Pairs))
+		}
+		for i := range ref.Pairs {
+			if ref.Pairs[i] != other.Pairs[i] {
+				return fmt.Errorf("pair %d: %+v vs %+v", i, ref.Pairs[i], other.Pairs[i])
+			}
+		}
+	case Sort, Encrypt:
+		if len(ref.Bytes) == 0 {
+			return fmt.Errorf("reference backend %s produced no output bytes", ref.Backend)
+		}
+		if !bytes.Equal(ref.Bytes, other.Bytes) {
+			return fmt.Errorf("output bytes differ (%d vs %d)", len(ref.Bytes), len(other.Bytes))
+		}
+		if kind == Sort {
+			sorted, err := kernels.RecordsSorted(ref.Bytes)
+			if err != nil {
+				return fmt.Errorf("sort output malformed: %w", err)
+			}
+			if !sorted {
+				return fmt.Errorf("sort output is not sorted")
+			}
+		}
+	case Pi:
+		if ref.Total == 0 {
+			return fmt.Errorf("reference backend %s drew no samples", ref.Backend)
+		}
+		if ref.Inside != other.Inside || ref.Total != other.Total {
+			return fmt.Errorf("inside/total %d/%d vs %d/%d",
+				ref.Inside, ref.Total, other.Inside, other.Total)
+		}
+		if ref.Pi != other.Pi {
+			return fmt.Errorf("pi estimates differ: %v vs %v", ref.Pi, other.Pi)
+		}
+	default:
+		return fmt.Errorf("no conformance contract for kind %q", kind)
+	}
+	return nil
+}

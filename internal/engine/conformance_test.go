@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hetmr/internal/kernels"
+)
+
+// The conformance suite is the engine's contract: the same job, run on
+// every registered backend, must produce identical results — the live
+// in-process cluster, the calibrated simulation and the TCP-backed
+// distributed runtime agree bit-for-bit on wordcount, sort, pi and
+// encrypt. Backends that cannot express a kind (ErrUnsupported) are
+// skipped for that kind only.
+
+// conformanceConfig is shared by every backend so block boundaries
+// (and with them map-task decomposition) agree.
+func conformanceConfig() Config {
+	return Config{
+		Workers:   3,
+		BlockSize: 5_000, // multiple of the 100-byte sort record; splits inputs into many blocks
+	}
+}
+
+// corpus builds a multi-block text with words straddling block
+// boundaries — the conformance point is that every backend splits at
+// the same offsets, not that the input is convenient.
+func corpus() []byte {
+	var b bytes.Buffer
+	for i := 0; i < 3_000; i++ {
+		fmt.Fprintf(&b, "word%03d lorem ipsum becerra cell spe mapreduce ", i%97)
+	}
+	return b.Bytes()
+}
+
+func conformanceJobs() []*Job {
+	return []*Job{
+		{Kind: Wordcount, Input: corpus()},
+		{Kind: Sort, Input: kernels.GenerateSortRecords(2009, 1_000)},
+		{Kind: Pi, Samples: 300_000, Tasks: 8, Seed: 2009},
+		{
+			Kind:  Encrypt,
+			Input: corpus()[:20_000],
+			Key:   []byte("conformance-key!"),
+			IV:    []byte("conformance-iv!!"),
+		},
+	}
+}
+
+func runOn(t *testing.T, backend string, job *Job) (*Result, bool) {
+	t.Helper()
+	r, err := New(backend, conformanceConfig())
+	if err != nil {
+		t.Fatalf("%s: New: %v", backend, err)
+	}
+	defer r.Close()
+	res, err := r.Run(job)
+	if errors.Is(err, ErrUnsupported) {
+		return nil, false
+	}
+	if err != nil {
+		t.Fatalf("%s: %s: %v", backend, job.Kind, err)
+	}
+	return res, true
+}
+
+func TestCrossBackendConformance(t *testing.T) {
+	required := []string{"live", "sim", "net"}
+	for _, job := range conformanceJobs() {
+		job := job
+		t.Run(string(job.Kind), func(t *testing.T) {
+			results := make(map[string]*Result)
+			for _, backend := range append(append([]string{}, required...), "cellmr") {
+				if res, ok := runOn(t, backend, job); ok {
+					results[backend] = res
+				} else if backend != "cellmr" {
+					t.Fatalf("backend %s does not support required kind %s", backend, job.Kind)
+				}
+			}
+			// Every required backend must have run the job.
+			ref := results[required[0]]
+			for backend, res := range results {
+				if backend == required[0] {
+					continue
+				}
+				assertSameResult(t, job.Kind, required[0], ref, backend, res)
+			}
+		})
+	}
+}
+
+func assertSameResult(t *testing.T, kind Kind, refName string, ref *Result, name string, res *Result) {
+	t.Helper()
+	if err := SameResult(kind, ref, res); err != nil {
+		t.Fatalf("%s vs %s on %s: %v", refName, name, kind, err)
+	}
+}
+
+// TestSimReportsModelStats pins the simulated backend's second duty:
+// every run must carry the calibrated model's metrics.
+func TestSimReportsModelStats(t *testing.T) {
+	r, err := New("sim", conformanceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Run(&Job{Kind: Pi, Samples: 100_000, Tasks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim == nil {
+		t.Fatal("sim backend returned no SimStats")
+	}
+	if res.Sim.MakespanSeconds <= 0 {
+		t.Fatalf("modelled makespan %v, want > 0", res.Sim.MakespanSeconds)
+	}
+	if res.Sim.Tasks != 6 {
+		t.Fatalf("modelled %d tasks, want 6", res.Sim.Tasks)
+	}
+	if res.Sim.EnergyJoules <= 0 {
+		t.Fatalf("modelled energy %v, want > 0", res.Sim.EnergyJoules)
+	}
+}
+
+// TestWordcountMatchesSerialReference anchors the distributed word
+// count against a direct serial computation with the same blocking.
+func TestWordcountMatchesSerialReference(t *testing.T) {
+	cfg := conformanceConfig()
+	data := corpus()
+	want := make(map[string]int64)
+	for off := 0; off < len(data); off += int(cfg.BlockSize) {
+		end := off + int(cfg.BlockSize)
+		if end > len(data) {
+			end = len(data)
+		}
+		for w, n := range kernels.WordCount(data[off:end]) {
+			want[w] += n
+		}
+	}
+	r, err := New("live", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Run(&Job{Kind: Wordcount, Input: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(want) {
+		t.Fatalf("live: %d words, reference: %d", len(res.Pairs), len(want))
+	}
+	for _, kv := range res.Pairs {
+		if fmt.Sprintf("%d", want[kv.Key]) != kv.Value {
+			t.Fatalf("word %q: live=%s reference=%d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+}
+
+// TestEncryptRoundTrip decrypts through a second engine run (CTR is an
+// involution) and checks the original bytes come back.
+func TestEncryptRoundTrip(t *testing.T) {
+	cfg := conformanceConfig()
+	key := []byte("roundtrip-key-16")
+	plain := corpus()[:15_000]
+	r, err := New("live", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	enc, err := r.Run(&Job{Kind: Encrypt, Input: plain, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := r.Run(&Job{Kind: Encrypt, Input: enc.Bytes, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Bytes, plain) {
+		t.Fatal("decrypt did not restore the plaintext")
+	}
+	if bytes.Equal(enc.Bytes, plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+// TestBackendNamesMatchRunner pins Backend() to the registry name.
+func TestBackendNamesMatchRunner(t *testing.T) {
+	for _, name := range Backends() {
+		r, err := New(name, Config{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := r.Backend(); got != name {
+			t.Errorf("backend %q reports Backend() = %q", name, got)
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+		if !strings.HasPrefix(name, strings.ToLower(name)) {
+			t.Errorf("backend name %q not lowercase", name)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package engine is the backend-agnostic MapReduce layer: one Job
+// description, one Runner interface, one named-backend registry. The
+// repo grows three full runners of the paper's architecture — the live
+// in-process two-level cluster (internal/core), the calibrated
+// discrete-event simulation (internal/hadoop on internal/sim) and the
+// socket-backed distributed system (internal/netmr) — plus the
+// node-level Cell framework (internal/cellmr). Every example, command
+// and benchmark selects among them through this package instead of
+// hand-wiring a bespoke call path per backend, and a shared
+// conformance suite holds all backends to identical results for the
+// same job.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hetmr/internal/kernels"
+)
+
+// Kind names a built-in job shape. The set mirrors the paper's
+// workloads: word count (the classic model demo), TeraSort (§IV-A),
+// Monte Carlo Pi (§IV-B) and AES encryption (§IV-A).
+type Kind string
+
+// Built-in job kinds.
+const (
+	Wordcount Kind = "wordcount"
+	Sort      Kind = "sort"
+	Pi        Kind = "pi"
+	Encrypt   Kind = "encrypt"
+)
+
+// DefaultSeed is the Pi seed used when Job.Seed is zero (the paper's
+// year, matching the netmr runtime's historical default).
+const DefaultSeed = 2009
+
+// Job is a backend-agnostic MapReduce job. Data kinds (Wordcount,
+// Sort, Encrypt) consume Input; Pi consumes Samples split over Tasks
+// canonical map tasks.
+type Job struct {
+	// Name labels the job in errors and DFS paths; defaults to the
+	// kind.
+	Name string
+	// Kind selects the built-in job shape.
+	Kind Kind
+	// Input is the dataset for data kinds. Backends split it into
+	// blocks of the runner's configured block size, so block-boundary
+	// semantics (e.g. words straddling blocks) agree across backends.
+	Input []byte
+	// InputBytes requests a synthetic dataset of this size when Input
+	// is nil: functional backends generate a deterministic pattern,
+	// the simulated backend models the size without materializing
+	// bytes. Used for modelled sweeps far above RAM scale.
+	InputBytes int64
+	// Key and IV parameterize Encrypt (AES-128/CTR). Key must be 16
+	// bytes; a nil IV selects a zero IV.
+	Key, IV []byte
+	// Samples is the total Monte Carlo sample count for Pi.
+	Samples int64
+	// Tasks is the Pi map-task count (0: two per worker, the paper's
+	// slot count).
+	Tasks int
+	// Seed is the Pi base seed; task i draws from the domain
+	// MixSeed(Seed, i). 0 selects DefaultSeed.
+	Seed uint64
+}
+
+// Validate checks the job is well-formed independent of backend.
+func (j *Job) Validate() error {
+	switch j.Kind {
+	case Wordcount, Sort, Encrypt:
+		if len(j.Input) == 0 && j.InputBytes <= 0 {
+			return fmt.Errorf("engine: %s job needs Input or InputBytes", j.Kind)
+		}
+		if j.Kind == Encrypt {
+			if j.Key == nil {
+				return fmt.Errorf("engine: encrypt job needs a 16-byte Key")
+			}
+			if _, err := kernels.NewCipher(j.Key); err != nil {
+				return fmt.Errorf("engine: encrypt job: %w", err)
+			}
+		}
+	case Pi:
+		if j.Samples <= 0 {
+			return fmt.Errorf("engine: pi job needs positive Samples, got %d", j.Samples)
+		}
+		if j.Tasks < 0 {
+			return fmt.Errorf("engine: pi job has negative Tasks")
+		}
+	default:
+		return fmt.Errorf("engine: unknown job kind %q", j.Kind)
+	}
+	return nil
+}
+
+// title returns the job's display name.
+func (j *Job) title() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return string(j.Kind)
+}
+
+// iv returns the job's IV, defaulting to a zero IV.
+func (j *Job) iv() []byte {
+	if j.IV != nil {
+		return j.IV
+	}
+	return make([]byte, 16)
+}
+
+// KV is one reduced key/value pair.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// SimStats carries the simulated backend's modelled runtime metrics —
+// the quantities the paper's figures are built from.
+type SimStats struct {
+	// MakespanSeconds is the modelled job duration as the user sees
+	// it; SetupAdjustedSeconds excludes job setup/cleanup.
+	MakespanSeconds      float64
+	SetupAdjustedSeconds float64
+	// Tasks counts completed task reports, Attempts every launched
+	// attempt (incl. speculative and re-run).
+	Tasks    int
+	Attempts int
+	// LocalReads/RemoteReads count record fetches by locality.
+	LocalReads  int64
+	RemoteReads int64
+	// InputBytes is the modelled input volume.
+	InputBytes int64
+	// EnergyJoules is the modelled cluster energy over the job span.
+	EnergyJoules float64
+	// SlotUtilization is the busy fraction of map-slot time.
+	SlotUtilization float64
+	// Timeline is a rendered task Gantt chart (when requested).
+	Timeline string
+}
+
+// Result is a finished job. Which fields are set depends on the kind:
+// Pairs for Wordcount, Bytes for Sort and Encrypt, Pi/Inside/Total for
+// Pi. Sim is set by the simulated backend only.
+type Result struct {
+	Backend string
+	Elapsed time.Duration
+
+	Pairs []KV   // Wordcount: sorted by key
+	Bytes []byte // Sort: merged sorted records; Encrypt: ciphertext
+
+	Pi     float64 // Pi estimate
+	Inside int64   // samples inside the quarter circle
+	Total  int64   // samples drawn
+
+	Sim *SimStats
+}
+
+// Runner executes engine jobs on one backend. Runners are not
+// goroutine-safe unless documented; Close releases cluster resources.
+type Runner interface {
+	// Backend reports the registered backend name.
+	Backend() string
+	// Run executes one job. Jobs a backend cannot express return an
+	// error wrapping ErrUnsupported.
+	Run(job *Job) (*Result, error)
+	// Close tears the backend's cluster down.
+	Close() error
+}
+
+// piTasks expands a job's Pi parameters into the canonical task list
+// (kernels.SplitSamples — the single copy of the decomposition every
+// backend executes, which is what makes Pi results bit-identical
+// across runners).
+func piTasks(samples int64, n int, seed uint64) []kernels.SampleSplit {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return kernels.SplitSamples(samples, n, seed)
+}
+
+// normalizeTasks resolves a Pi job's task count against the worker
+// count: the paper runs two map slots per node.
+func normalizeTasks(tasks, workers int) int {
+	if tasks > 0 {
+		return tasks
+	}
+	n := workers * 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pairsFromCounts converts a word→count table to sorted KV pairs, the
+// canonical Wordcount result representation.
+func pairsFromCounts(counts map[string]int64) []KV {
+	pairs := make([]KV, 0, len(counts))
+	for w, n := range counts {
+		pairs = append(pairs, KV{Key: w, Value: fmt.Sprintf("%d", n)})
+	}
+	sortKVs(pairs)
+	return pairs
+}
+
+// sortKVs orders pairs by key.
+func sortKVs(pairs []KV) {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+}
+
+// syntheticInput generates the deterministic pattern dataset used when
+// a job names a size instead of bytes.
+func syntheticInput(n int64) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*131 + i>>10)
+	}
+	return data
+}

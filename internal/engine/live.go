@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"hetmr/internal/core"
+	"hetmr/internal/kernels"
+	"hetmr/internal/spurt"
+)
+
+// liveRunner executes jobs on the in-process two-level cluster
+// (internal/core): real bytes in the in-memory DFS, goroutine-backed
+// nodes, real kernels, SPE offload through the functional Cell model.
+type liveRunner struct {
+	cfg  Config
+	clus *core.LiveCluster
+	seq  int
+}
+
+func init() {
+	Register("live", func(cfg Config) (Runner, error) {
+		if cfg.Mapper == "empty" {
+			return nil, fmt.Errorf("engine: mapper \"empty\" models pure runtime overhead and only exists on the sim backend")
+		}
+		clus, err := core.NewLiveCluster(cfg.Workers,
+			core.WithBlockSize(cfg.BlockSize),
+			core.WithMappersPerNode(cfg.MappersPerNode),
+			core.WithAcceleratedNodes(cfg.acceleratedNodes(cfg.Workers)))
+		if err != nil {
+			return nil, err
+		}
+		return &liveRunner{cfg: cfg, clus: clus}, nil
+	})
+}
+
+// Backend implements Runner.
+func (r *liveRunner) Backend() string { return "live" }
+
+// Close implements Runner. The live cluster is garbage-collected
+// state; nothing to tear down.
+func (r *liveRunner) Close() error { return nil }
+
+// Cluster exposes the underlying live cluster for callers that need
+// backend-specific detail (DMA accounting, direct SPE runs).
+func (r *liveRunner) Cluster() *core.LiveCluster { return r.clus }
+
+// stageInput writes the job's dataset into the DFS under a fresh path.
+func (r *liveRunner) stageInput(job *Job) (string, error) {
+	data := job.Input
+	if len(data) == 0 {
+		data = syntheticInput(job.InputBytes)
+	}
+	r.seq++
+	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
+	if err := r.clus.FS.WriteFile(name, data, ""); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Run implements Runner.
+func (r *liveRunner) Run(job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Backend: r.Backend()}
+	switch job.Kind {
+	case Wordcount:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		sum := func(_ string, values []string) (string, error) {
+			total := int64(0)
+			for _, v := range values {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return "", err
+				}
+				total += n
+			}
+			return strconv.FormatInt(total, 10), nil
+		}
+		pairs, err := r.clus.RunKV(&core.KVJob{
+			Name:  job.title(),
+			Input: input,
+			Map: func(record []byte, _ int64, emit func(k, v string)) error {
+				kernels.Words(record, func(w []byte) { emit(string(w), "1") })
+				return nil
+			},
+			Reduce:   sum,
+			Combine:  sum,
+			Reducers: r.cfg.Reducers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = make([]KV, len(pairs))
+		for i, kv := range pairs {
+			res.Pairs[i] = KV{Key: kv.Key, Value: kv.Value}
+		}
+	case Sort:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		output := input + ".sorted"
+		if err := r.clus.RunSort(input, output); err != nil {
+			return nil, err
+		}
+		if res.Bytes, err = r.clus.FS.ReadFile(output); err != nil {
+			return nil, err
+		}
+	case Encrypt:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		cipher, err := kernels.NewCipher(job.Key)
+		if err != nil {
+			return nil, err
+		}
+		output := input + ".aes"
+		if _, err := r.clus.RunStream(&core.StreamJob{
+			Name:   job.title(),
+			Input:  input,
+			Output: output,
+			Kernel: spurt.KernelFunc{
+				KernelName: "aes-ctr",
+				Fn:         kernels.CTRBlockFunc(cipher, job.iv()),
+			},
+			Accelerated: r.cfg.Mapper != "java",
+		}); err != nil {
+			return nil, err
+		}
+		if res.Bytes, err = r.clus.FS.ReadFile(output); err != nil {
+			return nil, err
+		}
+	case Pi:
+		tasks := piTasks(job.Samples, normalizeTasks(job.Tasks, r.cfg.Workers), job.Seed)
+		inside, total, err := r.clus.RunPiTasks(tasks)
+		if err != nil {
+			return nil, err
+		}
+		res.Inside, res.Total = inside, total
+		res.Pi = kernels.EstimatePi(inside, total)
+	default:
+		return nil, fmt.Errorf("%w: %s on live", ErrUnsupported, job.Kind)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

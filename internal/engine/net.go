@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/netmr"
+	"hetmr/internal/rpcnet"
+)
+
+// netRunner executes jobs on the socket-backed distributed runtime
+// (internal/netmr): NameNode, DataNodes, JobTracker and TaskTrackers
+// as TCP daemons on loopback, block data crossing the network stack.
+type netRunner struct {
+	cfg  Config
+	clus *netmr.Cluster
+	seq  int
+}
+
+// netJobTimeout bounds how long one submitted job may run; loopback
+// jobs finish in milliseconds-to-seconds, so this is generous.
+const netJobTimeout = 2 * time.Minute
+
+func init() {
+	Register("net", func(cfg Config) (Runner, error) {
+		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
+			cfg.BlockSize, 20*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		return &netRunner{cfg: cfg, clus: clus}, nil
+	})
+}
+
+// Backend implements Runner.
+func (r *netRunner) Backend() string { return "net" }
+
+// Close implements Runner: stops every daemon.
+func (r *netRunner) Close() error {
+	r.clus.Shutdown()
+	return nil
+}
+
+// Cluster exposes the running deployment (daemon addresses etc.) for
+// callers that need backend-specific detail.
+func (r *netRunner) Cluster() *netmr.Cluster { return r.clus }
+
+// stageInput stores the job's dataset in the distributed FS.
+func (r *netRunner) stageInput(job *Job) (string, error) {
+	data := job.Input
+	if len(data) == 0 {
+		data = syntheticInput(job.InputBytes)
+	}
+	r.seq++
+	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
+	if err := r.clus.Client.WriteFile(name, data, ""); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Run implements Runner.
+func (r *netRunner) Run(job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Backend: r.Backend()}
+	switch job.Kind {
+	case Wordcount:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+			Name: job.title(), Kernel: "wordcount", Input: input,
+		}, netJobTimeout)
+		if err != nil {
+			return nil, err
+		}
+		var counts map[string]int64
+		if err := rpcnet.Unmarshal(raw, &counts); err != nil {
+			return nil, err
+		}
+		res.Pairs = pairsFromCounts(counts)
+	case Sort:
+		if r.cfg.BlockSize%kernels.SortRecordBytes != 0 {
+			return nil, fmt.Errorf("engine: net sort needs a block size divisible by %d, got %d",
+				kernels.SortRecordBytes, r.cfg.BlockSize)
+		}
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+			Name: job.title(), Kernel: "sort", Input: input,
+		}, netJobTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
+			return nil, err
+		}
+	case Encrypt:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return nil, err
+		}
+		args, err := rpcnet.Marshal(netmr.AESArgs{
+			Key: job.Key, IV: job.iv(), BlockBytes: r.cfg.BlockSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+			Name: job.title(), Kernel: "aes-ctr", Input: input, Args: args,
+		}, netJobTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
+			return nil, err
+		}
+	case Pi:
+		seed := job.Seed
+		if seed == 0 {
+			seed = DefaultSeed
+		}
+		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+			Name:     job.title(),
+			Kernel:   "pi",
+			Samples:  job.Samples,
+			NumTasks: normalizeTasks(job.Tasks, r.cfg.Workers),
+			Seed:     seed,
+		}, netJobTimeout)
+		if err != nil {
+			return nil, err
+		}
+		var pi netmr.PiResult
+		if err := rpcnet.Unmarshal(raw, &pi); err != nil {
+			return nil, err
+		}
+		res.Pi, res.Inside, res.Total = pi.Pi, pi.Inside, pi.Total
+	default:
+		return nil, fmt.Errorf("%w: %s on net", ErrUnsupported, job.Kind)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetmr/internal/perfmodel"
+)
+
+// ErrUnknownBackend is wrapped by New for unregistered names.
+var ErrUnknownBackend = errors.New("engine: unknown backend")
+
+// ErrUnsupported is wrapped by Runner.Run when a backend cannot
+// express the requested job kind (e.g. string-keyed word count on the
+// fixed-size-record Cell framework).
+var ErrUnsupported = errors.New("engine: job kind not supported by backend")
+
+// Config parameterizes a backend at construction time. The zero value
+// selects sensible defaults everywhere.
+type Config struct {
+	// Workers is the cluster's worker-node count (default 4).
+	Workers int
+	// BlockSize is the DFS block size functional backends cut input
+	// into (default 64 000 bytes — a multiple of the 100-byte TeraSort
+	// record, so Sort jobs work out of the box). All backends must
+	// agree on it for block-boundary semantics to agree.
+	BlockSize int64
+	// MappersPerNode bounds concurrent mappers per node on the live
+	// backend (default: the paper's 2).
+	MappersPerNode int
+	// Reducers is the live backend's shuffle partition count (0:
+	// runtime default).
+	Reducers int
+	// Mapper selects the mapper variant: "cell" (accelerated, the
+	// default), "java" (host path) or "empty" (simulated backend
+	// only: reads records, computes nothing). The sim backend honours
+	// it for every kind; the live backend only for Encrypt — its Pi
+	// jobs always run the host path so results stay bit-identical
+	// across backends, and wordcount/sort have no accelerated kernel.
+	// The net and cellmr backends ignore it.
+	Mapper string
+	// AccelFraction is the fraction of nodes carrying accelerators
+	// (live and simulated backends). The zero value selects the
+	// default of 1.0 (fully accelerated, the paper's baseline); use
+	// NoAcceleration for a cluster with no accelerators at all.
+	AccelFraction float64
+	// Speculative enables speculative execution (simulated backend).
+	Speculative bool
+	// Timeline requests a rendered task Gantt chart in Result.Sim
+	// (simulated backend).
+	Timeline bool
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("engine: negative worker count %d", c.Workers)
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64_000
+	}
+	if c.BlockSize < 0 {
+		return c, fmt.Errorf("engine: negative block size %d", c.BlockSize)
+	}
+	if c.MappersPerNode == 0 {
+		c.MappersPerNode = perfmodel.MapSlotsPerNode
+	}
+	if c.Mapper == "" {
+		c.Mapper = "cell"
+	}
+	switch c.Mapper {
+	case "cell", "java", "empty":
+	default:
+		return c, fmt.Errorf("engine: unknown mapper variant %q (cell|java|empty)", c.Mapper)
+	}
+	switch {
+	case c.AccelFraction == 0:
+		c.AccelFraction = 1.0
+	case c.AccelFraction == NoAcceleration:
+		c.AccelFraction = 0
+	case c.AccelFraction < 0 || c.AccelFraction > 1:
+		return c, fmt.Errorf("engine: accelerated fraction %g outside [0,1]", c.AccelFraction)
+	}
+	return c, nil
+}
+
+// NoAcceleration is the AccelFraction value for a cluster without any
+// accelerated nodes (the field's zero value means "default", i.e.
+// fully accelerated).
+const NoAcceleration = -1
+
+// acceleratedNodes resolves the accelerated-node count for n workers.
+func (c Config) acceleratedNodes(n int) int {
+	a := int(c.AccelFraction*float64(n) + 0.5)
+	if a > n {
+		a = n
+	}
+	return a
+}
+
+// Factory builds one backend runner.
+type Factory func(cfg Config) (Runner, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a backend under a unique name. It panics on duplicate
+// registration, mirroring database/sql drivers.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("engine: Register needs a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: backend %q already registered", name))
+	}
+	registry[name] = f
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named backend with the given configuration.
+func New(name string, cfg Config) (Runner, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownBackend, name, Backends())
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return f(cfg)
+}
+
+// RunOnce is the convenience path for one-shot jobs: build the named
+// backend, run the job, close the backend.
+func RunOnce(backend string, cfg Config, job *Job) (*Result, error) {
+	r, err := New(backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Run(job)
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hetmr/internal/cluster"
+	"hetmr/internal/core"
+	"hetmr/internal/experiments"
+	"hetmr/internal/hadoop"
+	"hetmr/internal/hdfs"
+	"hetmr/internal/kernels"
+	"hetmr/internal/workload"
+)
+
+// simRunner executes jobs against the calibrated performance model:
+// the discrete-event Hadoop runtime (internal/hadoop on internal/sim)
+// supplies the modelled makespan, locality, attempts and energy, while
+// the functional result is computed in-process with the same kernels
+// and the same block/task decomposition the other backends use — the
+// simulator replays the architecture's timing, not its dataflow.
+type simRunner struct {
+	cfg Config
+}
+
+func init() {
+	Register("sim", func(cfg Config) (Runner, error) {
+		return &simRunner{cfg: cfg}, nil
+	})
+}
+
+// Backend implements Runner.
+func (r *simRunner) Backend() string { return "sim" }
+
+// Close implements Runner.
+func (r *simRunner) Close() error { return nil }
+
+// blocks cuts data into the configured block size — the same
+// boundaries the functional backends' DFS layers produce.
+func (r *simRunner) blocks(data []byte) [][]byte {
+	var out [][]byte
+	bs := int(r.cfg.BlockSize)
+	for off := 0; off < len(data); off += bs {
+		end := off + bs
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, data[off:end])
+	}
+	return out
+}
+
+// functional computes the job's real result with the shared kernels.
+func (r *simRunner) functional(job *Job, res *Result) error {
+	switch job.Kind {
+	case Wordcount:
+		if len(job.Input) == 0 {
+			return nil // synthetic size: timing-only run
+		}
+		counts := make(map[string]int64)
+		for _, blk := range r.blocks(job.Input) {
+			for w, n := range kernels.WordCount(blk) {
+				counts[w] += n
+			}
+		}
+		res.Pairs = pairsFromCounts(counts)
+	case Sort:
+		if len(job.Input) == 0 {
+			return nil
+		}
+		blks := r.blocks(job.Input)
+		runs := make([][]byte, len(blks))
+		for i, blk := range blks {
+			runs[i] = append([]byte(nil), blk...)
+			if err := kernels.SortRecords(runs[i]); err != nil {
+				return err
+			}
+		}
+		merged, err := kernels.MergeSortedRuns(runs)
+		if err != nil {
+			return err
+		}
+		res.Bytes = merged
+	case Encrypt:
+		if len(job.Input) == 0 {
+			return nil
+		}
+		cipher, err := kernels.NewCipher(job.Key)
+		if err != nil {
+			return err
+		}
+		out := make([]byte, len(job.Input))
+		kernels.CTRStream(cipher, job.iv(), 0, out, job.Input)
+		res.Bytes = out
+	case Pi:
+		if job.Samples > maxFunctionalPiSamples {
+			return nil // paper-scale sweep: timing-only run
+		}
+		var inside, total int64
+		for _, t := range piTasks(job.Samples, normalizeTasks(job.Tasks, r.cfg.Workers), job.Seed) {
+			inside += kernels.CountInside(t.Seed, t.Samples)
+			total += t.Samples
+		}
+		res.Inside, res.Total = inside, total
+		res.Pi = kernels.EstimatePi(inside, total)
+	}
+	return nil
+}
+
+// maxFunctionalPiSamples bounds how many Monte Carlo samples the
+// simulated backend actually draws. Above it — the paper sweeps up to
+// 10^12 — the run is timing-only, exactly as data jobs given a
+// synthetic size are: the simulator's duty is the model, and really
+// sampling at that scale would take hours.
+const maxFunctionalPiSamples = 200_000_000
+
+// mapperFor resolves the configured mapper variant for the job kind.
+// Data kinds use the paper's data-intensive (AES) cost calibration;
+// Pi uses the CPU-intensive calibration.
+func (r *simRunner) mapperFor(kind Kind) (func(*cluster.Node) hadoop.Mapper, error) {
+	data := kind != Pi
+	switch r.cfg.Mapper {
+	case "java":
+		if data {
+			return hadoop.StaticMapperFor(hadoop.JavaAESMapper{}), nil
+		}
+		return hadoop.StaticMapperFor(hadoop.JavaPiMapper{}), nil
+	case "cell":
+		if data {
+			return hadoop.AcceleratedMapperFor(hadoop.CellAESMapper{}, hadoop.JavaAESMapper{}), nil
+		}
+		return hadoop.AcceleratedMapperFor(hadoop.CellPiMapper{}, hadoop.JavaPiMapper{}), nil
+	case "empty":
+		return hadoop.StaticMapperFor(hadoop.EmptyMapper{}), nil
+	}
+	return nil, fmt.Errorf("engine: unknown mapper variant %q", r.cfg.Mapper)
+}
+
+// buildSplits lays the job's input out on the simulated DFS.
+func (r *simRunner) buildSplits(job *Job) func(nn *hdfs.NameNode, nodes []string) ([]hadoop.Split, error) {
+	return func(nn *hdfs.NameNode, nodes []string) ([]hadoop.Split, error) {
+		if job.Kind == Pi {
+			return core.PiSplits(job.Samples, normalizeTasks(job.Tasks, r.cfg.Workers))
+		}
+		if len(job.Input) == 0 {
+			// Modelled-size dataset: the paper's Fig. 3 layout, one
+			// pinned sub-file per mapper.
+			nMappers := len(nodes) * r.cfg.MappersPerNode
+			per := job.InputBytes / int64(nMappers)
+			if per <= 0 {
+				per = 1
+			}
+			return workload.EncryptionDataset(nn, nodes, r.cfg.MappersPerNode, per)
+		}
+		name := "/engine/" + job.title()
+		if err := nn.WriteFile(name, job.Input, ""); err != nil {
+			return nil, err
+		}
+		numSplits := len(nodes) * r.cfg.MappersPerNode
+		if blocks := (int64(len(job.Input)) + r.cfg.BlockSize - 1) / r.cfg.BlockSize; int64(numSplits) > blocks {
+			numSplits = int(blocks)
+		}
+		return core.SplitsFromFile(nn, name, numSplits, r.cfg.BlockSize)
+	}
+}
+
+// Run implements Runner.
+func (r *simRunner) Run(job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Backend: r.Backend()}
+	if err := r.functional(job, res); err != nil {
+		return nil, err
+	}
+	mapperFor, err := r.mapperFor(job.Kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hadoop.DefaultConfig()
+	cfg.MapSlots = r.cfg.MappersPerNode
+	cfg.Speculative = r.cfg.Speculative
+	run, err := experiments.RunDistributed(r.cfg.Workers, cfg, r.buildSplits(job), mapperFor,
+		cluster.WithAcceleratedFraction(r.cfg.AccelFraction))
+	if err != nil {
+		return nil, err
+	}
+	jr := run.Result
+	res.Sim = &SimStats{
+		MakespanSeconds:      jr.Duration().Seconds(),
+		SetupAdjustedSeconds: (jr.Finished - jr.Started).Seconds(),
+		Tasks:                len(jr.Tasks),
+		Attempts:             jr.Attempts,
+		LocalReads:           jr.LocalReads,
+		RemoteReads:          jr.RemoteReads,
+		InputBytes:           jr.InputBytes,
+		EnergyJoules:         jr.EnergyJoules,
+		SlotUtilization:      hadoop.SlotUtilization(jr, r.cfg.Workers, r.cfg.MappersPerNode),
+	}
+	if r.cfg.Timeline {
+		res.Sim.Timeline = hadoop.RenderTimeline(jr, 100)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

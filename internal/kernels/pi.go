@@ -51,6 +51,40 @@ func CountInside(seed uint64, n int64) int64 {
 	return inside
 }
 
+// SampleSplit is one canonical Monte Carlo map task: an independent
+// seed domain plus a sample count.
+type SampleSplit struct {
+	Seed    uint64
+	Samples int64
+}
+
+// SplitSamples expands a Pi job into its canonical task list: total
+// samples split as evenly as possible over n tasks (earlier tasks take
+// the remainder, every task draws at least one sample), task i seeded
+// from the domain MixSeed(seed, i). Every runner — live, simulated and
+// networked — executes exactly this decomposition, which is what makes
+// Pi results bit-identical across backends; there must be no second
+// copy of this logic.
+func SplitSamples(total int64, n int, seed uint64) []SampleSplit {
+	if n <= 0 {
+		n = 1
+	}
+	per := total / int64(n)
+	rem := total % int64(n)
+	tasks := make([]SampleSplit, n)
+	for i := range tasks {
+		s := per
+		if int64(i) < rem {
+			s++
+		}
+		if s == 0 {
+			s = 1
+		}
+		tasks[i] = SampleSplit{Seed: MixSeed(seed, uint64(i)), Samples: s}
+	}
+	return tasks
+}
+
 // EstimatePi converts an (inside, total) tally into a Pi estimate.
 func EstimatePi(inside, total int64) float64 {
 	if total <= 0 {

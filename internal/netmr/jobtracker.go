@@ -122,27 +122,20 @@ func (jt *JobTracker) expand(spec JobSpec) ([]Task, error) {
 	if spec.Samples <= 0 {
 		return nil, fmt.Errorf("netmr: job %q has neither input nor samples", spec.Name)
 	}
-	n := spec.NumTasks
-	if n <= 0 {
-		n = 1
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 2009
 	}
-	per := spec.Samples / int64(n)
-	rem := spec.Samples % int64(n)
+	// The canonical decomposition (kernels.SplitSamples) is shared
+	// with the engine layer so Pi results agree across backends.
 	var tasks []Task
-	for i := 0; i < n; i++ {
-		s := per
-		if int64(i) < rem {
-			s++
-		}
-		if s == 0 {
-			s = 1
-		}
+	for i, split := range kernels.SplitSamples(spec.Samples, spec.NumTasks, seed) {
 		tasks = append(tasks, Task{
 			TaskID:  i,
 			Kernel:  spec.Kernel,
 			Args:    spec.Args,
-			Samples: s,
-			Seed:    kernels.MixSeed(2009, uint64(i)),
+			Samples: split.Samples,
+			Seed:    split.Seed,
 		})
 	}
 	return tasks, nil

@@ -141,6 +141,33 @@ func init() {
 		},
 	})
 
+	RegisterKernel("sort", MapKernel{
+		// TeraSort shape: sort each block's 100-byte records where
+		// they live, merge the sorted runs at the JobTracker. The
+		// submitter must pick a DFS block size that is a multiple of
+		// the record size.
+		Map: func(_ Task, data []byte) ([]byte, error) {
+			run := append([]byte(nil), data...)
+			if err := kernels.SortRecords(run); err != nil {
+				return nil, err
+			}
+			return rpcnet.Marshal(run)
+		},
+		Reduce: func(partials [][]byte) ([]byte, error) {
+			runs := make([][]byte, len(partials))
+			for i, p := range partials {
+				if err := rpcnet.Unmarshal(p, &runs[i]); err != nil {
+					return nil, err
+				}
+			}
+			merged, err := kernels.MergeSortedRuns(runs)
+			if err != nil {
+				return nil, err
+			}
+			return rpcnet.Marshal(merged)
+		},
+	})
+
 	RegisterKernel("grep", MapKernel{
 		Map: func(task Task, data []byte) ([]byte, error) {
 			var pattern []byte

@@ -96,8 +96,12 @@ type JobSpec struct {
 	Args    []byte // kernel-specific, gob-encoded
 	Input   string // DFS input file ("" for compute jobs)
 	Samples int64  // compute jobs: total samples
-	// NumTasks for compute jobs (defaults to the tracker count).
+	// NumTasks for compute jobs (values < 1 run as a single task).
 	NumTasks int
+	// Seed is the base RNG seed for compute jobs; task i draws from
+	// the domain MixSeed(Seed, i). 0 selects the default seed (2009,
+	// the paper's year).
+	Seed uint64
 }
 
 // SubmitArgs submits a job.
