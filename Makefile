@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench repro-quick fmt vet race ci
+.PHONY: build test bench bench-json repro-quick fmt vet lint race ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# bench-json mirrors the CI benchmark lane: every benchmark once,
+# parsed into the machine-readable perf artifact. The intermediate
+# file (not a pipe) keeps a benchmark failure fatal.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
+	@rm -f bench.out
+	@echo "wrote BENCH_PR2.json"
+
 repro-quick:
 	$(GO) run ./cmd/repro -quick
 
@@ -29,4 +38,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race repro-quick bench
+# lint mirrors the CI lint lane; staticcheck is skipped gracefully
+# when not installed (CI installs honnef.co/go/tools pinned).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: fmt lint build race repro-quick bench

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"hetmr/internal/engine"
 )
@@ -29,7 +30,9 @@ func main() {
 	samples := flag.Float64("samples", 1e11, "total samples (pi)")
 	maps := flag.Int("maps", 0, "map task count (pi; default 2 per node)")
 	accelFraction := flag.Float64("accel-fraction", 1.0, "fraction of nodes with accelerators")
-	speculative := flag.Bool("speculative", false, "enable speculative execution (sim)")
+	speculative := flag.Bool("speculative", false, "enable speculative execution (sim, live and net)")
+	maxAttempts := flag.Int("max-attempts", 0, "per-task attempt cap, 0 = scheduler default (live and net)")
+	speedHints := flag.Bool("speed-hints", false, "seed the scheduler with perfmodel's Cell/PPE speed ratio for the accelerated fraction (live)")
 	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart (sim)")
 	flag.Parse()
 
@@ -42,7 +45,11 @@ func main() {
 		Mapper:        *mapper,
 		AccelFraction: accel,
 		Speculative:   *speculative,
+		MaxAttempts:   *maxAttempts,
 		Timeline:      *timeline,
+	}
+	if *speedHints {
+		cfg.SpeedHints = engine.HeterogeneousSpeedHints(*nodes, *accelFraction)
 	}
 	job, err := buildJob(*backend, *wl, cfg, *gbPerMapper, *mb, int64(*samples), *maps)
 	if err == nil {
@@ -123,6 +130,13 @@ func run(backend string, cfg engine.Config, job *engine.Job) error {
 		}
 	} else {
 		fmt.Printf("  wall time       %v\n", res.Elapsed)
+		if len(res.TaskCounts) > 0 {
+			fmt.Printf("  task counts    ")
+			for _, name := range sortedKeys(res.TaskCounts) {
+				fmt.Printf(" %s=%d", name, res.TaskCounts[name])
+			}
+			fmt.Println()
+		}
 	}
 	switch job.Kind {
 	case engine.Pi:
@@ -140,4 +154,14 @@ func run(backend string, cfg engine.Config, job *engine.Job) error {
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

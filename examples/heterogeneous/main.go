@@ -4,9 +4,14 @@
 // general purpose nodes".
 //
 // Part 1 runs a real encryption job through the engine on a live
-// cluster where only half the nodes have SPEs (blocks on plain nodes
-// transparently use the host kernel), proving the programming model is
-// unchanged.
+// cluster where only half the nodes have SPEs. The cluster's speed
+// hints come from the engine's HeterogeneousSpeedHints — perfmodel's
+// calibrated Cell/PPE ratio, not hard-coded numbers — the plain nodes'
+// slowness is enacted with the engine's fault-delay knob (one real CPU
+// backs every goroutine node), and the per-worker task counts printed
+// at the end make the scheduler's resulting imbalance visible. Blocks
+// on plain nodes transparently use the host kernel: the programming
+// model is unchanged.
 //
 // Part 2 sweeps the accelerated fraction on the simulated 32-node
 // testbed — same engine API, backend "sim" — and prints how the
@@ -20,6 +25,8 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sort"
+	"time"
 
 	"hetmr/internal/engine"
 	"hetmr/internal/kernels"
@@ -30,18 +37,32 @@ func main() {
 	simPart()
 }
 
-// livePart: correctness on a half-accelerated functional cluster.
+// livePart: correctness and load balance on a half-accelerated
+// functional cluster.
 func livePart() {
-	plain := make([]byte, 256<<10)
+	const workers = 4
+	const accelFraction = 0.5
+	plain := make([]byte, 16<<20)
 	for i := range plain {
 		plain[i] = byte(i * 131)
 	}
 	key := []byte("heterogeneous-ke")
 	iv := make([]byte, 16)
+	hints := engine.HeterogeneousSpeedHints(workers, accelFraction)
+	// Every live node's goroutines share one real CPU, so the plain
+	// nodes' slowness is emulated with the engine's fault-delay knob —
+	// the speed hints then tell the scheduler what the delays enact.
+	delays := make([]time.Duration, workers)
+	for i := int(accelFraction * workers); i < workers; i++ {
+		delays[i] = 10 * time.Millisecond
+	}
 	res, err := engine.RunOnce("live", engine.Config{
-		Workers:       4,
-		BlockSize:     32 << 10,
-		AccelFraction: 0.5,
+		Workers:       workers,
+		BlockSize:     128 << 10,
+		AccelFraction: accelFraction,
+		SpeedHints:    hints,
+		FaultDelays:   delays,
+		Speculative:   true,
 	}, &engine.Job{Kind: engine.Encrypt, Input: plain, Key: key, IV: iv})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +76,18 @@ func livePart() {
 	if !bytes.Equal(res.Bytes, want) {
 		log.Fatal("heterogeneous ciphertext mismatch")
 	}
-	fmt.Printf("live: 2/4 accelerated nodes, ciphertext correct with transparent host fallback\n\n")
+	fmt.Printf("live: %d/%d accelerated nodes (speed hint %.1fx from perfmodel), ciphertext correct\n",
+		int(accelFraction*workers), workers, hints[0])
+	fmt.Println("per-worker task counts (dynamic scheduler, speculation on):")
+	var names []string
+	for name := range res.TaskCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s  %3d tasks\n", name, res.TaskCounts[name])
+	}
+	fmt.Println()
 }
 
 // simPart: performance of the Pi job as the accelerated fraction grows.

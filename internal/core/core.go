@@ -19,12 +19,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"hetmr/internal/cellbe"
 	"hetmr/internal/hadoop"
 	"hetmr/internal/hdfs"
 	"hetmr/internal/kernels"
 	"hetmr/internal/perfmodel"
+	"hetmr/internal/sched"
 	"hetmr/internal/spurt"
 )
 
@@ -46,6 +48,14 @@ type LiveCluster struct {
 	// MappersPerNode is the number of concurrent mappers per node
 	// (the paper runs 2, one per Cell processor).
 	MappersPerNode int
+	// Sched configures the dynamic scheduler every job runs under
+	// (speculation, attempt caps). The zero value is plain work
+	// stealing.
+	Sched sched.Options
+
+	speeds    []float64
+	delays    []time.Duration
+	lastStats *sched.Stats
 }
 
 // LiveOption customizes NewLiveCluster.
@@ -57,6 +67,9 @@ type liveConfig struct {
 	mappersPerNode int
 	acceleratedN   int // -1: all
 	speBlock       int
+	sched          sched.Options
+	speeds         []float64
+	delays         []time.Duration
 }
 
 // WithBlockSize sets the DFS block size (default 64 MB).
@@ -77,6 +90,34 @@ func WithAcceleratedNodes(n int) LiveOption { return func(c *liveConfig) { c.acc
 // in the paper's distributed experiments).
 func WithSPEBlockBytes(b int) LiveOption { return func(c *liveConfig) { c.speBlock = b } }
 
+// WithScheduling configures the dynamic scheduler (speculative
+// execution, per-task attempt caps) for every job the cluster runs.
+// The OnCommit hook is owned by the runtime — each job installs its
+// own result-commit step — so a caller-supplied hook is ignored.
+func WithScheduling(o sched.Options) LiveOption {
+	return func(c *liveConfig) {
+		o.OnCommit = nil
+		c.sched = o
+	}
+}
+
+// WithSpeedHints declares per-node relative throughput (len must equal
+// the node count; all values positive). The scheduler seeds its
+// initial task distribution proportionally — mirroring perfmodel's
+// Power6/PPE/SPE ratios on a heterogeneous cluster — and work stealing
+// corrects any hint error at run time. Nil means equal speeds.
+func WithSpeedHints(speeds []float64) LiveOption {
+	return func(c *liveConfig) { c.speeds = speeds }
+}
+
+// WithTaskDelays injects a fixed artificial delay into every task a
+// node executes (len must equal the node count). It is the
+// straggler/fault-injection knob: conformance tests and benchmarks use
+// it to make one node an order of magnitude slower than its peers.
+func WithTaskDelays(delays []time.Duration) LiveOption {
+	return func(c *liveConfig) { c.delays = delays }
+}
+
 // NewLiveCluster builds a functional cluster of n nodes.
 func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 	if n <= 0 {
@@ -92,11 +133,37 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.speeds != nil {
+		if len(cfg.speeds) != n {
+			return nil, fmt.Errorf("core: %d speed hints for %d nodes", len(cfg.speeds), n)
+		}
+		for i, s := range cfg.speeds {
+			if s <= 0 {
+				return nil, fmt.Errorf("core: node %d has non-positive speed hint %g", i, s)
+			}
+		}
+	}
+	if cfg.delays != nil {
+		if len(cfg.delays) != n {
+			return nil, fmt.Errorf("core: %d task delays for %d nodes", len(cfg.delays), n)
+		}
+		for i, d := range cfg.delays {
+			if d < 0 {
+				return nil, fmt.Errorf("core: node %d has negative task delay %v", i, d)
+			}
+		}
+	}
 	nn, err := hdfs.NewNameNode(cfg.blockSize, cfg.replication)
 	if err != nil {
 		return nil, err
 	}
-	c := &LiveCluster{FS: nn, MappersPerNode: cfg.mappersPerNode}
+	c := &LiveCluster{
+		FS:             nn,
+		MappersPerNode: cfg.mappersPerNode,
+		Sched:          cfg.sched,
+		speeds:         cfg.speeds,
+		delays:         cfg.delays,
+	}
 	accelerated := cfg.acceleratedN
 	if accelerated < 0 {
 		accelerated = n
@@ -129,6 +196,11 @@ func (c *LiveCluster) AcceleratedCount() int {
 	}
 	return n
 }
+
+// LastStats returns the dynamic scheduler's per-worker stats for the
+// most recently finished job (nil before the first run). The cluster
+// is not goroutine-safe; read between jobs.
+func (c *LiveCluster) LastStats() *sched.Stats { return c.lastStats }
 
 // nodeByName finds a live node.
 func (c *LiveCluster) nodeByName(name string) (*LiveNode, bool) {

@@ -4,18 +4,25 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hetmr/internal/hdfs"
 	"hetmr/internal/kernels"
+	"hetmr/internal/sched"
 	"hetmr/internal/spurt"
 )
 
 // This file is the live (functional) two-level runner: jobs execute on
 // real bytes with goroutine-backed nodes, and accelerated jobs push
 // their record blocks through the node's SPE runtime. It mirrors the
-// prototype of paper §III: level 1 assigns blocks to nodes with
+// prototype of paper §III: level 1 distributes blocks over nodes with
 // locality preference and bounded mapper slots; level 2 is the
-// intra-node SPE distribution.
+// intra-node SPE distribution. Level 1 runs on the dynamic scheduler
+// (internal/sched): tasks start on the node storing their block, idle
+// nodes steal queued blocks from loaded peers (a stolen block is a
+// remote read, as in Hadoop's non-local tasks), and with speculation
+// enabled a straggling in-flight task is duplicated, first finish
+// winning.
 
 // KVJob is a key/value MapReduce job over a stored file (the classic
 // Hadoop programming model of §II-A).
@@ -82,41 +89,60 @@ func (c *LiveCluster) planBlocks(input string) ([]blockWork, error) {
 	return work, nil
 }
 
-// forEachBlock runs fn over every input block with per-node mapper
-// slot limits, collecting the first error.
-func (c *LiveCluster) forEachBlock(work []blockWork,
-	fn func(w blockWork, data []byte) error) error {
-	slots := make(map[*LiveNode]chan struct{}, len(c.Nodes))
-	for _, n := range c.Nodes {
-		slots[n] = make(chan struct{}, c.MappersPerNode)
+// schedWorkers builds the scheduler's view of the cluster: one worker
+// per node, MappersPerNode slots each, speed hints when configured.
+func (c *LiveCluster) schedWorkers() []sched.Worker {
+	workers := make([]sched.Worker, len(c.Nodes))
+	for i, n := range c.Nodes {
+		speed := 1.0
+		if c.speeds != nil {
+			speed = c.speeds[i]
+		}
+		workers[i] = sched.Worker{ID: n.Name, Speed: speed, Slots: c.MappersPerNode}
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(work))
-	for _, w := range work {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem := slots[w.node]
-			sem <- struct{}{} // take a mapper slot on the node
-			defer func() { <-sem }()
-			data, err := c.FS.ReadBlock(w.id, w.host)
-			if err != nil {
-				errCh <- fmt.Errorf("core: read block %d: %w", w.id, err)
-				return
-			}
-			if err := fn(w, data); err != nil {
-				errCh <- err
-			}
-		}()
+	return workers
+}
+
+// stall applies the node's injected straggler delay, if any.
+func (c *LiveCluster) stall(node int) {
+	if c.delays != nil && c.delays[node] > 0 {
+		time.Sleep(c.delays[node])
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
+}
+
+// runBlocks executes fn over every input block on the dynamic
+// scheduler. Each block task is homed on the node storing the block;
+// fn receives the node actually executing the attempt (which differs
+// from the home under stealing and speculation) and must return a
+// result that depends only on the block — the scheduler commits the
+// first finished attempt of each task, calling onCommit (when set)
+// exactly once per block. The per-task results are returned indexed
+// like work, and the run's stats are retained for LastStats.
+func (c *LiveCluster) runBlocks(work []blockWork,
+	fn func(w blockWork, node *LiveNode, data []byte) (any, error),
+	onCommit func(task int, result any)) ([]any, error) {
+	nodeIndex := make(map[*LiveNode]int, len(c.Nodes))
+	for i, n := range c.Nodes {
+		nodeIndex[n] = i
 	}
+	tasks := make([]sched.Task, len(work))
+	for i, w := range work {
+		tasks[i] = sched.Task{Home: nodeIndex[w.node]}
+	}
+	exec := func(worker, task int) (any, error) {
+		c.stall(worker)
+		w := work[task]
+		data, err := c.FS.ReadBlock(w.id, w.host)
+		if err != nil {
+			return nil, fmt.Errorf("core: read block %d: %w", w.id, err)
+		}
+		return fn(w, c.Nodes[worker], data)
+	}
+	opts := c.Sched
+	opts.OnCommit = onCommit
+	results, stats, err := sched.Run(c.schedWorkers(), tasks, exec, opts)
+	c.lastStats = stats
+	return results, err
 }
 
 // RunKV executes a key/value job and returns results sorted by key.
@@ -140,19 +166,23 @@ func (c *LiveCluster) RunKV(job *KVJob) ([]KVResult, error) {
 		}
 	}
 	shuffle := newPartitionedShuffle(nPart)
-	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+	// The mapper's local table is the task result; the scheduler's
+	// commit hook inserts it into the shuffle so a speculative
+	// duplicate can never double-count a block.
+	_, err = c.runBlocks(work, func(w blockWork, _ *LiveNode, data []byte) (any, error) {
 		local := make(map[string][]string)
 		emit := func(k, v string) { local[k] = append(local[k], v) }
 		if err := job.Map(data, w.offset, emit); err != nil {
-			return fmt.Errorf("core: map on block %d: %w", w.index, err)
+			return nil, fmt.Errorf("core: map on block %d: %w", w.index, err)
 		}
 		if job.Combine != nil {
 			if err := combineLocal(local, job.Combine); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		shuffle.insert(local)
-		return nil
+		return local, nil
+	}, func(_ int, result any) {
+		shuffle.insert(result.(map[string][]string))
 	})
 	if err != nil {
 		return nil, err
@@ -188,14 +218,14 @@ func (c *LiveCluster) RunStream(job *StreamJob) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	outputs := make([][]byte, len(work))
-	var total int64
-	var totalMu sync.Mutex
-	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+	// The transformed block is the task result: whichever node's
+	// attempt wins (the accelerated and host paths are bit-identical,
+	// so stolen or speculated blocks transform the same).
+	results, err := c.runBlocks(work, func(w blockWork, node *LiveNode, data []byte) (any, error) {
 		out := make([]byte, len(data))
-		if job.Accelerated && w.node.Accel != nil {
-			if err := w.node.Accel.Stream(offsetKernel{job.Kernel, w.offset}, data, out); err != nil {
-				return fmt.Errorf("core: accelerated stream on block %d: %w", w.index, err)
+		if job.Accelerated && node.Accel != nil {
+			if err := node.Accel.Stream(offsetKernel{job.Kernel, w.offset}, data, out); err != nil {
+				return nil, fmt.Errorf("core: accelerated stream on block %d: %w", w.index, err)
 			}
 		} else {
 			// Host path: process the block in SPE-sized chunks so the
@@ -209,18 +239,21 @@ func (c *LiveCluster) RunStream(job *StreamJob) (int64, error) {
 					end = len(out)
 				}
 				if err := job.Kernel.ProcessBlock(out[off:end], w.offset+int64(off)); err != nil {
-					return fmt.Errorf("core: host stream on block %d: %w", w.index, err)
+					return nil, fmt.Errorf("core: host stream on block %d: %w", w.index, err)
 				}
 			}
 		}
-		outputs[w.index] = out
-		totalMu.Lock()
-		total += int64(len(data))
-		totalMu.Unlock()
-		return nil
-	})
+		return out, nil
+	}, nil)
 	if err != nil {
 		return 0, err
+	}
+	outputs := make([][]byte, len(work))
+	var total int64
+	for i, res := range results {
+		out := res.([]byte)
+		outputs[work[i].index] = out
+		total += int64(len(out))
 	}
 	// Commit the output file in block order.
 	wtr, err := c.FS.Create(job.Output, "")
@@ -258,6 +291,12 @@ func (k offsetKernel) ProcessBlock(block []byte, offset int64) error {
 // samples are divided over nodes x mappers, each mapper either
 // offloading to the SPEs (accelerated) or sampling on the host core.
 // It returns the Pi estimate and the total samples actually drawn.
+// This path keeps its static mapper-id placement on purpose: a
+// mapper's count depends on whether its node offloads (the per-SPE
+// seed domains differ from the host path), so migrating an attempt to
+// a different node would change the estimate — the opposite of the
+// determinism the scheduler's first-finish-wins commit requires.
+// Engine-conformant Pi jobs go through RunPiTasks instead.
 func (c *LiveCluster) EstimatePi(samples int64, accelerated bool, seed uint64) (float64, int64, error) {
 	if samples <= 0 {
 		return 0, 0, fmt.Errorf("core: samples must be positive, got %d", samples)
@@ -323,38 +362,40 @@ func (c *LiveCluster) EstimatePi(samples int64, accelerated bool, seed uint64) (
 }
 
 // RunPiTasks draws each canonical Monte Carlo task
-// (kernels.SampleSplit) on the host core of a cluster node —
-// round-robin placement, bounded by each node's mapper slots — and
+// (kernels.SampleSplit) on the host core of a cluster node — placed by
+// the dynamic scheduler, bounded by each node's mapper slots — and
 // returns the aggregate inside/total counts. Unlike EstimatePi, which
 // derives its own per-mapper seed domains (and may offload to the
-// SPEs), this executes exactly the given decomposition, which is what
-// makes results comparable across engine backends.
+// SPEs), this executes exactly the given decomposition, and each
+// task's count depends only on its seed — not on the node drawing it —
+// which is what makes results bit-identical across engine backends and
+// under stealing, speculation and re-runs.
 func (c *LiveCluster) RunPiTasks(tasks []kernels.SampleSplit) (inside, total int64, err error) {
 	for i, t := range tasks {
 		if t.Samples <= 0 {
 			return 0, 0, fmt.Errorf("core: pi task %d has %d samples", i, t.Samples)
 		}
 	}
-	slots := make([]chan struct{}, len(c.Nodes))
-	for i := range slots {
-		slots[i] = make(chan struct{}, c.MappersPerNode)
+	sTasks := make([]sched.Task, len(tasks))
+	for i := range sTasks {
+		sTasks[i] = sched.Task{Home: -1} // compute tasks have no data home
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i, t := range tasks {
-		sem := slots[i%len(slots)]
-		wg.Add(1)
-		go func(t kernels.SampleSplit) {
-			defer wg.Done()
-			sem <- struct{}{} // take a mapper slot on the node
-			defer func() { <-sem }()
-			in := kernels.CountInside(t.Seed, t.Samples)
-			mu.Lock()
-			inside += in
-			total += t.Samples
-			mu.Unlock()
-		}(t)
+	exec := func(worker, task int) (any, error) {
+		c.stall(worker)
+		return kernels.CountInside(tasks[task].Seed, tasks[task].Samples), nil
 	}
-	wg.Wait()
+	opts := c.Sched
+	opts.OnCommit = nil // results fold below, in task order
+	results, stats, err := sched.Run(c.schedWorkers(), sTasks, exec, opts)
+	c.lastStats = stats
+	if err != nil {
+		return 0, 0, err
+	}
+	// Fold in task order: the totals are independent of which node won
+	// each attempt.
+	for i, res := range results {
+		inside += res.(int64)
+		total += tasks[i].Samples
+	}
 	return inside, total, nil
 }

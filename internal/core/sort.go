@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"hetmr/internal/kernels"
 )
@@ -28,21 +27,21 @@ func (c *LiveCluster) RunSort(input, output string) error {
 	if err != nil {
 		return err
 	}
-	// Map phase: sort each block where it lives.
-	runs := make([][]byte, len(work))
-	var mu sync.Mutex
-	err = c.forEachBlock(work, func(w blockWork, data []byte) error {
+	// Map phase: sort each block where it lives (or wherever the
+	// scheduler migrates it — a sorted run depends only on the block).
+	results, err := c.runBlocks(work, func(w blockWork, _ *LiveNode, data []byte) (any, error) {
 		run := append([]byte(nil), data...)
 		if err := kernels.SortRecords(run); err != nil {
-			return fmt.Errorf("core: sort block %d: %w", w.index, err)
+			return nil, fmt.Errorf("core: sort block %d: %w", w.index, err)
 		}
-		mu.Lock()
-		runs[w.index] = run
-		mu.Unlock()
-		return nil
-	})
+		return run, nil
+	}, nil)
 	if err != nil {
 		return err
+	}
+	runs := make([][]byte, len(work))
+	for i, res := range results {
+		runs[work[i].index] = res.([]byte)
 	}
 	// Reduce phase: merge the sorted runs.
 	merged, err := kernels.MergeSortedRuns(runs)

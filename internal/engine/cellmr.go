@@ -13,7 +13,11 @@ import (
 // cellmrRunner executes jobs on the node-level Cell MapReduce
 // framework (internal/cellmr): one chip, SPE workers, the PPE staging
 // copy the paper's Figure 2 charges the framework for. It is a
-// single-node backend — Workers is ignored — and its fixed-size KV
+// single-node backend — Workers is ignored, and the cluster-level
+// scheduling knobs (Speculative, MaxAttempts, SpeedHints, FaultDelays)
+// are accepted but inert: the framework's intra-chip block
+// distribution is already dynamic (SPEs pull 4 KB blocks), and there
+// is no second node to steal from or speculate on. Its fixed-size KV
 // records cannot express string-keyed or record-merge jobs, so only
 // Encrypt (the framework's RunStream mode) is supported.
 type cellmrRunner struct {

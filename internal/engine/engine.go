@@ -155,6 +155,11 @@ type Result struct {
 	Inside int64   // samples inside the quarter circle
 	Total  int64   // samples drawn
 
+	// TaskCounts reports winning task attempts per worker on the
+	// dynamically scheduled backends (live and net) — the per-worker
+	// imbalance a heterogeneous cluster produces. Nil elsewhere.
+	TaskCounts map[string]int
+
 	Sim *SimStats
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"hetmr/internal/core"
 	"hetmr/internal/kernels"
+	"hetmr/internal/sched"
 	"hetmr/internal/spurt"
 )
 
@@ -27,7 +28,13 @@ func init() {
 		clus, err := core.NewLiveCluster(cfg.Workers,
 			core.WithBlockSize(cfg.BlockSize),
 			core.WithMappersPerNode(cfg.MappersPerNode),
-			core.WithAcceleratedNodes(cfg.acceleratedNodes(cfg.Workers)))
+			core.WithAcceleratedNodes(cfg.acceleratedNodes(cfg.Workers)),
+			core.WithScheduling(sched.Options{
+				Speculative: cfg.Speculative,
+				MaxAttempts: cfg.MaxAttempts,
+			}),
+			core.WithSpeedHints(cfg.SpeedHints),
+			core.WithTaskDelays(cfg.FaultDelays))
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +156,9 @@ func (r *liveRunner) Run(job *Job) (*Result, error) {
 		res.Pi = kernels.EstimatePi(inside, total)
 	default:
 		return nil, fmt.Errorf("%w: %s on live", ErrUnsupported, job.Kind)
+	}
+	if stats := r.clus.LastStats(); stats != nil {
+		res.TaskCounts = stats.Counts()
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

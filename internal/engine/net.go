@@ -25,7 +25,10 @@ const netJobTimeout = 2 * time.Minute
 func init() {
 	Register("net", func(cfg Config) (Runner, error) {
 		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
-			cfg.BlockSize, 20*time.Millisecond)
+			cfg.BlockSize, 20*time.Millisecond,
+			netmr.WithSpeculation(cfg.Speculative),
+			netmr.WithMaxAttempts(cfg.MaxAttempts),
+			netmr.WithTrackerDelays(cfg.FaultDelays))
 		if err != nil {
 			return nil, err
 		}
@@ -45,6 +48,24 @@ func (r *netRunner) Close() error {
 // Cluster exposes the running deployment (daemon addresses etc.) for
 // callers that need backend-specific detail.
 func (r *netRunner) Cluster() *netmr.Cluster { return r.clus }
+
+// submitAndWait runs one job to completion and fetches the scheduler's
+// per-tracker completion counts alongside the reduced result.
+func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, counts map[string]int, err error) {
+	id, err := r.clus.Client.Submit(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err = r.clus.Client.Wait(id, netJobTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := r.clus.Client.Status(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, st.Counts, nil
+}
 
 // stageInput stores the job's dataset in the distributed FS.
 func (r *netRunner) stageInput(job *Job) (string, error) {
@@ -73,9 +94,9 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "wordcount", Input: input,
-		}, netJobTimeout)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -84,6 +105,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		res.Pairs = pairsFromCounts(counts)
+		res.TaskCounts = taskCounts
 	case Sort:
 		if r.cfg.BlockSize%kernels.SortRecordBytes != 0 {
 			return nil, fmt.Errorf("engine: net sort needs a block size divisible by %d, got %d",
@@ -93,15 +115,16 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "sort", Input: input,
-		}, netJobTimeout)
+		})
 		if err != nil {
 			return nil, err
 		}
 		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
 			return nil, err
 		}
+		res.TaskCounts = taskCounts
 	case Encrypt:
 		input, err := r.stageInput(job)
 		if err != nil {
@@ -113,27 +136,28 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "aes-ctr", Input: input, Args: args,
-		}, netJobTimeout)
+		})
 		if err != nil {
 			return nil, err
 		}
 		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
 			return nil, err
 		}
+		res.TaskCounts = taskCounts
 	case Pi:
 		seed := job.Seed
 		if seed == 0 {
 			seed = DefaultSeed
 		}
-		raw, err := r.clus.Client.SubmitAndWait(netmr.JobSpec{
+		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name:     job.title(),
 			Kernel:   "pi",
 			Samples:  job.Samples,
 			NumTasks: normalizeTasks(job.Tasks, r.cfg.Workers),
 			Seed:     seed,
-		}, netJobTimeout)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +166,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		res.Pi, res.Inside, res.Total = pi.Pi, pi.Inside, pi.Total
+		res.TaskCounts = taskCounts
 	default:
 		return nil, fmt.Errorf("%w: %s on net", ErrUnsupported, job.Kind)
 	}

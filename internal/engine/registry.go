@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hetmr/internal/perfmodel"
 )
@@ -46,8 +47,27 @@ type Config struct {
 	// default of 1.0 (fully accelerated, the paper's baseline); use
 	// NoAcceleration for a cluster with no accelerators at all.
 	AccelFraction float64
-	// Speculative enables speculative execution (simulated backend).
+	// Speculative enables speculative execution of straggler tasks on
+	// the live, net and simulated backends: when idle capacity appears
+	// and no pending work remains, the scheduler duplicates the
+	// slowest in-flight task and the first finished attempt wins. Job
+	// results are bit-identical with it on or off.
 	Speculative bool
+	// MaxAttempts caps per-task attempts (first launch + failure
+	// re-runs + speculative duplicates) on the live and net backends.
+	// 0 selects the scheduler default.
+	MaxAttempts int
+	// SpeedHints declares per-worker relative throughput (len must be
+	// 0 or Workers, values positive). The live backend's scheduler
+	// seeds its initial task distribution proportionally; work
+	// stealing corrects any hint error at run time. Use
+	// HeterogeneousSpeedHints to mirror perfmodel's device ratios.
+	SpeedHints []float64
+	// FaultDelays injects a fixed artificial delay into every task a
+	// worker executes (len must be 0 or Workers), on the live and net
+	// backends — the straggler fault-injection knob the conformance
+	// suite and benchmarks use. Nil injects nothing.
+	FaultDelays []time.Duration
 	// Timeline requests a rendered task Gantt chart in Result.Sim
 	// (simulated backend).
 	Timeline bool
@@ -86,7 +106,51 @@ func (c Config) withDefaults() (Config, error) {
 	case c.AccelFraction < 0 || c.AccelFraction > 1:
 		return c, fmt.Errorf("engine: accelerated fraction %g outside [0,1]", c.AccelFraction)
 	}
+	if c.MaxAttempts < 0 {
+		return c, fmt.Errorf("engine: negative attempt cap %d", c.MaxAttempts)
+	}
+	if c.SpeedHints != nil && len(c.SpeedHints) != c.Workers {
+		return c, fmt.Errorf("engine: %d speed hints for %d workers", len(c.SpeedHints), c.Workers)
+	}
+	for i, s := range c.SpeedHints {
+		if s <= 0 {
+			return c, fmt.Errorf("engine: worker %d has non-positive speed hint %g", i, s)
+		}
+	}
+	if c.FaultDelays != nil && len(c.FaultDelays) != c.Workers {
+		return c, fmt.Errorf("engine: %d fault delays for %d workers", len(c.FaultDelays), c.Workers)
+	}
+	for i, d := range c.FaultDelays {
+		if d < 0 {
+			return c, fmt.Errorf("engine: worker %d has negative fault delay %v", i, d)
+		}
+	}
 	return c, nil
+}
+
+// HeterogeneousSpeedHints builds per-worker speed hints for a cluster
+// whose first accelerated-fraction of nodes offload to the Cell chip
+// while the rest run the PPE Java path — the relative rates are
+// perfmodel's calibrated Pi plateaus, so the scheduler's initial
+// distribution mirrors the paper's measured device heterogeneity.
+func HeterogeneousSpeedHints(workers int, accelFraction float64) []float64 {
+	if workers <= 0 {
+		return nil
+	}
+	accelerated := int(accelFraction*float64(workers) + 0.5)
+	if accelerated > workers {
+		accelerated = workers
+	}
+	ratio := perfmodel.PiCellSamplesPerSec / perfmodel.PiPPESamplesPerSec
+	hints := make([]float64, workers)
+	for i := range hints {
+		if i < accelerated {
+			hints[i] = ratio
+		} else {
+			hints[i] = 1
+		}
+	}
+	return hints
 }
 
 // NoAcceleration is the AccelFraction value for a cluster without any

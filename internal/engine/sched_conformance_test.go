@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// The dynamic scheduler must never change what a job computes, only
+// when it finishes: with speculation enabled, explicit speed hints and
+// one injected straggler an order of magnitude slower than its peers,
+// every kind's result stays bit-identical to the plain run on both
+// functional backends (live in-process, net over TCP).
+
+// stragglerConfig mirrors conformanceConfig with worker 0 degraded:
+// its 8ms per-task delay is 10x-plus the real per-block work at this
+// block size, and the speed hints declare the skew to the scheduler.
+func stragglerConfig() Config {
+	cfg := conformanceConfig()
+	cfg.Speculative = true
+	cfg.MaxAttempts = 4
+	cfg.SpeedHints = []float64{0.1, 1, 1}
+	cfg.FaultDelays = []time.Duration{8 * time.Millisecond, 0, 0}
+	return cfg
+}
+
+func TestConformanceWithSpeculationAndStraggler(t *testing.T) {
+	for _, backend := range []string{"live", "net"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for _, job := range conformanceJobs() {
+				job := job
+				t.Run(string(job.Kind), func(t *testing.T) {
+					ref, ok := runOn(t, backend, job)
+					if !ok {
+						t.Fatalf("%s does not support %s", backend, job.Kind)
+					}
+					r, err := New(backend, stragglerConfig())
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer r.Close()
+					res, err := r.Run(job)
+					if err != nil {
+						t.Fatalf("%s with straggler: %v", job.Kind, err)
+					}
+					assertSameResult(t, job.Kind, backend+"(plain)", ref, backend+"(straggler)", res)
+					// The scheduler's accounting must cover every task,
+					// and the straggler (worker 0) must not have run the
+					// whole job — healthy workers steal its queue.
+					total := 0
+					for _, n := range res.TaskCounts {
+						total += n
+					}
+					if total == 0 {
+						t.Fatalf("no task counts reported: %+v", res.TaskCounts)
+					}
+					for _, straggler := range []string{"node000", "tracker-0"} {
+						if n := res.TaskCounts[straggler]; n == total {
+							t.Errorf("straggler %s won all %d tasks", straggler, n)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSpeculationOnOffBitIdentical pins the acceptance contract
+// directly: the same job with speculation on and off produces the
+// same bytes on every dynamically scheduled backend.
+func TestSpeculationOnOffBitIdentical(t *testing.T) {
+	for _, backend := range []string{"live", "net"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			for _, job := range conformanceJobs() {
+				off, ok := runOn(t, backend, job)
+				if !ok {
+					continue
+				}
+				cfg := conformanceConfig()
+				cfg.Speculative = true
+				r, err := New(backend, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := r.Run(job)
+				r.Close()
+				if err != nil {
+					t.Fatalf("%s speculative: %v", job.Kind, err)
+				}
+				assertSameResult(t, job.Kind, "speculation-off", off, "speculation-on", on)
+			}
+		})
+	}
+}
+
+func TestConfigSchedulingValidation(t *testing.T) {
+	bad := []Config{
+		{MaxAttempts: -1},
+		{Workers: 2, SpeedHints: []float64{1}},
+		{Workers: 2, SpeedHints: []float64{1, 0}},
+		{Workers: 2, SpeedHints: []float64{1, -3}},
+		{Workers: 2, FaultDelays: []time.Duration{time.Second}},
+		{Workers: 2, FaultDelays: []time.Duration{0, -time.Second}},
+	}
+	for i, cfg := range bad {
+		if _, err := New("live", cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestHeterogeneousSpeedHints(t *testing.T) {
+	hints := HeterogeneousSpeedHints(4, 0.5)
+	if len(hints) != 4 {
+		t.Fatalf("got %d hints", len(hints))
+	}
+	if hints[0] <= hints[3] {
+		t.Errorf("accelerated node hint %g not above plain node hint %g", hints[0], hints[3])
+	}
+	if hints[0] != hints[1] || hints[2] != hints[3] || hints[2] != 1 {
+		t.Errorf("hints = %v, want [r r 1 1]", hints)
+	}
+	if HeterogeneousSpeedHints(0, 1) != nil {
+		t.Error("zero workers should yield nil hints")
+	}
+	// The hints are valid engine configuration.
+	cfg := Config{Workers: 4, SpeedHints: HeterogeneousSpeedHints(4, 0.5)}
+	r, err := New("live", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}

@@ -146,6 +146,19 @@ func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
 	}
 }
 
+// Status fetches a job's current state, including the scheduler's
+// attempt total and per-tracker completion counts.
+func (c *Client) Status(jobID int64) (StatusReply, error) {
+	var status StatusReply
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return status, err
+	}
+	defer jtc.Close()
+	err = jtc.Call("Status", StatusArgs{JobID: jobID}, &status)
+	return status, err
+}
+
 // SubmitAndWait is Submit followed by Wait.
 func (c *Client) SubmitAndWait(spec JobSpec, timeout time.Duration) ([]byte, error) {
 	id, err := c.Submit(spec)
@@ -165,11 +178,49 @@ type Cluster struct {
 	Client *Client
 }
 
+// ClusterOption customizes StartCluster's scheduling behaviour.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	speculative bool
+	maxAttempts int
+	taskLease   time.Duration
+	delays      []time.Duration
+}
+
+// WithSpeculation enables speculative duplicates of straggling
+// in-flight tasks on the JobTracker.
+func WithSpeculation(on bool) ClusterOption {
+	return func(c *clusterConfig) { c.speculative = on }
+}
+
+// WithMaxAttempts caps per-task attempts (0: the scheduler default).
+func WithMaxAttempts(n int) ClusterOption {
+	return func(c *clusterConfig) { c.maxAttempts = n }
+}
+
+// WithTaskLease overrides how long an assigned task may stay silent
+// before the JobTracker re-issues it.
+func WithTaskLease(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.taskLease = d }
+}
+
+// WithTrackerDelays injects a per-task slowdown into each tracker by
+// worker index (shorter slices leave the remaining trackers alone) —
+// straggler fault injection for tests and benchmarks.
+func WithTrackerDelays(delays []time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.delays = delays }
+}
+
 // StartCluster boots a full deployment with the given worker count,
 // slot count per tracker and DFS block size.
-func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration) (*Cluster, error) {
+func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, opts ...ClusterOption) (*Cluster, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("netmr: need at least one worker, got %d", workers)
+	}
+	var cfg clusterConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	nn, err := StartNameNode("127.0.0.1:0")
 	if err != nil {
@@ -180,6 +231,13 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration) 
 		nn.Close()
 		return nil, err
 	}
+	// Scheduling knobs are applied before any tracker or client
+	// exists, so no job can have been submitted yet.
+	jt.Speculative = cfg.speculative
+	jt.MaxAttempts = cfg.maxAttempts
+	if cfg.taskLease > 0 {
+		jt.TaskLease = cfg.taskLease
+	}
 	c := &Cluster{NN: nn, JT: jt}
 	for i := 0; i < workers; i++ {
 		dn, err := StartDataNode("127.0.0.1:0", nn.Addr())
@@ -188,7 +246,11 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration) 
 			return nil, err
 		}
 		c.DNs = append(c.DNs, dn)
-		tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), jt.Addr(), dn.Addr(), slots, heartbeat)
+		var ttOpts []TrackerOption
+		if i < len(cfg.delays) && cfg.delays[i] > 0 {
+			ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
+		}
+		tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), jt.Addr(), dn.Addr(), slots, heartbeat, ttOpts...)
 		if err != nil {
 			c.Shutdown()
 			return nil, err

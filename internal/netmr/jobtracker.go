@@ -7,36 +7,42 @@ import (
 
 	"hetmr/internal/kernels"
 	"hetmr/internal/rpcnet"
+	"hetmr/internal/sched"
 )
 
-// taskState tracks one task's lifecycle at the JobTracker.
-type taskState struct {
-	task       Task
-	assignedTo string
-	assignedAt time.Time
-	done       bool
-	output     []byte
-}
-
-// jobRecord is one submitted job.
+// jobRecord is one submitted job: its task specs plus the dynamic
+// scheduler's board tracking leases, attempts and completions.
 type jobRecord struct {
 	id        int64
 	spec      JobSpec
-	tasks     []*taskState
+	tasks     []Task
+	board     *sched.Board
+	outputs   [][]byte
 	completed int
 	done      bool
 	result    []byte
 }
 
-// JobTracker is the TCP master daemon: it expands jobs into tasks,
-// assigns them on heartbeats, re-issues tasks whose lease expires
-// (tracker failure), and reduces the results.
+// JobTracker is the TCP master daemon: it expands jobs into tasks and
+// serves them to TaskTrackers over heartbeats through the shared
+// dynamic scheduler (internal/sched.Board) — pull-based leases with
+// locality preference, re-issue of tasks whose lease expires (tracker
+// failure), and optional speculative duplication of the
+// longest-running in-flight task when a tracker has idle slots, first
+// finished attempt winning. Finished tasks are reduced into the job
+// result.
 type JobTracker struct {
 	srv    *rpcnet.Server
 	nnAddr string
-	// TaskLease is how long an assigned task may stay silent before
-	// it is handed to another tracker.
+	// TaskLease is how long an assigned task may stay silent before it
+	// is handed to another tracker. Read at job submission; set it (and
+	// the scheduling knobs below) before submitting jobs.
 	TaskLease time.Duration
+	// Speculative enables speculative duplicates for subsequently
+	// submitted jobs; MaxAttempts caps per-task attempts (0: the
+	// scheduler default).
+	Speculative bool
+	MaxAttempts int
 
 	mu      sync.Mutex
 	nextJob int64
@@ -81,12 +87,24 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	board, err := sched.NewBoard(len(tasks), jt.TaskLease, sched.Options{
+		Speculative: jt.Speculative,
+		MaxAttempts: jt.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
 	id := jt.nextJob
 	jt.nextJob++
-	rec := &jobRecord{id: id, spec: args.Spec}
+	rec := &jobRecord{
+		id:      id,
+		spec:    args.Spec,
+		board:   board,
+		outputs: make([][]byte, len(tasks)),
+	}
 	for _, t := range tasks {
 		t.JobID = id
-		rec.tasks = append(rec.tasks, &taskState{task: t})
+		rec.tasks = append(rec.tasks, t)
 	}
 	jt.jobs[id] = rec
 	return SubmitReply{JobID: id}, nil
@@ -148,19 +166,18 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	// Record completions.
+	// Record completions; the board keeps the first finished attempt
+	// of each task and discards late duplicates (speculative or
+	// re-issued after a lease expiry).
 	for _, res := range args.Completed {
 		rec, ok := jt.jobs[res.JobID]
 		if !ok || res.TaskID < 0 || res.TaskID >= len(rec.tasks) {
 			continue
 		}
-		ts := rec.tasks[res.TaskID]
-		if ts.done {
-			continue // duplicate after re-issue: first result wins
+		if rec.board.Complete(res.TaskID, args.TrackerID) {
+			rec.outputs[res.TaskID] = res.Output
+			rec.completed++
 		}
-		ts.done = true
-		ts.output = res.Output
-		rec.completed++
 	}
 	// Finish jobs whose tasks are all done.
 	for _, rec := range jt.jobs {
@@ -171,58 +188,44 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		partials := make([][]byte, len(rec.tasks))
-		for i, ts := range rec.tasks {
-			partials[i] = ts.output
-		}
-		result, err := kern.Reduce(partials)
+		result, err := kern.Reduce(rec.outputs)
 		if err != nil {
 			return nil, fmt.Errorf("netmr: reduce job %d: %w", rec.id, err)
 		}
 		rec.result = result
 		rec.done = true
 	}
-	// Assign pending (or lease-expired) tasks, oldest jobs first.
-	// Two passes per job: data-local tasks first (block on the
-	// tracker's co-located DataNode), then any remaining task — the
-	// paper's "tries to minimize the number of remote block accesses".
+	// Hand out work, oldest jobs first. Each board grants data-local
+	// tasks first (block on the tracker's co-located DataNode — the
+	// paper's "tries to minimize the number of remote block
+	// accesses"), then any pending task. Only when every job's pending
+	// work is exhausted do the remaining slots fill with speculative
+	// duplicates of the longest-running in-flight tasks, again oldest
+	// job first — speculation is what idle capacity does, never what
+	// starves a younger job's real work.
 	var reply HeartbeatReply
 	now := time.Now()
-	assignable := func(ts *taskState) bool {
-		if ts.done {
-			return false
+	eachJob := func(fn func(rec *jobRecord)) {
+		for id := int64(0); id < jt.nextJob && len(reply.Tasks) < args.FreeSlots; id++ {
+			if rec, ok := jt.jobs[id]; ok && !rec.done {
+				fn(rec)
+			}
 		}
-		return ts.assignedTo == "" || now.Sub(ts.assignedAt) >= jt.TaskLease
 	}
-	grant := func(ts *taskState) {
-		ts.assignedTo = args.TrackerID
-		ts.assignedAt = now
-		reply.Tasks = append(reply.Tasks, ts.task)
-	}
-	for id := int64(0); id < jt.nextJob && len(reply.Tasks) < args.FreeSlots; id++ {
-		rec, ok := jt.jobs[id]
-		if !ok || rec.done {
-			continue
-		}
+	eachJob(func(rec *jobRecord) {
+		var local func(int) bool
 		if args.LocalDataNode != "" {
-			for _, ts := range rec.tasks {
-				if len(reply.Tasks) >= args.FreeSlots {
-					break
-				}
-				if assignable(ts) && ts.task.Block.Addr == args.LocalDataNode {
-					grant(ts)
-				}
-			}
+			local = func(i int) bool { return rec.tasks[i].Block.Addr == args.LocalDataNode }
 		}
-		for _, ts := range rec.tasks {
-			if len(reply.Tasks) >= args.FreeSlots {
-				break
-			}
-			if assignable(ts) {
-				grant(ts)
-			}
+		for _, i := range rec.board.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
+			reply.Tasks = append(reply.Tasks, rec.tasks[i])
 		}
-	}
+	})
+	eachJob(func(rec *jobRecord) {
+		for _, i := range rec.board.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
+			reply.Tasks = append(reply.Tasks, rec.tasks[i])
+		}
+	})
 	return reply, nil
 }
 
@@ -242,5 +245,7 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 		Completed: rec.completed,
 		Total:     len(rec.tasks),
 		Result:    rec.result,
+		Attempts:  rec.board.Attempts(),
+		Counts:    rec.board.Counts(),
 	}, nil
 }

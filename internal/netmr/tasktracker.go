@@ -22,6 +22,10 @@ type TaskTracker struct {
 	// tracker counts local vs remote fetches.
 	LocalDataNode string
 
+	// delay is an injected per-task slowdown (straggler fault
+	// injection for tests and benchmarks); immutable after start.
+	delay time.Duration
+
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
@@ -30,6 +34,16 @@ type TaskTracker struct {
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// TrackerOption customizes StartTaskTracker.
+type TrackerOption func(*TaskTracker)
+
+// WithTaskDelay makes the tracker sleep d before executing every task
+// — the injected-straggler knob the conformance suite uses to prove
+// results stay bit-identical when one worker is 10x slower.
+func WithTaskDelay(d time.Duration) TrackerOption {
+	return func(tt *TaskTracker) { tt.delay = d }
 }
 
 // FetchStats reports how many block fetches hit the co-located
@@ -43,7 +57,7 @@ func (tt *TaskTracker) FetchStats() (local, remote int64) {
 // StartTaskTracker launches a tracker with the given slot count and
 // heartbeat interval, polling the JobTracker at jtAddr. localDataNode
 // is the co-located DataNode's address ("" when the tracker has none).
-func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat time.Duration) (*TaskTracker, error) {
+func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat time.Duration, opts ...TrackerOption) (*TaskTracker, error) {
 	if slots <= 0 {
 		return nil, fmt.Errorf("netmr: tracker %q needs at least one slot", id)
 	}
@@ -58,6 +72,9 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 		LocalDataNode: localDataNode,
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(tt)
 	}
 	go tt.loop()
 	return tt, nil
@@ -130,6 +147,9 @@ func (tt *TaskTracker) runTask(task Task) {
 	kern, err := lookupKernel(task.Kernel)
 	if err != nil {
 		return // unknown kernel: lease will re-issue elsewhere
+	}
+	if tt.delay > 0 {
+		time.Sleep(tt.delay) // injected straggler slowdown
 	}
 	var data []byte
 	if task.Block.Addr != "" {

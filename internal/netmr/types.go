@@ -160,4 +160,10 @@ type StatusReply struct {
 	Completed int
 	Total     int
 	Result    []byte
+	// Attempts counts every attempt launched, including re-issues
+	// after lease expiry and speculative duplicates; Counts holds
+	// winning attempts per tracker ID — the scheduler's per-worker
+	// imbalance view.
+	Attempts int
+	Counts   map[string]int
 }

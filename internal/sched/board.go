@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Board is the pull-style face of the scheduler: a task state machine
+// for masters whose workers request work over heartbeats (the netmr
+// JobTracker). Workers hold a lease on every attempt; an attempt whose
+// lease expires is presumed dead (tracker failure) and its task
+// becomes assignable again. With speculation enabled, a worker whose
+// slots cannot be filled with pending tasks is handed a duplicate of
+// the longest-running in-flight task — first finished attempt wins,
+// exactly as in the in-process pool.
+//
+// The board is deterministic: callers pass the current time into
+// Assign, so tests can drive it with a manual clock.
+type Board struct {
+	mu       sync.Mutex
+	lease    time.Duration
+	opts     Options
+	max      int
+	tasks    []boardTask
+	doneN    int
+	counts   map[string]int
+	attempts int
+}
+
+// boardTask is one task's state at the board.
+type boardTask struct {
+	done     bool
+	attempts int
+	live     []boardAttempt
+}
+
+// boardAttempt is one leased execution.
+type boardAttempt struct {
+	worker  string
+	started time.Time
+}
+
+// NewBoard builds a board for n tasks with the given lease duration.
+func NewBoard(n int, lease time.Duration, opts Options) (*Board, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: board needs at least one task, got %d", n)
+	}
+	if lease <= 0 {
+		return nil, fmt.Errorf("sched: board needs a positive lease, got %v", lease)
+	}
+	return &Board{
+		lease:  lease,
+		opts:   opts,
+		max:    opts.maxAttempts(),
+		tasks:  make([]boardTask, n),
+		counts: make(map[string]int),
+	}, nil
+}
+
+// Assign grants worker up to max pending task attempts at time now:
+// expired leases are reclaimed first, then pending tasks the local
+// predicate prefers (nil: no locality), then any pending task. A task
+// index repeats across calls only after a lease expiry. Speculative
+// duplicates are a separate step (Speculate), so a master serving
+// several boards can exhaust every board's pending work before
+// duplicating anyone's stragglers.
+func (b *Board) Assign(worker string, max int, now time.Time, local func(task int) bool) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expire(now)
+	var out []int
+	pending := func(i int) bool {
+		t := &b.tasks[i]
+		return !t.done && len(t.live) == 0
+	}
+	if local != nil {
+		for i := range b.tasks {
+			if len(out) >= max {
+				break
+			}
+			if pending(i) && local(i) {
+				out = b.grant(i, worker, now, out)
+			}
+		}
+	}
+	for i := range b.tasks {
+		if len(out) >= max {
+			break
+		}
+		if pending(i) {
+			out = b.grant(i, worker, now, out)
+		}
+	}
+	return out
+}
+
+// Speculate grants worker up to max speculative duplicates of the
+// longest-running in-flight tasks at time now — the idle-capacity
+// step, meant to run only after Assign found no pending work anywhere.
+// It returns nothing unless the board was built with speculation on.
+func (b *Board) Speculate(worker string, max int, now time.Time) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.opts.Speculative {
+		return nil
+	}
+	b.expire(now)
+	var out []int
+	for len(out) < max {
+		i, ok := b.straggler(worker)
+		if !ok {
+			break
+		}
+		out = b.grant(i, worker, now, out)
+	}
+	return out
+}
+
+// grant records an attempt launch. Callers hold b.mu.
+func (b *Board) grant(i int, worker string, now time.Time, out []int) []int {
+	t := &b.tasks[i]
+	t.attempts++
+	b.attempts++
+	t.live = append(t.live, boardAttempt{worker: worker, started: now})
+	return append(out, i)
+}
+
+// expire drops attempts whose lease ran out. Callers hold b.mu.
+func (b *Board) expire(now time.Time) {
+	for i := range b.tasks {
+		t := &b.tasks[i]
+		kept := t.live[:0]
+		for _, a := range t.live {
+			if now.Sub(a.started) < b.lease {
+				kept = append(kept, a)
+			}
+		}
+		t.live = kept
+	}
+}
+
+// straggler picks the oldest single-attempt in-flight task not already
+// running on worker, with attempt budget left. Callers hold b.mu.
+func (b *Board) straggler(worker string) (int, bool) {
+	best, ok := 0, false
+	var bestStart time.Time
+	for i := range b.tasks {
+		t := &b.tasks[i]
+		if t.done || len(t.live) != 1 || t.live[0].worker == worker || t.attempts >= b.max {
+			continue
+		}
+		if !ok || t.live[0].started.Before(bestStart) {
+			best, bestStart, ok = i, t.live[0].started, true
+		}
+	}
+	return best, ok
+}
+
+// Complete reports an attempt's result arrival. It returns true when
+// this attempt wins the task (first finish) — the caller should keep
+// its output — and false for duplicates of already-completed tasks,
+// whose output must be discarded.
+func (b *Board) Complete(task int, worker string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if task < 0 || task >= len(b.tasks) {
+		return false
+	}
+	t := &b.tasks[task]
+	if t.done {
+		return false
+	}
+	t.done = true
+	t.live = nil
+	b.doneN++
+	b.counts[worker]++
+	return true
+}
+
+// Done reports whether every task has completed.
+func (b *Board) Done() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.doneN == len(b.tasks)
+}
+
+// Counts returns completed tasks per worker (the winning attempts).
+func (b *Board) Counts() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.counts))
+	for w, n := range b.counts {
+		out[w] = n
+	}
+	return out
+}
+
+// Attempts reports every attempt launched, including re-issues after
+// lease expiry and speculative duplicates.
+func (b *Board) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts
+}

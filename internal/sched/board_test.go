@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// The board is driven with a manual clock: every behaviour below is
+// fully deterministic.
+
+func boardAt(t *testing.T, n int, lease time.Duration, opts Options) *Board {
+	t.Helper()
+	b, err := NewBoard(n, lease, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBoardAssignsEachTaskOnce(t *testing.T) {
+	b := boardAt(t, 5, time.Second, Options{})
+	t0 := time.Unix(0, 0)
+	got := b.Assign("a", 3, t0, nil)
+	if len(got) != 3 {
+		t.Fatalf("granted %v, want 3 tasks", got)
+	}
+	rest := b.Assign("b", 10, t0, nil)
+	if len(rest) != 2 {
+		t.Fatalf("granted %v, want the remaining 2", rest)
+	}
+	if more := b.Assign("c", 10, t0, nil); len(more) != 0 {
+		t.Fatalf("granted %v with everything leased", more)
+	}
+	if dup := b.Speculate("c", 10, t0); len(dup) != 0 {
+		t.Fatalf("Speculate granted %v on a speculation-off board", dup)
+	}
+}
+
+func TestBoardLocalityFirst(t *testing.T) {
+	b := boardAt(t, 4, time.Second, Options{})
+	t0 := time.Unix(0, 0)
+	local := func(i int) bool { return i == 2 || i == 3 }
+	got := b.Assign("a", 2, t0, local)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("granted %v, want the local tasks [2 3] first", got)
+	}
+}
+
+func TestBoardLeaseExpiryReissues(t *testing.T) {
+	b := boardAt(t, 1, time.Second, Options{})
+	t0 := time.Unix(100, 0)
+	if got := b.Assign("dead", 1, t0, nil); len(got) != 1 {
+		t.Fatalf("granted %v", got)
+	}
+	// Within the lease the task stays assigned.
+	if got := b.Assign("b", 1, t0.Add(500*time.Millisecond), nil); len(got) != 0 {
+		t.Fatalf("re-granted %v before the lease expired", got)
+	}
+	// After expiry it migrates.
+	got := b.Assign("b", 1, t0.Add(1100*time.Millisecond), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("granted %v after expiry, want [0]", got)
+	}
+	if b.Attempts() != 2 {
+		t.Errorf("attempts = %d, want 2", b.Attempts())
+	}
+}
+
+func TestBoardFirstFinishWins(t *testing.T) {
+	b := boardAt(t, 1, time.Second, Options{Speculative: true})
+	t0 := time.Unix(0, 0)
+	b.Assign("slow", 1, t0, nil)
+	// Assign never duplicates; the idle second worker gets the
+	// speculative duplicate from the dedicated step.
+	if got := b.Assign("fast", 1, t0.Add(10*time.Millisecond), nil); len(got) != 0 {
+		t.Fatalf("Assign granted %v with no pending tasks", got)
+	}
+	dup := b.Speculate("fast", 1, t0.Add(10*time.Millisecond))
+	if len(dup) != 1 || dup[0] != 0 {
+		t.Fatalf("speculative grant = %v, want [0]", dup)
+	}
+	if !b.Complete(0, "fast") {
+		t.Error("first completion rejected")
+	}
+	if b.Complete(0, "slow") {
+		t.Error("late duplicate completion accepted")
+	}
+	if !b.Done() {
+		t.Error("board not done after the only task completed")
+	}
+	counts := b.Counts()
+	if counts["fast"] != 1 || counts["slow"] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestBoardSpeculationPicksOldestAndRespectsCaps(t *testing.T) {
+	b := boardAt(t, 3, time.Minute, Options{Speculative: true, MaxAttempts: 2})
+	t0 := time.Unix(0, 0)
+	b.Assign("a", 1, t0, nil)                    // task 0, oldest
+	b.Assign("b", 1, t0.Add(time.Second), nil)   // task 1
+	b.Assign("c", 1, t0.Add(2*time.Second), nil) // task 2
+	dup := b.Speculate("d", 1, t0.Add(3*time.Second))
+	if len(dup) != 1 || dup[0] != 0 {
+		t.Fatalf("speculative grant = %v, want the oldest in-flight [0]", dup)
+	}
+	// Task 0 now has 2 attempts (the cap) and 2 live copies: no worker
+	// may speculate it again, and the next-oldest is task 1.
+	dup = b.Speculate("e", 1, t0.Add(4*time.Second))
+	if len(dup) != 1 || dup[0] != 1 {
+		t.Fatalf("second speculative grant = %v, want [1]", dup)
+	}
+	// A worker never duplicates its own in-flight task.
+	if got := b.Speculate("c", 1, t0.Add(5*time.Second)); len(got) != 0 {
+		t.Fatalf("worker c granted %v, but only its own task 2 is eligible", got)
+	}
+}
+
+func TestBoardValidation(t *testing.T) {
+	if _, err := NewBoard(0, time.Second, Options{}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := NewBoard(1, 0, Options{}); err == nil {
+		t.Error("zero lease accepted")
+	}
+	b := boardAt(t, 1, time.Second, Options{})
+	if b.Complete(5, "x") || b.Complete(-1, "x") {
+		t.Error("out-of-range completion accepted")
+	}
+}

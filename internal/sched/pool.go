@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Run executes tasks over the worker fleet with work stealing and,
+// when enabled, speculative re-execution and failure re-runs. It
+// returns the per-task results (indexed like tasks) and the run's
+// per-worker stats.
+//
+// Placement: homed tasks are queued on their preferred worker first;
+// the rest are spread proportionally to worker speed hints. Any idle
+// worker steals queued work from the most loaded peer, so placement
+// (and hint error) only affects where work starts, never whether a
+// slow worker serializes the tail.
+//
+// Completion: the first finished attempt of a task wins; its result is
+// committed (and Options.OnCommit invoked) exactly once. Losing
+// duplicate attempts may still be executing when Run returns — they
+// are pure by the Exec contract and their results are discarded.
+//
+// Failure: an attempt that returns an error is parked for retry and
+// picked up by the next worker to go idle other than the one that
+// failed it, until the task's attempt cap (Options.MaxAttempts) is
+// exhausted, at which point Run aborts and returns the last error.
+func Run(workers []Worker, tasks []Task, exec Exec, opts Options) ([]any, *Stats, error) {
+	fleet, err := normalizeWorkers(workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &pool{
+		workers: fleet,
+		tasks:   tasks,
+		exec:    exec,
+		opts:    opts,
+		max:     opts.maxAttempts(),
+		q:       NewQueues(len(fleet)),
+		results: make([]any, len(tasks)),
+		done:    make([]bool, len(tasks)),
+		tries:   make([]int, len(tasks)),
+		live:    make(map[int][]liveAttempt),
+		stats:   make([]WorkerStats, len(fleet)),
+	}
+	for i, w := range fleet {
+		p.stats[i].ID = w.ID
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.distribute()
+	for w := range fleet {
+		for s := 0; s < fleet[w].Slots; s++ {
+			go p.slot(w)
+		}
+	}
+	p.mu.Lock()
+	for p.doneCount < len(tasks) && !p.aborted {
+		p.cond.Wait()
+	}
+	results, err := p.results, p.failErr
+	stats := p.snapshot()
+	p.mu.Unlock()
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// liveAttempt is one in-flight execution.
+type liveAttempt struct {
+	worker int
+	start  time.Time
+}
+
+// retryTask is a failed task awaiting re-run on a worker other than
+// the one that just failed it (so a broken worker cannot steal its own
+// failure back and burn the task's whole attempt budget).
+type retryTask struct {
+	task     int
+	excluded int
+}
+
+type pool struct {
+	workers []Worker
+	tasks   []Task
+	exec    Exec
+	opts    Options
+	max     int
+	q       *Queues
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	results   []any
+	done      []bool
+	doneCount int
+	tries     []int // attempts launched per task
+	live      map[int][]liveAttempt
+	retry     []retryTask
+	failErr   error
+	aborted   bool
+	stats     []WorkerStats
+	attempts  int
+}
+
+// distribute seeds the queues: homed tasks go to their preferred
+// worker, the rest are spread proportionally to speed hints (each task
+// goes to the worker whose weighted load is lowest).
+func (p *pool) distribute() {
+	load := make([]float64, len(p.workers))
+	for i, t := range p.tasks {
+		if t.Home >= 0 && t.Home < len(p.workers) {
+			p.q.Push(t.Home, i)
+			load[t.Home] += 1 / p.workers[t.Home].Speed
+			continue
+		}
+		best := 0
+		for w := range p.workers {
+			if (load[w]+1)/p.workers[w].Speed < (load[best]+1)/p.workers[best].Speed {
+				best = w
+			}
+		}
+		p.q.Push(best, i)
+		load[best] += 1 / p.workers[best].Speed
+	}
+}
+
+// slot is one worker execution slot: pull a task (own queue, then
+// steal, then speculate), run it, commit or retry, repeat.
+func (p *pool) slot(w int) {
+	for {
+		t, ok := p.next(w)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res, err := p.exec(w, t)
+		p.finish(w, t, res, err, time.Since(start))
+	}
+}
+
+// next blocks until worker w has an attempt to run or the pool is
+// finished/aborted.
+func (p *pool) next(w int) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.aborted || p.doneCount == len(p.tasks) {
+			return 0, false
+		}
+		if t, ok := p.q.Pop(w); ok {
+			p.launch(w, t)
+			return t, true
+		}
+		if t, _, ok := p.q.Steal(w); ok {
+			p.stats[w].Stolen++
+			p.launch(w, t)
+			return t, true
+		}
+		if t, ok := p.takeRetry(w); ok {
+			p.launch(w, t)
+			return t, true
+		}
+		if p.opts.Speculative {
+			if t, ok := p.straggler(w); ok {
+				p.stats[w].Speculated++
+				p.launch(w, t)
+				return t, true
+			}
+		}
+		p.cond.Wait()
+	}
+}
+
+// launch records an attempt start. Callers hold p.mu.
+func (p *pool) launch(w, t int) {
+	p.tries[t]++
+	p.attempts++
+	p.stats[w].Attempts++
+	p.live[t] = append(p.live[t], liveAttempt{worker: w, start: time.Now()})
+}
+
+// takeRetry hands worker w the first failed task it is allowed to
+// re-run (single-worker fleets may retry their own failures, or
+// nothing would). Callers hold p.mu.
+func (p *pool) takeRetry(w int) (int, bool) {
+	for i, r := range p.retry {
+		if r.excluded == w && len(p.workers) > 1 {
+			continue
+		}
+		p.retry = append(p.retry[:i], p.retry[i+1:]...)
+		return r.task, true
+	}
+	return 0, false
+}
+
+// straggler picks the in-flight task that has been running longest and
+// is eligible for a speculative duplicate on worker w: not done, not
+// already duplicated, not running on w itself, attempt budget left.
+// Callers hold p.mu.
+func (p *pool) straggler(w int) (int, bool) {
+	best, ok := 0, false
+	var bestStart time.Time
+	for t, attempts := range p.live {
+		if p.done[t] || len(attempts) != 1 || attempts[0].worker == w || p.tries[t] >= p.max {
+			continue
+		}
+		if !ok || attempts[0].start.Before(bestStart) ||
+			(attempts[0].start.Equal(bestStart) && t < best) {
+			best, bestStart, ok = t, attempts[0].start, true
+		}
+	}
+	return best, ok
+}
+
+// finish records an attempt's outcome: commit on first success,
+// re-queue or abort on failure.
+func (p *pool) finish(w, t int, res any, err error, busy time.Duration) {
+	p.mu.Lock()
+	p.stats[w].Busy += busy
+	p.dropLive(t, w)
+	if err != nil {
+		p.stats[w].Failed++
+		if !p.done[t] && len(p.live[t]) == 0 {
+			if p.tries[t] >= p.max {
+				if p.failErr == nil {
+					p.failErr = fmt.Errorf("sched: task %d failed after %d attempts: %w", t, p.tries[t], err)
+				}
+				p.aborted = true
+			} else {
+				p.retry = append(p.retry, retryTask{task: t, excluded: w})
+			}
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+	if p.done[t] {
+		// A duplicate lost the race; its result is discarded.
+		p.mu.Unlock()
+		return
+	}
+	p.done[t] = true
+	p.results[t] = res
+	p.stats[w].Committed++
+	p.mu.Unlock()
+	if p.opts.OnCommit != nil {
+		p.opts.OnCommit(t, res)
+	}
+	p.mu.Lock()
+	p.doneCount++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// dropLive removes one in-flight record of worker w for task t.
+// Callers hold p.mu.
+func (p *pool) dropLive(t, w int) {
+	attempts := p.live[t]
+	for i, a := range attempts {
+		if a.worker == w {
+			p.live[t] = append(attempts[:i], attempts[i+1:]...)
+			break
+		}
+	}
+	if len(p.live[t]) == 0 {
+		delete(p.live, t)
+	}
+}
+
+// snapshot copies the stats so callers can read them after Run returns
+// while losing duplicate attempts are still draining. Callers hold
+// p.mu.
+func (p *pool) snapshot() *Stats {
+	s := &Stats{
+		Workers:  append([]WorkerStats(nil), p.stats...),
+		Tasks:    len(p.tasks),
+		Attempts: p.attempts,
+	}
+	return s
+}

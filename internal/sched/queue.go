@@ -1,0 +1,82 @@
+package sched
+
+import "sync"
+
+// Queues is the work-stealing queue set: one task deque per worker.
+// Pushes append to the back; owners pop from the front (consuming
+// their assignment in locality order) while thieves steal from the
+// back of the longest peer deque, so the work a thief takes is the
+// work its owner would have reached last. All operations are safe for
+// concurrent use.
+type Queues struct {
+	mu     sync.Mutex
+	deques [][]int
+}
+
+// NewQueues builds an empty queue set for n workers.
+func NewQueues(n int) *Queues {
+	return &Queues{deques: make([][]int, n)}
+}
+
+// Push appends task to worker w's deque.
+func (q *Queues) Push(w, task int) {
+	q.mu.Lock()
+	q.deques[w] = append(q.deques[w], task)
+	q.mu.Unlock()
+}
+
+// Pop takes the front task of w's own deque.
+func (q *Queues) Pop(w int) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	d := q.deques[w]
+	if len(d) == 0 {
+		return 0, false
+	}
+	task := d[0]
+	q.deques[w] = d[1:]
+	return task, true
+}
+
+// Steal takes the back task of the longest deque other than the
+// thief's own (ties broken by lower worker index, for determinism in
+// tests). It reports which victim was robbed.
+func (q *Queues) Steal(thief int) (task, victim int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	victim = -1
+	best := 0
+	for w, d := range q.deques {
+		if w == thief {
+			continue
+		}
+		if len(d) > best {
+			best, victim = len(d), w
+		}
+	}
+	if victim < 0 {
+		return 0, 0, false
+	}
+	d := q.deques[victim]
+	task = d[len(d)-1]
+	q.deques[victim] = d[:len(d)-1]
+	return task, victim, true
+}
+
+// Len reports worker w's queued task count.
+func (q *Queues) Len(w int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.deques[w])
+}
+
+// Total reports the queued task count across all workers.
+func (q *Queues) Total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, d := range q.deques {
+		n += len(d)
+	}
+	return n
+}

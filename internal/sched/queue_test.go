@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueuesPushPopFIFO(t *testing.T) {
+	q := NewQueues(2)
+	for i := 0; i < 5; i++ {
+		q.Push(0, i)
+	}
+	for want := 0; want < 5; want++ {
+		got, ok := q.Pop(0)
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v, want %d", got, ok, want)
+		}
+	}
+	if _, ok := q.Pop(0); ok {
+		t.Error("Pop on empty deque succeeded")
+	}
+}
+
+func TestQueuesStealFromLongest(t *testing.T) {
+	q := NewQueues(3)
+	q.Push(0, 10)
+	q.Push(1, 20)
+	q.Push(1, 21)
+	q.Push(1, 22)
+	task, victim, ok := q.Steal(2)
+	if !ok || victim != 1 || task != 22 {
+		t.Fatalf("Steal = %d from %d (%v), want 22 from 1", task, victim, ok)
+	}
+	// A thief never robs itself, even when it holds the longest deque.
+	q.Push(2, 30)
+	q.Push(2, 31)
+	task, victim, ok = q.Steal(2)
+	if !ok || victim == 2 {
+		t.Fatalf("Steal = %d from %d (%v); thief robbed itself", task, victim, ok)
+	}
+	if q.Total() != 4 {
+		t.Errorf("Total = %d, want 4", q.Total())
+	}
+}
+
+// TestQueuesConcurrentStealCompleteFail hammers the queue set from
+// many goroutines — owners popping, thieves stealing, failures pushing
+// tasks back — and checks every task is consumed exactly once. Run
+// with -race, this is the work-stealing queue's data-race gate.
+func TestQueuesConcurrentStealCompleteFail(t *testing.T) {
+	const workers = 8
+	const tasks = 4096
+	q := NewQueues(workers)
+	for i := 0; i < tasks; i++ {
+		q.Push(i%workers, i)
+	}
+	seen := make([]int32, tasks)
+	var retries sync.Map
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok := q.Pop(w)
+				if !ok {
+					task, _, ok = q.Steal(w)
+				}
+				if !ok {
+					return
+				}
+				// Simulate a one-shot failure on every 17th task: push it
+				// back onto a neighbour for another worker to re-run.
+				if task%17 == 0 {
+					if _, failed := retries.LoadOrStore(task, true); !failed {
+						q.Push((w+1)%workers, task)
+						continue
+					}
+				}
+				mu.Lock()
+				seen[task]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d consumed %d times", i, n)
+		}
+	}
+	if q.Total() != 0 {
+		t.Errorf("queues not drained: %d left", q.Total())
+	}
+}

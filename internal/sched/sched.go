@@ -1,0 +1,183 @@
+// Package sched is the heterogeneity-aware dynamic scheduler shared by
+// the functional runtimes: a work-stealing task pool for the
+// in-process live cluster (internal/core) and a lease-based task board
+// for the pull-style distributed JobTracker (internal/netmr). The
+// paper's central claim — that a cluster mixing devices of very
+// different speeds only pays off when the runtime load-balances across
+// them — needs three mechanisms beyond static task splits, and this
+// package provides all of them behind one option set:
+//
+//   - work stealing: tasks start on their preferred (data-local)
+//     worker, but any idle worker takes over queued work from the most
+//     loaded peer, so a slow device never serializes the job tail;
+//   - speculative execution: when idle capacity appears and no queued
+//     work remains, the slowest in-flight task is duplicated and the
+//     first finished attempt wins (Hadoop's straggler defence);
+//   - failure re-run: attempts that fail (an exec error in the pool, a
+//     silent lease expiry on the board) are re-issued on another
+//     worker, bounded by MaxAttempts in the pool.
+//
+// Task results must be deterministic functions of the task alone — the
+// same bytes regardless of which worker runs an attempt — which is
+// what makes first-finish-wins commits safe and keeps job results
+// bit-identical with speculation on or off.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"hetmr/internal/metrics"
+)
+
+// DefaultMaxAttempts is the per-task attempt cap (first launch plus
+// failure re-runs plus speculative duplicates) when Options.MaxAttempts
+// is zero. It matches Hadoop's mapred.map.max.attempts default.
+const DefaultMaxAttempts = 4
+
+// Worker describes one execution site of a pool.
+type Worker struct {
+	// ID labels the worker in stats (e.g. the live node name).
+	ID string
+	// Speed is the worker's relative throughput hint: a worker with
+	// Speed 2 is expected to finish tasks twice as fast as one with
+	// Speed 1. The initial distribution of un-homed tasks is
+	// proportional to it (stealing corrects any hint error at run
+	// time). 0 means 1.
+	Speed float64
+	// Slots is how many tasks the worker runs concurrently (the
+	// paper's map slots per node). 0 means 1.
+	Slots int
+}
+
+// Task describes one unit of work for a pool run.
+type Task struct {
+	// Home is the preferred worker index (data locality): the task is
+	// queued there first, though idle workers may steal it. -1 (or any
+	// out-of-range value) means no preference.
+	Home int
+}
+
+// Exec runs one attempt of task t on worker w and returns the task's
+// result. It must be a pure function of the task: attempts of the same
+// task may run concurrently on different workers and the pool commits
+// whichever finishes first.
+type Exec func(w, t int) (any, error)
+
+// Options configures a pool run or a board.
+type Options struct {
+	// Speculative enables duplicate execution of the slowest in-flight
+	// task when a worker goes idle; the first finished attempt wins.
+	Speculative bool
+	// MaxAttempts caps attempts per task (0: DefaultMaxAttempts). The
+	// pool aborts the run when a task fails this many times; the board
+	// uses it only to bound speculative duplicates (lease re-issue
+	// after worker death is never capped, or jobs could wedge).
+	MaxAttempts int
+	// OnCommit, when set, is called exactly once per task with the
+	// winning attempt's result, concurrently across tasks, before Run
+	// returns. Use it to fold results into shared structures (e.g. the
+	// live runner's shuffle) without double-insertion under
+	// speculation.
+	OnCommit func(t int, result any)
+}
+
+// maxAttempts resolves the attempt cap.
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// WorkerStats is one worker's view of a finished pool run.
+type WorkerStats struct {
+	ID string
+	// Committed counts tasks whose winning attempt ran here.
+	Committed int
+	// Attempts counts every attempt launched here.
+	Attempts int
+	// Stolen counts attempts taken from another worker's queue.
+	Stolen int
+	// Speculated counts speculative duplicate attempts launched here.
+	Speculated int
+	// Failed counts attempts that returned an error.
+	Failed int
+	// Busy is the total wall time this worker spent executing.
+	Busy time.Duration
+}
+
+// Throughput is the worker's committed-tasks-per-second rate over its
+// busy time (0 when it never ran).
+func (w WorkerStats) Throughput() float64 {
+	if w.Busy <= 0 {
+		return 0
+	}
+	return float64(w.Committed) / w.Busy.Seconds()
+}
+
+// Stats summarizes one pool run.
+type Stats struct {
+	// Workers holds per-worker counters, indexed like the input fleet.
+	Workers []WorkerStats
+	// Tasks is the task count; Attempts every launched attempt
+	// (including speculative duplicates and failure re-runs).
+	Tasks    int
+	Attempts int
+}
+
+// Counts returns committed tasks per worker ID — the "who did the
+// work" imbalance view.
+func (s *Stats) Counts() map[string]int {
+	out := make(map[string]int, len(s.Workers))
+	for _, w := range s.Workers {
+		out[w.ID] = w.Committed
+	}
+	return out
+}
+
+// Figure renders the run as a metrics figure: one point per worker,
+// with committed tasks and launched attempts as separate series — the
+// same shape the experiment harness prints for the paper's figures.
+func (s *Stats) Figure(id, title string) *metrics.Figure {
+	fig := &metrics.Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "worker",
+		YLabel: "tasks",
+		Series: []metrics.Series{{Label: "committed"}, {Label: "attempts"}},
+	}
+	for i, w := range s.Workers {
+		x := float64(i)
+		fig.Series[0].Points = append(fig.Series[0].Points, metrics.Point{X: x, Y: float64(w.Committed)})
+		fig.Series[1].Points = append(fig.Series[1].Points, metrics.Point{X: x, Y: float64(w.Attempts)})
+	}
+	return fig
+}
+
+// normalizeWorkers validates a fleet and resolves zero fields.
+func normalizeWorkers(workers []Worker) ([]Worker, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("sched: need at least one worker")
+	}
+	out := make([]Worker, len(workers))
+	for i, w := range workers {
+		if w.Speed < 0 {
+			return nil, fmt.Errorf("sched: worker %d has negative speed %g", i, w.Speed)
+		}
+		if w.Speed == 0 {
+			w.Speed = 1
+		}
+		if w.Slots < 0 {
+			return nil, fmt.Errorf("sched: worker %d has negative slots %d", i, w.Slots)
+		}
+		if w.Slots == 0 {
+			w.Slots = 1
+		}
+		if w.ID == "" {
+			w.ID = fmt.Sprintf("worker%03d", i)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
