@@ -18,13 +18,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json mirrors the CI benchmark lane: every benchmark once,
-# parsed into the machine-readable perf artifact. The intermediate
-# file (not a pipe) keeps a benchmark failure fatal.
+# parsed into the machine-readable perf artifact (name parameterized
+# like the CI lane's BENCH_ARTIFACT). The intermediate file (not a
+# pipe) keeps a benchmark failure fatal.
+BENCH_ARTIFACT ?= BENCH_PR3
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -o $(BENCH_ARTIFACT).json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_PR2.json"
+	@echo "wrote $(BENCH_ARTIFACT).json"
 
 repro-quick:
 	$(GO) run ./cmd/repro -quick

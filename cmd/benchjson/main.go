@@ -1,8 +1,9 @@
 // benchjson converts `go test -bench` output on stdin into a JSON
-// document on stdout, so CI can publish the benchmark trajectory as a
-// machine-readable artifact (BENCH_PR<N>.json) instead of a log grep.
+// document on stdout — or into the file named by -o, so the CI bench
+// lane parameterizes the artifact name (BENCH_PR<N>.json) in one place
+// instead of a shell redirect per pipeline.
 //
-//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH.json
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -o BENCH.json
 //
 // Each benchmark line becomes one entry carrying the package under
 // test, the benchmark name (with its -cpu suffix split off), the
@@ -13,7 +14,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -39,6 +42,23 @@ type Report struct {
 }
 
 func main() {
+	outPath := flag.String("o", "", "write the JSON document to this file instead of stdout")
+	flag.Parse()
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
 	report := Report{
 		GoVersion:  runtime.Version(),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -61,7 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

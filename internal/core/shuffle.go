@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"hetmr/internal/kernels"
 )
 
 // The shuffle is the node-level analogue of the paper's block-level
@@ -45,18 +47,11 @@ func newPartitionedShuffle(nPart int) *partitionedShuffle {
 	return s
 }
 
-// partitionOf maps a key to its bucket (FNV-1a, mod partitions).
+// partitionOf maps a key to its bucket — the shared shuffle hash
+// (kernels.PartitionIndexString), so the in-process and distributed
+// shuffles route keys identically.
 func (s *partitionedShuffle) partitionOf(key string) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return int(h % uint64(len(s.parts)))
+	return kernels.PartitionIndexString(key, len(s.parts))
 }
 
 // insert merges one mapper's locally-grouped output into the buckets.

@@ -49,6 +49,19 @@ func (r *netRunner) Close() error {
 // callers that need backend-specific detail.
 func (r *netRunner) Cluster() *netmr.Cluster { return r.clus }
 
+// reducers resolves the distributed-shuffle reduce-task count for data
+// jobs whose kernel supports partitioned output: the configured
+// partition count, defaulting to one reduce task per worker.
+func (r *netRunner) reducers() int {
+	if r.cfg.Reducers > 0 {
+		return r.cfg.Reducers
+	}
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	return 1
+}
+
 // submitAndWait runs one job to completion and fetches the scheduler's
 // per-tracker completion counts alongside the reduced result.
 func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, counts map[string]int, err error) {
@@ -96,6 +109,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		}
 		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "wordcount", Input: input,
+			NumReducers: r.reducers(),
 		})
 		if err != nil {
 			return nil, err
@@ -117,6 +131,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		}
 		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "sort", Input: input,
+			NumReducers: r.reducers(),
 		})
 		if err != nil {
 			return nil, err

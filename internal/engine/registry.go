@@ -31,8 +31,10 @@ type Config struct {
 	// MappersPerNode bounds concurrent mappers per node on the live
 	// backend (default: the paper's 2).
 	MappersPerNode int
-	// Reducers is the live backend's shuffle partition count (0:
-	// runtime default).
+	// Reducers is the shuffle partition count: the live backend's
+	// in-process bucket count, and the net backend's distributed
+	// reduce-task count for kernels with partitioned output (0:
+	// runtime default — one reduce task per worker on net).
 	Reducers int
 	// Mapper selects the mapper variant: "cell" (accelerated, the
 	// default), "java" (host path) or "empty" (simulated backend

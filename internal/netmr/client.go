@@ -1,7 +1,10 @@
 package netmr
 
 import (
+	"errors"
 	"fmt"
+	"net"
+	"sync"
 	"time"
 
 	"hetmr/internal/rpcnet"
@@ -49,14 +52,39 @@ func (c *Client) WriteFile(name string, data []byte, preferred string) error {
 		if err != nil {
 			return err
 		}
-		dnc, err := rpcnet.Dial(alloc.Block.Addr)
-		if err != nil {
-			return err
+		// Every replica gets the block at write time, so readers can
+		// fail over when a DataNode dies later. A placement target
+		// that is down costs the block a copy, not the write: the
+		// surviving replicas are confirmed back to the NameNode so
+		// readers never chase the unwritten one.
+		var stored []string
+		var lastErr error
+		for _, addr := range alloc.Block.ReplicaAddrs() {
+			dnc, err := rpcnet.Dial(addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			dnc.SetCallTimeout(dataCallTimeout)
+			err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
+			dnc.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			stored = append(stored, addr)
 		}
-		err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
-		dnc.Close()
-		if err != nil {
-			return err
+		if len(stored) == 0 {
+			return fmt.Errorf("netmr: block %d: no replica target reachable: %v",
+				alloc.Block.ID, lastErr)
+		}
+		if len(stored) < len(alloc.Block.ReplicaAddrs()) {
+			err := nnc.Call("Confirm", ConfirmArgs{
+				File: name, BlockID: alloc.Block.ID, Replicas: stored,
+			}, nil)
+			if err != nil {
+				return err
+			}
 		}
 		if len(data) == 0 {
 			break
@@ -78,19 +106,51 @@ func (c *Client) ReadFile(name string) ([]byte, error) {
 	}
 	var out []byte
 	for _, blk := range lookup.Blocks {
-		dnc, err := rpcnet.Dial(blk.Addr)
+		data, err := readBlock(blk)
 		if err != nil {
 			return nil, err
 		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// readBlock fetches one block, failing over along the replica list
+// when a DataNode is down.
+func readBlock(blk BlockInfo) ([]byte, error) {
+	data, _, err := readBlockFrom(blk, blk.ReplicaAddrs())
+	return data, err
+}
+
+// dataCallTimeout bounds one data-plane round-trip (a DFS block Get or
+// a shuffle FetchPartition): generous for real transfers, but a peer
+// that hangs without closing its socket becomes a failed attempt —
+// re-issued elsewhere — instead of a leaked task slot.
+const dataCallTimeout = 30 * time.Second
+
+// readBlockFrom fetches one block from the first reachable address,
+// trying addrs in order and returning the address that served the read
+// for the caller's accounting — the one copy of the DFS read-failover
+// protocol, shared by the client and the TaskTrackers.
+func readBlockFrom(blk BlockInfo, addrs []string) ([]byte, string, error) {
+	var lastErr error
+	for _, addr := range addrs {
+		dnc, err := rpcnet.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		dnc.SetCallTimeout(dataCallTimeout)
 		var get GetReply
 		err = dnc.Call("Get", GetArgs{ID: blk.ID}, &get)
 		dnc.Close()
 		if err != nil {
-			return nil, err
+			lastErr = err
+			continue
 		}
-		out = append(out, get.Data...)
+		return get.Data, addr, nil
 	}
-	return out, nil
+	return nil, "", fmt.Errorf("netmr: block %d: no replica reachable: %v", blk.ID, lastErr)
 }
 
 // ListFiles returns the namespace listing.
@@ -121,26 +181,67 @@ func (c *Client) Submit(spec JobSpec) (int64, error) {
 	return reply.JobID, nil
 }
 
+// waitCallTimeout caps a single Status round-trip inside Wait, so a
+// hung JobTracker surfaces as polling failures instead of blocking the
+// client past its deadline. It matches dataCallTimeout: a Status reply
+// carries the full job Result once done, which can be as large as a
+// sort's whole output — the cap must cover a real transfer, and the
+// overall Wait deadline (which always clamps the per-call timeout)
+// stays the real bound against a hang.
+const waitCallTimeout = dataCallTimeout
+
 // Wait polls the job until completion or timeout, returning the
-// reduced result bytes.
+// reduced result bytes. A job that failed terminally (a task exhausted
+// its attempt budget, or the final reduce errored) returns that error
+// as soon as the JobTracker reports it. Every Status RPC runs under a
+// per-call timeout clamped to the remaining deadline: a JobTracker
+// that hangs mid-call cannot block Wait beyond its deadline.
 func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
 	jtc, err := rpcnet.Dial(c.jtAddr)
 	if err != nil {
 		return nil, err
 	}
-	defer jtc.Close()
-	deadline := time.Now().Add(timeout)
+	defer func() { jtc.Close() }()
+	var last StatusReply
 	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done)",
+				jobID, last.Completed, last.Total)
+		}
+		callTimeout := remaining
+		if callTimeout > waitCallTimeout {
+			callTimeout = waitCallTimeout
+		}
+		jtc.SetCallTimeout(callTimeout)
 		var status StatusReply
 		if err := jtc.Call("Status", StatusArgs{JobID: jobID}, &status); err != nil {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done): %v",
+					jobID, last.Completed, last.Total, err)
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// The call hit its own deadline: the connection is
+				// unusable mid-frame, so redial and keep polling
+				// until the overall deadline decides.
+				jtc.Close()
+				fresh, err := rpcnet.Dial(c.jtAddr)
+				if err != nil {
+					return nil, err // jtc stays closed; double Close is safe
+				}
+				jtc = fresh
+				continue
+			}
 			return nil, err
+		}
+		last = status
+		if status.Err != "" {
+			return nil, errors.New(status.Err)
 		}
 		if status.Done {
 			return status.Result, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done)",
-				jobID, status.Completed, status.Total)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -186,6 +287,7 @@ type clusterConfig struct {
 	maxAttempts int
 	taskLease   time.Duration
 	delays      []time.Duration
+	replication int
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -212,6 +314,12 @@ func WithTrackerDelays(delays []time.Duration) ClusterOption {
 	return func(c *clusterConfig) { c.delays = delays }
 }
 
+// WithReplication sets the NameNode's per-block replica count (0: the
+// DefaultReplication; always capped by the DataNode count).
+func WithReplication(n int) ClusterOption {
+	return func(c *clusterConfig) { c.replication = n }
+}
+
 // StartCluster boots a full deployment with the given worker count,
 // slot count per tracker and DFS block size.
 func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, opts ...ClusterOption) (*Cluster, error) {
@@ -226,6 +334,7 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	if err != nil {
 		return nil, err
 	}
+	nn.Replication = cfg.replication
 	jt, err := StartJobTracker("127.0.0.1:0", nn.Addr())
 	if err != nil {
 		nn.Close()
@@ -266,11 +375,19 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	return c, nil
 }
 
-// Shutdown stops every daemon.
+// Shutdown stops every daemon. Trackers stop concurrently: each
+// graceful Stop may wait briefly for in-flight tasks, and those waits
+// should overlap, not stack.
 func (c *Cluster) Shutdown() {
+	var wg sync.WaitGroup
 	for _, tt := range c.TTs {
-		tt.Stop()
+		wg.Add(1)
+		go func(tt *TaskTracker) {
+			defer wg.Done()
+			tt.Stop()
+		}(tt)
 	}
+	wg.Wait()
 	for _, dn := range c.DNs {
 		dn.Close()
 	}

@@ -1,0 +1,226 @@
+package netmr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hetmr/internal/rpcnet"
+)
+
+// Reliability behaviours around daemon death: replicated block reads,
+// fast task-failure reporting, graceful tracker drain, and a Wait that
+// honours its deadline against a hung JobTracker.
+
+func init() {
+	// A kernel whose map always fails — the poisoned task the
+	// MaxAttempts exhaustion test feeds the cluster.
+	RegisterKernel("poison", MapKernel{
+		Map: func(Task, []byte) ([]byte, error) {
+			return nil, errors.New("poisoned task")
+		},
+		Reduce: func([][]byte) ([]byte, error) { return nil, nil },
+	})
+}
+
+func TestReadFailoverAfterDataNodeDeath(t *testing.T) {
+	c := startTestCluster(t, 3, 1024)
+	data := make([]byte, 10_000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := c.Client.WriteFile("/replicated", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Default replication is 2: killing any single DataNode between
+	// the write and the read must leave every block readable.
+	c.DNs[0].Close()
+	got, err := c.Client.ReadFile("/replicated")
+	if err != nil {
+		t.Fatalf("read after DataNode death: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read corrupted data")
+	}
+}
+
+func TestWriteFailoverAfterDataNodeDeath(t *testing.T) {
+	c := startTestCluster(t, 3, 1024)
+	// Kill a DataNode before writing: allocations naming it lose a
+	// copy, the write itself survives, and the NameNode's pruned
+	// replica lists keep every block readable.
+	c.DNs[2].Close()
+	data := make([]byte, 8_000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := c.Client.WriteFile("/degraded", data, ""); err != nil {
+		t.Fatalf("write with a dead DataNode: %v", err)
+	}
+	got, err := c.Client.ReadFile("/degraded")
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded write corrupted data")
+	}
+	// The pruned replica lists never name the dead node.
+	nnc, err := rpcnet.Dial(c.NN.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nnc.Close()
+	var lookup LookupReply
+	if err := nnc.Call("Lookup", LookupArgs{File: "/degraded"}, &lookup); err != nil {
+		t.Fatal(err)
+	}
+	dead := c.DNs[2].Addr()
+	for _, blk := range lookup.Blocks {
+		for _, addr := range blk.ReplicaAddrs() {
+			if addr == dead {
+				t.Fatalf("block %d still lists the dead DataNode %s", blk.ID, dead)
+			}
+		}
+	}
+}
+
+func TestMapTasksSurviveDataNodeDeath(t *testing.T) {
+	c := startTestCluster(t, 3, 64)
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		sb.WriteString([]string{"aaa ", "bbb ", "ccc ", "ddd "}[i%4])
+	}
+	text := sb.String()
+	if err := c.Client.WriteFile("/corpus", []byte(text), ""); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one DataNode before the job runs: every map task whose
+	// primary replica died must fail over to the surviving copy.
+	c.DNs[1].Close()
+	result, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "wc-dn-death", Kernel: "wordcount", Input: "/corpus",
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[string]int64
+	if err := rpcnet.Unmarshal(result, &counts); err != nil {
+		t.Fatal(err)
+	}
+	if counts["aaa"] != 100 || counts["ddd"] != 100 {
+		t.Errorf("counts = %v, want 100 each", counts)
+	}
+}
+
+func TestPoisonedTaskExhaustsAttemptsFast(t *testing.T) {
+	// The tracker reports the kernel error on its next heartbeat; the
+	// board re-issues immediately and the attempt cap turns the task
+	// into a terminal job error — long before the 10s lease would
+	// have expired even once.
+	c, err := StartCluster(2, 2, 1024, 10*time.Millisecond, WithMaxAttempts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	start := time.Now()
+	_, err = c.Client.SubmitAndWait(JobSpec{
+		Name: "poison", Kernel: "poison", Samples: 1, NumTasks: 1,
+	}, 8*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("poisoned job reported success")
+	}
+	if !strings.Contains(err.Error(), "max attempts") || !strings.Contains(err.Error(), "poisoned task") {
+		t.Errorf("error %q does not name the attempt cap and the task error", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("failure took %v — reported by lease expiry, not by heartbeat", elapsed)
+	}
+}
+
+func TestStopDrainsCompletedResults(t *testing.T) {
+	// One tracker, long heartbeat: the task's result sits in the
+	// completed queue waiting for the next beat. A graceful Stop must
+	// deliver it in a final heartbeat instead of dropping it — with a
+	// single tracker, a dropped result could never be recomputed.
+	nn, err := StartNameNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	jt, err := StartJobTracker("127.0.0.1:0", nn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jt.Close()
+	tt, err := StartTaskTracker("drainer", jt.Addr(), "", 2, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tt.Stop()
+	client, _ := NewClient(nn.Addr(), jt.Addr(), 1024)
+	id, err := client.Submit(JobSpec{Name: "pi-drain", Kernel: "pi", Samples: 1000, NumTasks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the result is computed but unreported, then stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tt.mu.Lock()
+		queued := len(tt.completed)
+		tt.mu.Unlock()
+		if queued > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("task never completed locally")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tt.Stop()
+	if _, err := client.Wait(id, 2*time.Second); err != nil {
+		t.Fatalf("job did not finish from the drained final heartbeat: %v", err)
+	}
+}
+
+func TestWaitHonoursDeadlineAgainstHungJobTracker(t *testing.T) {
+	// A listener that accepts and reads but never replies — the hung
+	// JobTracker the per-call timeout exists for.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(io.Discard, c)
+			}(conn)
+		}
+	}()
+	client, err := NewClient("unused", ln.Addr().String(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Wait(0, 300*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Wait against a hung JobTracker reported success")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error %q is not the deadline error", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("Wait blocked %v past a 300ms deadline", elapsed)
+	}
+}

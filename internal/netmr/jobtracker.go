@@ -2,6 +2,7 @@ package netmr
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -11,26 +12,71 @@ import (
 )
 
 // jobRecord is one submitted job: its task specs plus the dynamic
-// scheduler's board tracking leases, attempts and completions.
+// scheduler's boards tracking leases, attempts and completions — one
+// board for the map phase, and on the distributed-shuffle path a
+// second for the reduce phase, whose tasks become assignable once
+// every map partition is in place.
 type jobRecord struct {
-	id        int64
-	spec      JobSpec
-	tasks     []Task
-	board     *sched.Board
-	outputs   [][]byte
-	completed int
-	done      bool
-	result    []byte
+	id      int64
+	spec    JobSpec
+	kern    MapKernel
+	shuffle bool // distributed shuffle/reduce plane on
+
+	maps     []Task
+	mapBoard *sched.Board
+	mapOut   [][]byte // centralized path: map outputs
+	mapLoc   []string // shuffle path: shuffle-store addr per map task
+	mapDone  int
+
+	reduces  []Task // shuffle path: reduce task templates, TaskID = partition
+	redBoard *sched.Board
+	redOut   [][]byte
+	redDone  int
+	// fetchFails counts distinct reduce-fetch failure reports per
+	// shuffle-store address; a store is declared lost (its map tasks
+	// reopened) only at fetchFailThreshold, so one transient dial
+	// error never discards finished map work.
+	fetchFails map[string]int
+
+	finalizing bool
+	done       bool
+	failed     string
+	result     []byte
+}
+
+// phaseOutputsReady reports whether the job's last phase has every
+// output in hand. Callers hold jt.mu.
+func (rec *jobRecord) phaseOutputsReady() ([][]byte, bool) {
+	if rec.shuffle {
+		return rec.redOut, rec.redDone == len(rec.reduces)
+	}
+	return rec.mapOut, rec.mapDone == len(rec.maps)
+}
+
+// reduceTask materializes reduce task p with the current map output
+// locations. Callers hold jt.mu and guarantee every map is done.
+func (rec *jobRecord) reduceTask(p int) Task {
+	t := rec.reduces[p]
+	t.Inputs = make([]MapOutputRef, len(rec.maps))
+	for i, addr := range rec.mapLoc {
+		t.Inputs[i] = MapOutputRef{MapTask: i, Addr: addr}
+	}
+	return t
 }
 
 // JobTracker is the TCP master daemon: it expands jobs into tasks and
 // serves them to TaskTrackers over heartbeats through the shared
 // dynamic scheduler (internal/sched.Board) — pull-based leases with
 // locality preference, re-issue of tasks whose lease expires (tracker
-// failure), and optional speculative duplication of the
-// longest-running in-flight task when a tracker has idle slots, first
-// finished attempt winning. Finished tasks are reduced into the job
-// result.
+// failure) or whose attempt reports an error (fast failure path), and
+// optional speculative duplication of the longest-running in-flight
+// task when a tracker has idle slots, first finished attempt winning.
+//
+// The JobTracker is a pure control plane: on the distributed-shuffle
+// path map output bytes stay in the mapper trackers' shuffle stores
+// and heartbeats carry partition locations, not data. Only the final
+// reduce outputs (and centralized-path map outputs) cross it;
+// DataPlaneBytes meters exactly that traffic.
 type JobTracker struct {
 	srv    *rpcnet.Server
 	nnAddr string
@@ -44,9 +90,10 @@ type JobTracker struct {
 	Speculative bool
 	MaxAttempts int
 
-	mu      sync.Mutex
-	nextJob int64
-	jobs    map[int64]*jobRecord
+	mu        sync.Mutex
+	nextJob   int64
+	jobs      map[int64]*jobRecord
+	dataBytes int64 // task output bytes carried by heartbeats
 }
 
 // StartJobTracker launches the JobTracker on addr.
@@ -73,44 +120,79 @@ func (jt *JobTracker) Addr() string { return jt.srv.Addr() }
 // Close stops the server.
 func (jt *JobTracker) Close() error { return jt.srv.Close() }
 
+// DataPlaneBytes reports how many winning task output bytes heartbeats
+// have delivered to the JobTracker (late duplicates and redelivered
+// reports excluded) — the shuffle benchmark's proof that the
+// distributed path moved the map outputs off the master.
+func (jt *JobTracker) DataPlaneBytes() int64 {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	return jt.dataBytes
+}
+
 func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	var args SubmitArgs
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	if _, err := lookupKernel(args.Spec.Kernel); err != nil {
+	kern, err := lookupKernel(args.Spec.Kernel)
+	if err != nil {
 		return nil, err
 	}
 	tasks, err := jt.expand(args.Spec)
 	if err != nil {
 		return nil, err
 	}
+	opts := sched.Options{Speculative: jt.Speculative, MaxAttempts: jt.MaxAttempts}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	board, err := sched.NewBoard(len(tasks), jt.TaskLease, sched.Options{
-		Speculative: jt.Speculative,
-		MaxAttempts: jt.MaxAttempts,
-	})
+	mapBoard, err := sched.NewBoard(len(tasks), jt.TaskLease, opts)
 	if err != nil {
 		return nil, err
 	}
 	id := jt.nextJob
 	jt.nextJob++
 	rec := &jobRecord{
-		id:      id,
-		spec:    args.Spec,
-		board:   board,
-		outputs: make([][]byte, len(tasks)),
+		id:     id,
+		spec:   args.Spec,
+		kern:   kern,
+		maps:   make([]Task, 0, len(tasks)),
+		mapOut: make([][]byte, len(tasks)),
 	}
+	rec.mapBoard = mapBoard
+	rec.shuffle = args.Spec.NumReducers > 0 && args.Spec.Input != "" &&
+		kern.Partition != nil && kern.Merge != nil
 	for _, t := range tasks {
 		t.JobID = id
-		rec.tasks = append(rec.tasks, t)
+		if rec.shuffle {
+			t.NumParts = args.Spec.NumReducers
+		}
+		rec.maps = append(rec.maps, t)
+	}
+	if rec.shuffle {
+		r := args.Spec.NumReducers
+		rec.redBoard, err = sched.NewBoard(r, jt.TaskLease, opts)
+		if err != nil {
+			return nil, err
+		}
+		rec.redOut = make([][]byte, r)
+		rec.mapLoc = make([]string, len(tasks))
+		rec.fetchFails = make(map[string]int)
+		for p := 0; p < r; p++ {
+			rec.reduces = append(rec.reduces, Task{
+				JobID:  id,
+				TaskID: p,
+				Kernel: args.Spec.Kernel,
+				Args:   args.Spec.Args,
+				Reduce: true,
+			})
+		}
 	}
 	jt.jobs[id] = rec
 	return SubmitReply{JobID: id}, nil
 }
 
-// expand turns a job spec into tasks: one per input block for data
+// expand turns a job spec into map tasks: one per input block for data
 // jobs, NumTasks equal shares for compute jobs.
 func (jt *JobTracker) expand(spec JobSpec) ([]Task, error) {
 	if spec.Input != "" {
@@ -166,48 +248,46 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	// Record completions; the board keeps the first finished attempt
-	// of each task and discards late duplicates (speculative or
-	// re-issued after a lease expiry).
+	// Record completions and failures. The boards keep the first
+	// finished attempt of each task and discard late duplicates
+	// (speculative or re-issued after a lease expiry); reported
+	// failures free the task for immediate re-issue instead of
+	// waiting out the lease.
 	for _, res := range args.Completed {
 		rec, ok := jt.jobs[res.JobID]
-		if !ok || res.TaskID < 0 || res.TaskID >= len(rec.tasks) {
+		if !ok || rec.done || rec.finalizing {
 			continue
 		}
-		if rec.board.Complete(res.TaskID, args.TrackerID) {
-			rec.outputs[res.TaskID] = res.Output
-			rec.completed++
-		}
+		jt.recordResult(rec, args.TrackerID, res)
 	}
-	// Finish jobs whose tasks are all done.
+	// Kick off finalization for jobs whose last phase just completed.
+	// The kernel's Reduce runs outside jt.mu (it may be arbitrarily
+	// expensive), and its error becomes the job's terminal error in
+	// StatusReply instead of leaking to an arbitrary heartbeating
+	// tracker.
 	for _, rec := range jt.jobs {
-		if rec.done || rec.completed < len(rec.tasks) {
+		if rec.done || rec.finalizing || rec.failed != "" {
 			continue
 		}
-		kern, err := lookupKernel(rec.spec.Kernel)
-		if err != nil {
-			return nil, err
+		if outputs, ready := rec.phaseOutputsReady(); ready {
+			rec.finalizing = true
+			go jt.finalize(rec, outputs)
 		}
-		result, err := kern.Reduce(rec.outputs)
-		if err != nil {
-			return nil, fmt.Errorf("netmr: reduce job %d: %w", rec.id, err)
-		}
-		rec.result = result
-		rec.done = true
 	}
 	// Hand out work, oldest jobs first. Each board grants data-local
-	// tasks first (block on the tracker's co-located DataNode — the
-	// paper's "tries to minimize the number of remote block
-	// accesses"), then any pending task. Only when every job's pending
-	// work is exhausted do the remaining slots fill with speculative
-	// duplicates of the longest-running in-flight tasks, again oldest
-	// job first — speculation is what idle capacity does, never what
-	// starves a younger job's real work.
+	// map tasks first (a replica on the tracker's co-located DataNode
+	// — the paper's "tries to minimize the number of remote block
+	// accesses"), then any pending task; reduce tasks join the pool
+	// once every map partition is in place. Only when every job's
+	// pending work is exhausted do the remaining slots fill with
+	// speculative duplicates of the longest-running in-flight tasks,
+	// again oldest job first — speculation is what idle capacity
+	// does, never what starves a younger job's real work.
 	var reply HeartbeatReply
 	now := time.Now()
 	eachJob := func(fn func(rec *jobRecord)) {
 		for id := int64(0); id < jt.nextJob && len(reply.Tasks) < args.FreeSlots; id++ {
-			if rec, ok := jt.jobs[id]; ok && !rec.done {
+			if rec, ok := jt.jobs[id]; ok && !rec.done && !rec.finalizing {
 				fn(rec)
 			}
 		}
@@ -215,18 +295,132 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	eachJob(func(rec *jobRecord) {
 		var local func(int) bool
 		if args.LocalDataNode != "" {
-			local = func(i int) bool { return rec.tasks[i].Block.Addr == args.LocalDataNode }
+			local = func(i int) bool {
+				return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
+			}
 		}
-		for _, i := range rec.board.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
-			reply.Tasks = append(reply.Tasks, rec.tasks[i])
+		for _, i := range rec.mapBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
+			reply.Tasks = append(reply.Tasks, rec.maps[i])
+		}
+		if rec.shuffle && rec.mapDone == len(rec.maps) {
+			for _, p := range rec.redBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, nil) {
+				reply.Tasks = append(reply.Tasks, rec.reduceTask(p))
+			}
 		}
 	})
 	eachJob(func(rec *jobRecord) {
-		for _, i := range rec.board.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
-			reply.Tasks = append(reply.Tasks, rec.tasks[i])
+		for _, i := range rec.mapBoard.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
+			reply.Tasks = append(reply.Tasks, rec.maps[i])
+		}
+		if rec.shuffle && rec.mapDone == len(rec.maps) {
+			for _, p := range rec.redBoard.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
+				reply.Tasks = append(reply.Tasks, rec.reduceTask(p))
+			}
 		}
 	})
+	// Shuffle-store GC: name the held jobs that finished, so trackers
+	// free their partitions.
+	for _, id := range args.HeldJobs {
+		if rec, ok := jt.jobs[id]; !ok || rec.done {
+			reply.PurgeJobs = append(reply.PurgeJobs, id)
+		}
+	}
 	return reply, nil
+}
+
+// recordResult folds one task report into the job. Callers hold jt.mu.
+func (jt *JobTracker) recordResult(rec *jobRecord, trackerID string, res TaskResult) {
+	if res.Reduce {
+		if !rec.shuffle || res.TaskID < 0 || res.TaskID >= len(rec.reduces) {
+			return
+		}
+		if res.Err != "" {
+			jt.failAttempt(rec, rec.redBoard, trackerID, res, "reduce")
+			return
+		}
+		if rec.redBoard.Complete(res.TaskID, trackerID) {
+			jt.dataBytes += int64(len(res.Output))
+			rec.redOut[res.TaskID] = res.Output
+			rec.redDone++
+			// This reduce fetched from every shuffle store, so any
+			// accumulated transient-blame against them is stale.
+			clear(rec.fetchFails)
+		}
+		return
+	}
+	if res.TaskID < 0 || res.TaskID >= len(rec.maps) {
+		return
+	}
+	if res.Err != "" {
+		jt.failAttempt(rec, rec.mapBoard, trackerID, res, "map")
+		return
+	}
+	if rec.mapBoard.Complete(res.TaskID, trackerID) {
+		jt.dataBytes += int64(len(res.Output))
+		if rec.shuffle {
+			rec.mapLoc[res.TaskID] = res.ShuffleAddr
+		} else {
+			rec.mapOut[res.TaskID] = res.Output
+		}
+		rec.mapDone++
+	}
+}
+
+// fetchFailThreshold is how many reduce-fetch failure reports an
+// address accumulates before its map outputs are declared lost — one
+// transient error re-issues only the reduce attempt, repeated ones
+// trigger the shuffle re-run (Hadoop's repeated-notification rule).
+const fetchFailThreshold = 2
+
+// failAttempt handles a reported task failure, immediately freeing the
+// task for re-issue. A reduce fetch failure (BadAddr set) is an
+// infrastructure failure: it never spends the task's failure budget,
+// and once fetchFailThreshold distinct reports blame one shuffle
+// store, that store's map tasks reopen for the shuffle re-run. A
+// genuine task error spends the budget, and exhausting it turns into
+// the job's terminal error. Redelivered reports (heartbeats retry
+// after lost replies) are ignored whole. Callers hold jt.mu.
+func (jt *JobTracker) failAttempt(rec *jobRecord, board *sched.Board, trackerID string, res TaskResult, phase string) {
+	if res.BadAddr != "" && rec.shuffle {
+		if !board.Release(res.TaskID, trackerID) {
+			return // duplicate or stale report: the attempt is already resolved
+		}
+		rec.fetchFails[res.BadAddr]++
+		if rec.fetchFails[res.BadAddr] >= fetchFailThreshold {
+			delete(rec.fetchFails, res.BadAddr)
+			for i, loc := range rec.mapLoc {
+				if loc == res.BadAddr {
+					rec.mapBoard.Reopen(i)
+					rec.mapLoc[i] = ""
+					rec.mapDone--
+				}
+			}
+		}
+		return
+	}
+	dropped, exhausted := board.Fail(res.TaskID, trackerID)
+	if !dropped {
+		return // duplicate or stale report: the attempt is already resolved
+	}
+	if exhausted {
+		rec.failed = fmt.Sprintf("netmr: %s task %d of job %d failed after max attempts: %s",
+			phase, res.TaskID, rec.id, res.Err)
+		rec.done = true
+	}
+}
+
+// finalize folds the job's last-phase outputs into its result with the
+// kernel's Reduce, outside jt.mu.
+func (jt *JobTracker) finalize(rec *jobRecord, outputs [][]byte) {
+	result, err := rec.kern.Reduce(outputs)
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if err != nil {
+		rec.failed = fmt.Sprintf("netmr: reduce job %d: %v", rec.id, err)
+	} else {
+		rec.result = result
+	}
+	rec.done = true
 }
 
 func (jt *JobTracker) handleStatus(body []byte) (any, error) {
@@ -240,12 +434,21 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("netmr: unknown job %d", args.JobID)
 	}
+	attempts := rec.mapBoard.Attempts()
+	counts := rec.mapBoard.Counts()
+	if rec.redBoard != nil {
+		attempts += rec.redBoard.Attempts()
+		for w, n := range rec.redBoard.Counts() {
+			counts[w] += n
+		}
+	}
 	return StatusReply{
 		Done:      rec.done,
-		Completed: rec.completed,
-		Total:     len(rec.tasks),
+		Completed: rec.mapDone + rec.redDone,
+		Total:     len(rec.maps) + len(rec.reduces),
 		Result:    rec.result,
-		Attempts:  rec.board.Attempts(),
-		Counts:    rec.board.Counts(),
+		Err:       rec.failed,
+		Attempts:  attempts,
+		Counts:    counts,
 	}, nil
 }

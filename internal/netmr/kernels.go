@@ -12,11 +12,29 @@ import (
 // run. Map consumes one task's input (block data, or samples for
 // compute kernels) and returns a gob-encoded partial result; Reduce
 // folds the partials, ordered by task ID, into the job result.
+//
+// Kernels with large intermediate output additionally implement the
+// distributed shuffle pair: Partition runs map-side and splits the
+// task's output into R key-hashed partitions held in the tracker's
+// shuffle store; Merge runs as a reduce task and folds the per-mapper
+// pieces of one partition (ordered by map task ID) into that
+// partition's output, which must itself be a valid Reduce partial.
+// With both set and JobSpec.NumReducers > 0, map output bytes never
+// cross the JobTracker — only the R merged reduce outputs do.
 type MapKernel struct {
 	// Map runs on the TaskTracker. data is nil for compute tasks.
 	Map func(task Task, data []byte) ([]byte, error)
-	// Reduce runs on the JobTracker when all tasks are done.
+	// Reduce runs on the JobTracker when all tasks are done: over the
+	// map outputs on the centralized path, over the reduce-task
+	// outputs (ordered by partition) on the shuffle path.
 	Reduce func(partials [][]byte) ([]byte, error)
+	// Partition runs on the TaskTracker instead of Map when the
+	// distributed shuffle is on: it returns exactly parts payloads,
+	// one per partition (empty partitions included).
+	Partition func(task Task, data []byte, parts int) ([][]byte, error)
+	// Merge runs on the reducing TaskTracker: fold one partition's
+	// per-mapper pieces into the partition's reduce output.
+	Merge func(pieces [][]byte) ([]byte, error)
 }
 
 // kernelRegistry holds the built-in kernels; RegisterKernel extends it
@@ -69,22 +87,58 @@ type PiResult struct {
 }
 
 func init() {
+	// mergeWordCounts folds wordCountPartial payloads into one table.
+	mergeWordCounts := func(pieces [][]byte) (map[string]int64, error) {
+		total := make(map[string]int64)
+		for _, p := range pieces {
+			var part wordCountPartial
+			if err := rpcnet.Unmarshal(p, &part); err != nil {
+				return nil, err
+			}
+			for w, n := range part.Counts {
+				total[w] += n
+			}
+		}
+		return total, nil
+	}
+
 	RegisterKernel("wordcount", MapKernel{
 		Map: func(_ Task, data []byte) ([]byte, error) {
 			return rpcnet.Marshal(wordCountPartial{Counts: kernels.WordCount(data)})
 		},
 		Reduce: func(partials [][]byte) ([]byte, error) {
-			total := make(map[string]int64)
-			for _, p := range partials {
-				var part wordCountPartial
-				if err := rpcnet.Unmarshal(p, &part); err != nil {
-					return nil, err
-				}
-				for w, n := range part.Counts {
-					total[w] += n
-				}
+			total, err := mergeWordCounts(partials)
+			if err != nil {
+				return nil, err
 			}
 			return rpcnet.Marshal(total)
+		},
+		// Shuffle path: each word's count goes to the partition its
+		// hash selects, so a reduce task owns a disjoint key range.
+		Partition: func(_ Task, data []byte, parts int) ([][]byte, error) {
+			split := make([]map[string]int64, parts)
+			for p := range split {
+				split[p] = make(map[string]int64)
+			}
+			for w, n := range kernels.WordCount(data) {
+				split[kernels.PartitionIndexString(w, parts)][w] = n
+			}
+			out := make([][]byte, parts)
+			for p := range split {
+				payload, err := rpcnet.Marshal(wordCountPartial{Counts: split[p]})
+				if err != nil {
+					return nil, err
+				}
+				out[p] = payload
+			}
+			return out, nil
+		},
+		Merge: func(pieces [][]byte) ([]byte, error) {
+			total, err := mergeWordCounts(pieces)
+			if err != nil {
+				return nil, err
+			}
+			return rpcnet.Marshal(wordCountPartial{Counts: total})
 		},
 	})
 
@@ -141,6 +195,17 @@ func init() {
 		},
 	})
 
+	// mergeSortRuns folds gob-encoded sorted runs into one sorted run.
+	mergeSortRuns := func(pieces [][]byte) ([]byte, error) {
+		runs := make([][]byte, len(pieces))
+		for i, p := range pieces {
+			if err := rpcnet.Unmarshal(p, &runs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return kernels.MergeSortedRuns(runs)
+	}
+
 	RegisterKernel("sort", MapKernel{
 		// TeraSort shape: sort each block's 100-byte records where
 		// they live, merge the sorted runs at the JobTracker. The
@@ -154,13 +219,42 @@ func init() {
 			return rpcnet.Marshal(run)
 		},
 		Reduce: func(partials [][]byte) ([]byte, error) {
-			runs := make([][]byte, len(partials))
-			for i, p := range partials {
-				if err := rpcnet.Unmarshal(p, &runs[i]); err != nil {
+			merged, err := mergeSortRuns(partials)
+			if err != nil {
+				return nil, err
+			}
+			return rpcnet.Marshal(merged)
+		},
+		// Shuffle path: records route to partitions by key hash, so
+		// equal keys meet in one reduce task and the final merge of
+		// the R sorted partition runs reproduces the centralized
+		// order bit for bit.
+		Partition: func(_ Task, data []byte, parts int) ([][]byte, error) {
+			run := append([]byte(nil), data...)
+			if err := kernels.SortRecords(run); err != nil {
+				return nil, err
+			}
+			split := make([][]byte, parts)
+			for p := range split {
+				split[p] = []byte{} // empty partitions still ship a run
+			}
+			for off := 0; off < len(run); off += kernels.SortRecordBytes {
+				rec := run[off : off+kernels.SortRecordBytes]
+				p := kernels.PartitionIndex(rec[:kernels.SortKeyBytes], parts)
+				split[p] = append(split[p], rec...)
+			}
+			out := make([][]byte, parts)
+			for p := range split {
+				payload, err := rpcnet.Marshal(split[p])
+				if err != nil {
 					return nil, err
 				}
+				out[p] = payload
 			}
-			merged, err := kernels.MergeSortedRuns(runs)
+			return out, nil
+		},
+		Merge: func(pieces [][]byte) ([]byte, error) {
+			merged, err := mergeSortRuns(pieces)
 			if err != nil {
 				return nil, err
 			}

@@ -2,21 +2,32 @@ package netmr
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
 	"hetmr/internal/rpcnet"
 )
 
+// DefaultReplication is the block replica count when
+// NameNode.Replication is zero: enough to survive one DataNode death
+// without burning the small clusters the tests boot.
+const DefaultReplication = 2
+
 // NameNode is the TCP metadata master: namespace and block placement.
 type NameNode struct {
 	srv *rpcnet.Server
+
+	// Replication is the desired replica count per block, capped by
+	// the number of registered DataNodes. Set it before the first
+	// write; the zero value selects DefaultReplication.
+	Replication int
 
 	mu        sync.Mutex
 	nextBlock int64
 	files     map[string][]BlockInfo
 	dataNodes []string       // registration order
-	loadByDN  map[string]int // blocks placed per datanode
+	loadByDN  map[string]int // block replicas placed per datanode
 }
 
 // StartNameNode launches the NameNode on addr ("127.0.0.1:0" for an
@@ -33,6 +44,7 @@ func StartNameNode(addr string) (*NameNode, error) {
 	}
 	srv.Handle("Register", nn.handleRegister)
 	srv.Handle("Allocate", nn.handleAllocate)
+	srv.Handle("Confirm", nn.handleConfirm)
 	srv.Handle("Lookup", nn.handleLookup)
 	srv.Handle("List", nn.handleList)
 	srv.Handle("Delete", nn.handleDelete)
@@ -71,7 +83,7 @@ func (nn *NameNode) handleAllocate(body []byte) (any, error) {
 	if len(nn.dataNodes) == 0 {
 		return nil, fmt.Errorf("netmr: no datanodes registered")
 	}
-	// Writer locality first, then least-loaded.
+	// Primary placement: writer locality first, then least-loaded.
 	target := ""
 	if args.Preferred != "" {
 		for _, d := range nn.dataNodes {
@@ -82,19 +94,76 @@ func (nn *NameNode) handleAllocate(body []byte) (any, error) {
 		}
 	}
 	if target == "" {
-		best := -1
-		for _, d := range nn.dataNodes {
-			if best < 0 || nn.loadByDN[d] < best {
-				best = nn.loadByDN[d]
-				target = d
-			}
-		}
+		target = nn.leastLoaded(nil)
 	}
-	blk := BlockInfo{ID: nn.nextBlock, Size: args.Size, Addr: target}
+	// Secondary replicas go to the least-loaded remaining DataNodes,
+	// so a dead node never takes the only copy of a block with it.
+	replicas := []string{target}
+	want := nn.Replication
+	if want <= 0 {
+		want = DefaultReplication
+	}
+	if want > len(nn.dataNodes) {
+		want = len(nn.dataNodes)
+	}
+	for len(replicas) < want {
+		replicas = append(replicas, nn.leastLoaded(replicas))
+	}
+	blk := BlockInfo{ID: nn.nextBlock, Size: args.Size, Addr: target, Replicas: replicas}
 	nn.nextBlock++
-	nn.loadByDN[target]++
+	for _, d := range replicas {
+		nn.loadByDN[d]++
+	}
 	nn.files[args.File] = append(nn.files[args.File], blk)
 	return AllocateReply{Block: blk}, nil
+}
+
+// leastLoaded picks the DataNode with the fewest placed replicas,
+// skipping exclude. Callers hold nn.mu and guarantee a candidate
+// exists.
+func (nn *NameNode) leastLoaded(exclude []string) string {
+	target, best := "", -1
+	for _, d := range nn.dataNodes {
+		if slices.Contains(exclude, d) {
+			continue
+		}
+		if best < 0 || nn.loadByDN[d] < best {
+			best = nn.loadByDN[d]
+			target = d
+		}
+	}
+	return target
+}
+
+// handleConfirm records which replicas of a freshly allocated block
+// the writer actually stored: placement targets that were down at
+// write time are pruned, so readers never chase a replica that was
+// never written.
+func (nn *NameNode) handleConfirm(body []byte) (any, error) {
+	var args ConfirmArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	if len(args.Replicas) == 0 {
+		return nil, fmt.Errorf("netmr: confirm of block %d with no replicas", args.BlockID)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	blocks := nn.files[args.File]
+	for i := range blocks {
+		if blocks[i].ID != args.BlockID {
+			continue
+		}
+		for _, d := range blocks[i].ReplicaAddrs() {
+			if !slices.Contains(args.Replicas, d) {
+				nn.loadByDN[d]--
+			}
+		}
+		blocks[i].Replicas = append([]string(nil), args.Replicas...)
+		blocks[i].Addr = args.Replicas[0]
+		return ConfirmReply{}, nil
+	}
+	return nil, fmt.Errorf("netmr: confirm of unknown block %d in %q", args.BlockID, args.File)
 }
 
 func (nn *NameNode) handleLookup(body []byte) (any, error) {
@@ -135,7 +204,9 @@ func (nn *NameNode) handleDelete(body []byte) (any, error) {
 		return nil, fmt.Errorf("netmr: file %q not found", args.File)
 	}
 	for _, blk := range nn.files[args.File] {
-		nn.loadByDN[blk.Addr]--
+		for _, d := range blk.ReplicaAddrs() {
+			nn.loadByDN[d]--
+		}
 	}
 	delete(nn.files, args.File)
 	return DeleteReply{}, nil

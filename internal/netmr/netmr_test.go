@@ -192,7 +192,7 @@ func TestTrackerFailureReassignsOverTCP(t *testing.T) {
 	c := startTestCluster(t, 2, 1024)
 	c.JT.TaskLease = 300 * time.Millisecond
 	// Kill one tracker immediately: its assigned tasks must migrate.
-	c.TTs[0].Stop()
+	c.TTs[0].Kill()
 	result, err := c.Client.SubmitAndWait(JobSpec{
 		Name: "pi-failover", Kernel: "pi", Samples: 100000, NumTasks: 6,
 	}, 15*time.Second)

@@ -1,0 +1,251 @@
+package netmr
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/rpcnet"
+)
+
+// The distributed shuffle/reduce data plane: map outputs stay in the
+// mapper trackers' shuffle stores, reducers pull partitions directly,
+// and the JobTracker moves metadata — with results bit-identical to
+// the centralized reduce, including under a tracker killed mid-job.
+
+// shuffleCorpus builds a word corpus whose 5-byte words never straddle
+// the given block size, with vocab distinct words repeating across
+// blocks — repetition is what makes the centralized path ship far more
+// bytes than the merged reduce outputs.
+func shuffleCorpus(byteLen, vocab int) []byte {
+	var sb strings.Builder
+	for i := 0; sb.Len() < byteLen; i++ {
+		fmt.Fprintf(&sb, "w%03d ", i%vocab)
+	}
+	return []byte(sb.String()[:byteLen])
+}
+
+// runWordCount submits one wordcount job with the given reduce-task
+// count and returns the decoded result plus the JobTracker's data
+// plane byte meter after the run.
+func runWordCount(t *testing.T, reducers int, corpus []byte, blockSize int64) (map[string]int64, int64) {
+	t.Helper()
+	c, err := StartCluster(3, 2, blockSize, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Client.WriteFile("/corpus", corpus, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "wc", Kernel: "wordcount", Input: "/corpus", NumReducers: reducers,
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[string]int64
+	if err := rpcnet.Unmarshal(raw, &counts); err != nil {
+		t.Fatal(err)
+	}
+	return counts, c.JT.DataPlaneBytes()
+}
+
+func TestDistributedShuffleWordCountMatchesCentralized(t *testing.T) {
+	// 1000-byte blocks of 5-byte words: words never straddle blocks,
+	// so the serial reference needs no block-boundary care.
+	corpus := shuffleCorpus(100_000, 97)
+	central, centralBytes := runWordCount(t, 0, corpus, 1000)
+	dist, distBytes := runWordCount(t, 3, corpus, 1000)
+
+	want := kernels.WordCount(corpus)
+	if len(dist) != len(want) || len(central) != len(want) {
+		t.Fatalf("distinct words: distributed %d, centralized %d, reference %d",
+			len(dist), len(central), len(want))
+	}
+	for w, n := range want {
+		if dist[w] != n || central[w] != n {
+			t.Fatalf("count[%s] = %d (distributed) / %d (centralized), want %d",
+				w, dist[w], central[w], n)
+		}
+	}
+	// The tentpole claim: the JobTracker no longer transports map
+	// output bytes. Centralized heartbeats carry one partial table per
+	// block; distributed heartbeats carry only the R merged reduce
+	// outputs, bounded by the vocabulary — O(metadata), not O(input).
+	if distBytes*4 > centralBytes {
+		t.Errorf("heartbeat data plane: distributed %d B vs centralized %d B — shuffle moved no traffic off the JobTracker",
+			distBytes, centralBytes)
+	}
+	t.Logf("heartbeat data plane: centralized %d B, distributed %d B", centralBytes, distBytes)
+}
+
+func TestDistributedShuffleHeartbeatStaysMetadataSized(t *testing.T) {
+	// Doubling the input must not double the distributed plane's
+	// heartbeat bytes: reduce outputs are bounded by the vocabulary.
+	_, small := runWordCount(t, 3, shuffleCorpus(50_000, 97), 1000)
+	_, large := runWordCount(t, 3, shuffleCorpus(200_000, 97), 1000)
+	if large > small*2 {
+		t.Errorf("heartbeat bytes grew with input: %d B at 50KB vs %d B at 200KB", small, large)
+	}
+}
+
+func TestDistributedShuffleSortMatchesCentralized(t *testing.T) {
+	input := kernels.GenerateSortRecords(2009, 2000) // 200 KB
+	run := func(reducers int) []byte {
+		c, err := StartCluster(3, 2, 5000, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		if err := c.Client.WriteFile("/records", input, ""); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := c.Client.SubmitAndWait(JobSpec{
+			Name: "sort", Kernel: "sort", Input: "/records", NumReducers: reducers,
+		}, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		if err := rpcnet.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	central := run(0)
+	dist := run(3)
+	if !bytes.Equal(central, dist) {
+		t.Fatal("distributed shuffle changed the sort output")
+	}
+	if sorted, err := kernels.RecordsSorted(dist); err != nil || !sorted {
+		t.Fatalf("sort output not sorted (err=%v)", err)
+	}
+	if len(dist) != len(input) {
+		t.Fatalf("sort output %d bytes, want %d", len(dist), len(input))
+	}
+}
+
+func TestShuffleRerunAfterTrackerDeath(t *testing.T) {
+	// Kill a tracker after its map outputs are in the shuffle store
+	// but before the reducers fetched them: the fetch failures must
+	// reopen the dead tracker's map tasks and the job must still
+	// produce the exact result. Every task sleeps 80ms, so the window
+	// between "all maps done" and "reduces fetched" is wide.
+	corpus := shuffleCorpus(30_000, 31)
+	c, err := StartCluster(3, 2, 1000, 10*time.Millisecond,
+		WithTaskLease(400*time.Millisecond),
+		WithTrackerDelays([]time.Duration{80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Client.WriteFile("/corpus", corpus, ""); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Client.Submit(JobSpec{
+		Name: "wc-rerun", Kernel: "wordcount", Input: "/corpus", NumReducers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the map phase to complete (30 blocks), then kill the
+	// tracker holding the most map outputs.
+	mapTasks := 30
+	var victim *TaskTracker
+	for start := time.Now(); ; {
+		st, err := c.Client.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done {
+			t.Fatal("job finished before the kill window — widen the task delay")
+		}
+		if st.Completed >= mapTasks {
+			best := ""
+			for w, n := range st.Counts {
+				if best == "" || n > st.Counts[best] {
+					best = w
+				}
+			}
+			for i, tt := range c.TTs {
+				if fmt.Sprintf("tracker-%d", i) == best {
+					victim = tt
+				}
+			}
+			break
+		}
+		if time.Since(start) > 20*time.Second {
+			t.Fatal("map phase never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if victim == nil {
+		t.Fatal("no tracker credited with map completions")
+	}
+	victim.Kill()
+	raw, err := c.Client.Wait(id, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[string]int64
+	if err := rpcnet.Unmarshal(raw, &counts); err != nil {
+		t.Fatal(err)
+	}
+	want := kernels.WordCount(corpus)
+	if len(counts) != len(want) {
+		t.Fatalf("got %d words, want %d", len(counts), len(want))
+	}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Fatalf("count[%s] = %d, want %d", w, counts[w], n)
+		}
+	}
+	// The dead tracker's map outputs were recomputed: more attempts
+	// than the task count.
+	st, err := c.Client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts <= st.Total {
+		t.Errorf("attempts = %d with %d tasks: no shuffle re-run happened", st.Attempts, st.Total)
+	}
+}
+
+func TestShuffleStoreGCAfterJobDone(t *testing.T) {
+	c, err := StartCluster(2, 2, 1000, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	corpus := shuffleCorpus(10_000, 13)
+	if err := c.Client.WriteFile("/corpus", corpus, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "wc-gc", Kernel: "wordcount", Input: "/corpus", NumReducers: 2,
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The next heartbeats negotiate the purge: held jobs the
+	// JobTracker reports done are dropped from every shuffle store.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		held := 0
+		for _, tt := range c.TTs {
+			tt.mu.Lock()
+			held += len(tt.shuffle)
+			tt.mu.Unlock()
+		}
+		if held == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d shuffle stores still hold data for the finished job", held)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -8,10 +8,22 @@ import (
 	"hetmr/internal/rpcnet"
 )
 
+// partKey names one map task's partition in a tracker's shuffle store.
+type partKey struct {
+	mapTask int
+	part    int
+}
+
 // TaskTracker is the TCP worker daemon: it polls the JobTracker with
 // heartbeats, pulls block data from DataNodes over the network (the
 // paper's measured delivery hop), runs the kernel, and reports results
-// on the next heartbeat.
+// — or failures — on the next heartbeat.
+//
+// Each tracker is also a shuffle server: map tasks run under the
+// distributed shuffle leave their hash-partitioned output in the
+// tracker's in-memory shuffle store, which reduce tasks on any tracker
+// fetch directly over the FetchPartition RPC. The JobTracker never
+// sees those bytes.
 type TaskTracker struct {
 	ID        string
 	jtAddr    string
@@ -22,6 +34,10 @@ type TaskTracker struct {
 	// tracker counts local vs remote fetches.
 	LocalDataNode string
 
+	// srv serves the shuffle store (the data plane); its address
+	// travels to the JobTracker in map results.
+	srv *rpcnet.Server
+
 	// delay is an injected per-task slowdown (straggler fault
 	// injection for tests and benchmarks); immutable after start.
 	delay time.Duration
@@ -31,8 +47,10 @@ type TaskTracker struct {
 	running     int
 	localFetch  int64
 	remoteFetch int64
+	shuffle     map[int64]map[partKey][]byte // jobID -> partition payloads
 
-	stop chan struct{}
+	stop chan struct{} // graceful: drain unreported results first
+	dead chan struct{} // simulated node death: abandon everything
 	done chan struct{}
 }
 
@@ -54,6 +72,9 @@ func (tt *TaskTracker) FetchStats() (local, remote int64) {
 	return tt.localFetch, tt.remoteFetch
 }
 
+// ShuffleAddr is the tracker's shuffle-store (data plane) address.
+func (tt *TaskTracker) ShuffleAddr() string { return tt.srv.Addr() }
+
 // StartTaskTracker launches a tracker with the given slot count and
 // heartbeat interval, polling the JobTracker at jtAddr. localDataNode
 // is the co-located DataNode's address ("" when the tracker has none).
@@ -64,52 +85,137 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 	if heartbeat <= 0 {
 		heartbeat = 100 * time.Millisecond
 	}
+	srv, err := rpcnet.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
 	tt := &TaskTracker{
 		ID:            id,
 		jtAddr:        jtAddr,
 		slots:         slots,
 		heartbeat:     heartbeat,
 		LocalDataNode: localDataNode,
+		srv:           srv,
+		shuffle:       make(map[int64]map[partKey][]byte),
 		stop:          make(chan struct{}),
+		dead:          make(chan struct{}),
 		done:          make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(tt)
 	}
+	srv.Handle("FetchPartition", tt.handleFetchPartition)
 	go tt.loop()
 	return tt, nil
 }
 
-// Stop halts the heartbeat loop (simulating node death: in-flight
-// tasks are abandoned and the JobTracker's lease re-issues them).
+// Stop halts the tracker gracefully: in-flight tasks finish and any
+// completed-but-unreported results are delivered in one final
+// heartbeat before the tracker goes away, so a planned decommission
+// never forces the JobTracker to re-run finished work. The shuffle
+// store closes with the tracker either way — jobs still needing its
+// partitions recover through the fetch-failure re-run path, exactly
+// as after a death.
 func (tt *TaskTracker) Stop() {
+	tt.halt(tt.stop)
+}
+
+// Kill simulates node death: the heartbeat loop and shuffle server
+// stop immediately, in-flight tasks are abandoned unreported, and the
+// JobTracker's lease (or a reducer's fetch failure) re-issues the lost
+// work elsewhere.
+func (tt *TaskTracker) Kill() {
+	tt.halt(tt.dead)
+}
+
+// halt closes ch once, waits for the loop to exit, and tears down the
+// shuffle server. Stop and Kill may race or repeat; all orders are
+// safe.
+func (tt *TaskTracker) halt(ch chan struct{}) {
+	tt.mu.Lock()
 	select {
-	case <-tt.stop:
+	case <-ch:
 	default:
-		close(tt.stop)
+		close(ch)
 	}
+	tt.mu.Unlock()
 	<-tt.done
+	tt.srv.Close()
+}
+
+func (tt *TaskTracker) handleFetchPartition(body []byte) (any, error) {
+	var args FetchPartitionArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	tt.mu.Lock()
+	data, ok := tt.shuffle[args.JobID][partKey{args.MapTask, args.Part}]
+	tt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netmr: tracker %s holds no partition %d of job %d map %d",
+			tt.ID, args.Part, args.JobID, args.MapTask)
+	}
+	return FetchPartitionReply{Data: data}, nil
+}
+
+// heldJobs lists the jobs with shuffle data in the store. Callers hold
+// tt.mu.
+func (tt *TaskTracker) heldJobs() []int64 {
+	if len(tt.shuffle) == 0 {
+		return nil
+	}
+	held := make([]int64, 0, len(tt.shuffle))
+	for id := range tt.shuffle {
+		held = append(held, id)
+	}
+	return held
+}
+
+// heartbeatCallTimeout bounds one Heartbeat round-trip, so a hung
+// JobTracker degrades into per-tick call errors instead of wedging the
+// loop (and with it Stop/Kill) forever.
+const heartbeatCallTimeout = 5 * time.Second
+
+// dialJobTracker opens a heartbeat connection with the call timeout
+// applied, or nil when the JobTracker is unreachable right now.
+func (tt *TaskTracker) dialJobTracker() *rpcnet.Client {
+	client, err := rpcnet.Dial(tt.jtAddr)
+	if err != nil {
+		return nil
+	}
+	client.SetCallTimeout(heartbeatCallTimeout)
+	return client
 }
 
 func (tt *TaskTracker) loop() {
 	defer close(tt.done)
-	client, err := rpcnet.Dial(tt.jtAddr)
-	if err != nil {
-		return
-	}
-	defer client.Close()
+	client := tt.dialJobTracker()
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
 	ticker := time.NewTicker(tt.heartbeat)
 	defer ticker.Stop()
 	for {
 		select {
+		case <-tt.dead:
+			return
 		case <-tt.stop:
+			tt.drain(client)
 			return
 		case <-ticker.C:
+		}
+		if client == nil {
+			if client = tt.dialJobTracker(); client == nil {
+				continue // JobTracker unreachable: retry next tick
+			}
 		}
 		tt.mu.Lock()
 		reports := tt.completed
 		tt.completed = nil
 		free := tt.slots - tt.running
+		held := tt.heldJobs()
 		tt.mu.Unlock()
 		var reply HeartbeatReply
 		err := client.Call("Heartbeat", HeartbeatArgs{
@@ -117,75 +223,244 @@ func (tt *TaskTracker) loop() {
 			LocalDataNode: tt.LocalDataNode,
 			FreeSlots:     free,
 			Completed:     reports,
+			HeldJobs:      held,
 		}, &reply)
 		if err != nil {
-			// JobTracker gone: requeue the unsent reports and retry
-			// on the next tick.
+			// JobTracker gone or the call timed out (the connection
+			// may be desynced mid-frame): requeue the unsent reports
+			// and redial on the next tick.
 			tt.mu.Lock()
 			tt.completed = append(reports, tt.completed...)
 			tt.mu.Unlock()
+			client.Close()
+			client = nil
 			continue
 		}
-		for _, task := range reply.Tasks {
-			task := task
-			tt.mu.Lock()
+		tt.mu.Lock()
+		for _, id := range reply.PurgeJobs {
+			delete(tt.shuffle, id)
+		}
+		for range reply.Tasks {
 			tt.running++
-			tt.mu.Unlock()
+		}
+		tt.mu.Unlock()
+		for _, task := range reply.Tasks {
 			go tt.runTask(task)
 		}
 	}
 }
 
-// runTask executes one task: fetch its block (if any), run the kernel,
-// queue the result.
+// drainTimeout caps how long a graceful Stop waits for in-flight tasks
+// before giving up on the final report.
+const drainTimeout = 5 * time.Second
+
+// drain waits for in-flight tasks to finish and delivers every
+// completed-but-unreported result in one final heartbeat (FreeSlots 0,
+// so no new work comes back) — the graceful half of Stop. client may
+// be nil (the loop lost its connection); delivery redials once.
+func (tt *TaskTracker) drain(client *rpcnet.Client) {
+	deadline := time.Now().Add(drainTimeout)
+	for {
+		tt.mu.Lock()
+		running := tt.running
+		reports := tt.completed
+		if running == 0 || time.Now().After(deadline) {
+			tt.completed = nil
+			tt.mu.Unlock()
+			if len(reports) > 0 {
+				if client == nil {
+					if client = tt.dialJobTracker(); client == nil {
+						return
+					}
+					defer client.Close()
+				}
+				// Best effort: the JobTracker may already be gone.
+				client.Call("Heartbeat", HeartbeatArgs{
+					TrackerID:     tt.ID,
+					LocalDataNode: tt.LocalDataNode,
+					Completed:     reports,
+				}, nil)
+			}
+			return
+		}
+		tt.mu.Unlock()
+		select {
+		case <-tt.dead:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// report queues one task result (or failure) for the next heartbeat,
+// unless the node has died.
+func (tt *TaskTracker) report(res TaskResult) {
+	select {
+	case <-tt.dead:
+		return // node died before reporting
+	default:
+	}
+	tt.mu.Lock()
+	tt.completed = append(tt.completed, res)
+	tt.mu.Unlock()
+}
+
+// runTask executes one task attempt: fetch its inputs (a DFS block for
+// map tasks, shuffle partitions for reduce tasks), run the kernel, and
+// queue the result — or the error, so the JobTracker re-issues the
+// task on the next heartbeat instead of waiting out the lease.
 func (tt *TaskTracker) runTask(task Task) {
 	defer func() {
 		tt.mu.Lock()
 		tt.running--
 		tt.mu.Unlock()
 	}()
+	res := TaskResult{JobID: task.JobID, TaskID: task.TaskID, Reduce: task.Reduce}
 	kern, err := lookupKernel(task.Kernel)
 	if err != nil {
-		return // unknown kernel: lease will re-issue elsewhere
+		res.Err = err.Error()
+		tt.report(res)
+		return
 	}
 	if tt.delay > 0 {
 		time.Sleep(tt.delay) // injected straggler slowdown
 	}
+	if task.Reduce {
+		tt.runReduce(task, kern, res)
+		return
+	}
 	var data []byte
 	if task.Block.Addr != "" {
+		data, err = tt.fetchBlock(task.Block)
+		if err != nil {
+			res.Err = err.Error()
+			tt.report(res)
+			return
+		}
+	}
+	if task.NumParts > 0 && kern.Partition != nil {
+		// Distributed shuffle: the partitions stay here, served over
+		// FetchPartition; only their location crosses the heartbeat.
+		parts, err := kern.Partition(task, data, task.NumParts)
+		if err != nil {
+			res.Err = err.Error()
+			tt.report(res)
+			return
+		}
 		tt.mu.Lock()
-		if task.Block.Addr == tt.LocalDataNode {
-			tt.localFetch++
-		} else {
-			tt.remoteFetch++
+		jobParts := tt.shuffle[task.JobID]
+		if jobParts == nil {
+			jobParts = make(map[partKey][]byte)
+			tt.shuffle[task.JobID] = jobParts
+		}
+		for p, payload := range parts {
+			jobParts[partKey{task.TaskID, p}] = payload
 		}
 		tt.mu.Unlock()
-		dnc, err := rpcnet.Dial(task.Block.Addr)
-		if err != nil {
-			return
-		}
-		var get GetReply
-		err = dnc.Call("Get", GetArgs{ID: task.Block.ID}, &get)
-		dnc.Close()
-		if err != nil {
-			return
-		}
-		data = get.Data
+		res.ShuffleAddr = tt.srv.Addr()
+		tt.report(res)
+		return
 	}
 	out, err := kern.Map(task, data)
 	if err != nil {
+		res.Err = err.Error()
+		tt.report(res)
 		return
 	}
-	select {
-	case <-tt.stop:
-		return // node died before reporting
-	default:
+	res.Output = out
+	tt.report(res)
+}
+
+// runReduce executes one reduce task: pull partition task.TaskID from
+// every mapper tracker's shuffle store (local reads short-circuit the
+// network) and merge the pieces with the kernel. A fetch failure names
+// the unreachable store so the JobTracker can re-run the map tasks
+// that died with it.
+func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
+	own := tt.srv.Addr()
+	clients := make(map[string]*rpcnet.Client)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	pieces := make([][]byte, len(task.Inputs))
+	for i, ref := range task.Inputs {
+		if ref.Addr == own {
+			tt.mu.Lock()
+			data, ok := tt.shuffle[task.JobID][partKey{ref.MapTask, task.TaskID}]
+			tt.mu.Unlock()
+			if !ok {
+				res.Err = fmt.Sprintf("netmr: local partition %d of job %d map %d missing",
+					task.TaskID, task.JobID, ref.MapTask)
+				res.BadAddr = own
+				tt.report(res)
+				return
+			}
+			pieces[i] = data
+			continue
+		}
+		c, ok := clients[ref.Addr]
+		if !ok {
+			var err error
+			c, err = rpcnet.Dial(ref.Addr)
+			if err != nil {
+				res.Err = err.Error()
+				res.BadAddr = ref.Addr
+				tt.report(res)
+				return
+			}
+			c.SetCallTimeout(dataCallTimeout)
+			clients[ref.Addr] = c
+		}
+		var rep FetchPartitionReply
+		if err := c.Call("FetchPartition", FetchPartitionArgs{
+			JobID: task.JobID, MapTask: ref.MapTask, Part: task.TaskID,
+		}, &rep); err != nil {
+			res.Err = err.Error()
+			res.BadAddr = ref.Addr
+			tt.report(res)
+			return
+		}
+		pieces[i] = rep.Data
+	}
+	out, err := kern.Merge(pieces)
+	if err != nil {
+		res.Err = err.Error()
+		tt.report(res)
+		return
+	}
+	res.Output = out
+	tt.report(res)
+}
+
+// fetchBlock pulls one DFS block through the shared read-failover
+// protocol (readBlockFrom), trying the co-located DataNode first, then
+// the remaining replicas in placement order — what keeps map tasks
+// running through a DataNode death.
+func (tt *TaskTracker) fetchBlock(blk BlockInfo) ([]byte, error) {
+	addrs := blk.ReplicaAddrs()
+	ordered := make([]string, 0, len(addrs))
+	for _, addr := range addrs {
+		if addr == tt.LocalDataNode {
+			ordered = append(ordered, addr)
+		}
+	}
+	for _, addr := range addrs {
+		if addr != tt.LocalDataNode {
+			ordered = append(ordered, addr)
+		}
+	}
+	data, served, err := readBlockFrom(blk, ordered)
+	if err != nil {
+		return nil, err
 	}
 	tt.mu.Lock()
-	tt.completed = append(tt.completed, TaskResult{
-		JobID:  task.JobID,
-		TaskID: task.TaskID,
-		Output: out,
-	})
+	if served == tt.LocalDataNode {
+		tt.localFetch++
+	} else {
+		tt.remoteFetch++
+	}
 	tt.mu.Unlock()
+	return data, nil
 }

@@ -7,14 +7,37 @@
 // data actually crosses the network stack, including the
 // DataNode→TaskTracker hop whose effective bandwidth the paper
 // identified as the data-intensive bottleneck.
+//
+// The data plane is distributed, mirroring the paper's Hadoop
+// architecture: map outputs never travel through the JobTracker.
+// Mappers hash-partition their output into a per-tracker shuffle store
+// served over rpcnet, reducers pull partitions directly from the
+// mapper trackers and merge them, and heartbeats carry only metadata —
+// partition locations, task failures and the final (small) reduce
+// outputs.
 package netmr
 
-// BlockInfo describes one stored block: its cluster-wide ID, size and
-// the DataNode serving it.
+// BlockInfo describes one stored block: its cluster-wide ID, size, the
+// primary DataNode serving it, and every replica holding it.
 type BlockInfo struct {
 	ID   int64
 	Size int64
-	Addr string // DataNode RPC address
+	Addr string // primary DataNode RPC address
+	// Replicas lists every DataNode holding the block, primary first.
+	// Readers fail over along this list when a DataNode is down.
+	Replicas []string
+}
+
+// ReplicaAddrs returns every DataNode holding the block, primary
+// first, tolerating records written before replication existed.
+func (b BlockInfo) ReplicaAddrs() []string {
+	if len(b.Replicas) > 0 {
+		return b.Replicas
+	}
+	if b.Addr != "" {
+		return []string{b.Addr}
+	}
+	return nil
 }
 
 // --- NameNode RPC messages ---
@@ -34,10 +57,22 @@ type AllocateArgs struct {
 	Preferred string // DataNode address to favour (writer locality)
 }
 
-// AllocateReply returns the new block's identity and home.
+// AllocateReply returns the new block's identity and homes.
 type AllocateReply struct {
 	Block BlockInfo
 }
+
+// ConfirmArgs prunes a just-written block's replica list to the
+// DataNodes that actually stored it — the write-path failover: a dead
+// replica target costs the block a copy, never the write.
+type ConfirmArgs struct {
+	File     string
+	BlockID  int64
+	Replicas []string
+}
+
+// ConfirmReply acknowledges the pruning.
+type ConfirmReply struct{}
 
 // LookupArgs names a file.
 type LookupArgs struct {
@@ -86,6 +121,21 @@ type GetReply struct {
 	Data []byte
 }
 
+// --- TaskTracker shuffle-store RPC messages ---
+
+// FetchPartitionArgs asks a TaskTracker's shuffle store for one map
+// task's partition — the reduce-side pull of the distributed shuffle.
+type FetchPartitionArgs struct {
+	JobID   int64
+	MapTask int
+	Part    int
+}
+
+// FetchPartitionReply carries the partition payload.
+type FetchPartitionReply struct {
+	Data []byte
+}
+
 // --- JobTracker RPC messages ---
 
 // JobSpec describes a job: either a data job over Input (one map task
@@ -102,6 +152,12 @@ type JobSpec struct {
 	// the domain MixSeed(Seed, i). 0 selects the default seed (2009,
 	// the paper's year).
 	Seed uint64
+	// NumReducers turns the distributed shuffle/reduce plane on for
+	// data jobs whose kernel supports partitioned output: map outputs
+	// are hash-partitioned into this many reduce tasks, each scheduled
+	// like a map task and fetched directly from the mapper trackers.
+	// 0 keeps the centralized reduce at the JobTracker.
+	NumReducers int
 }
 
 // SubmitArgs submits a job.
@@ -123,13 +179,45 @@ type Task struct {
 	Block   BlockInfo // data tasks; Addr=="" for compute tasks
 	Samples int64     // compute tasks
 	Seed    uint64
+	// NumParts > 0 on a map task asks the tracker to hash-partition
+	// its output into NumParts partitions held in its shuffle store
+	// instead of shipping the bytes back on the heartbeat.
+	NumParts int
+	// Reduce marks a reduce task: fetch partition TaskID from every
+	// map task's shuffle store (Inputs) and merge with the kernel.
+	Reduce bool
+	// Inputs locates every map task's output for a reduce task,
+	// ordered by map task ID.
+	Inputs []MapOutputRef
 }
 
-// TaskResult reports one completed task.
+// MapOutputRef locates one map task's shuffle output.
+type MapOutputRef struct {
+	MapTask int
+	Addr    string // serving TaskTracker's shuffle-store address
+}
+
+// TaskResult reports one completed or failed task attempt.
 type TaskResult struct {
 	JobID  int64
 	TaskID int
+	Reduce bool
+	// Output is the task's result bytes: the map output on the
+	// centralized path, the merged partition on the reduce path, and
+	// empty for shuffle-path map tasks (their bytes stay in the
+	// tracker's shuffle store — the heartbeat carries only metadata).
 	Output []byte
+	// ShuffleAddr is where a shuffle-path map task's partitions are
+	// served from.
+	ShuffleAddr string
+	// Err reports a failed attempt (unknown kernel, fetch error,
+	// map/reduce error) on the next heartbeat, so the JobTracker
+	// re-issues immediately instead of waiting out the lease.
+	Err string
+	// BadAddr names the unreachable shuffle store behind a reduce
+	// fetch failure, so the JobTracker can re-run the map tasks whose
+	// outputs died with that tracker.
+	BadAddr string
 }
 
 // HeartbeatArgs is the TaskTracker's periodic report.
@@ -141,11 +229,17 @@ type HeartbeatArgs struct {
 	LocalDataNode string
 	FreeSlots     int
 	Completed     []TaskResult
+	// HeldJobs lists jobs whose shuffle partitions this tracker still
+	// stores; the reply's PurgeJobs names the ones safe to free.
+	HeldJobs []int64
 }
 
 // HeartbeatReply assigns up to FreeSlots new tasks.
 type HeartbeatReply struct {
 	Tasks []Task
+	// PurgeJobs are held jobs that finished (or are unknown): the
+	// tracker drops their shuffle partitions.
+	PurgeJobs []int64
 }
 
 // StatusArgs polls a job.
@@ -156,10 +250,16 @@ type StatusArgs struct {
 // StatusReply reports completion; Result is the kernel's reduced
 // output once Done.
 type StatusReply struct {
-	Done      bool
+	Done bool
+	// Completed counts finished tasks across both phases; Total is
+	// map tasks plus reduce tasks (reduce tasks exist only on the
+	// distributed-shuffle path).
 	Completed int
 	Total     int
 	Result    []byte
+	// Err is the terminal job error: a task that exhausted its
+	// attempt budget or a failed final reduce. Done is true when set.
+	Err string
 	// Attempts counts every attempt launched, including re-issues
 	// after lease expiry and speculative duplicates; Counts holds
 	// winning attempts per tracker ID — the scheduler's per-worker

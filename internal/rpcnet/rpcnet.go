@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame bounds a single message (a DFS block plus envelope must
@@ -213,9 +214,10 @@ func (s *Server) Close() error {
 // Client is a single-connection RPC client. Calls are serialized per
 // client; create several clients for concurrency.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	addr string
+	mu      sync.Mutex
+	conn    net.Conn
+	addr    string
+	timeout time.Duration
 }
 
 // Dial connects to a server.
@@ -227,6 +229,18 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, addr: addr}, nil
 }
 
+// SetCallTimeout bounds each subsequent Call's full round-trip: the
+// connection deadline is set d into the future for the call and
+// cleared afterwards. Zero restores the unbounded default. A call that
+// hits the deadline returns a net timeout error
+// (errors.Is(err, os.ErrDeadlineExceeded)) and leaves the connection
+// unusable — a frame may be half-transferred — so redial to continue.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
 // Call invokes method with arg, decoding the reply into result (a
 // pointer, or nil to discard).
 func (c *Client) Call(method string, arg, result any) error {
@@ -236,6 +250,10 @@ func (c *Client) Call(method string, arg, result any) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, &Request{Method: method, Body: body}); err != nil {
 		return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, err)
 	}

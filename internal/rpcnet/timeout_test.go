@@ -1,0 +1,59 @@
+package rpcnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestCallTimeout(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("sleep", func([]byte) (any, error) {
+		time.Sleep(300 * time.Millisecond)
+		return struct{}{}, nil
+	})
+	s.Handle("quick", func([]byte) (any, error) {
+		return struct{}{}, nil
+	})
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(50 * time.Millisecond)
+	start := time.Now()
+	err = c.Call("sleep", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("call outlived its timeout")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v is not a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("timed-out call took %v with a 50ms timeout", elapsed)
+	}
+
+	// Without a timeout the slow call completes; a fresh connection is
+	// needed — the timed-out one may hold a half-read frame.
+	c2, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Call("sleep", struct{}{}, nil); err != nil {
+		t.Fatalf("untimed call failed: %v", err)
+	}
+	// Zero restores the unbounded default.
+	c2.SetCallTimeout(time.Millisecond)
+	c2.SetCallTimeout(0)
+	if err := c2.Call("quick", struct{}{}, nil); err != nil {
+		t.Fatalf("call after clearing the timeout failed: %v", err)
+	}
+}

@@ -31,7 +31,9 @@ type Board struct {
 // boardTask is one task's state at the board.
 type boardTask struct {
 	done     bool
-	attempts int
+	attempts int    // every launch: first issue, re-issues, speculation
+	failures int    // attempts that reported an error
+	winner   string // worker credited with the winning attempt
 	live     []boardAttempt
 }
 
@@ -172,10 +174,97 @@ func (b *Board) Complete(task int, worker string) bool {
 		return false
 	}
 	t.done = true
+	t.winner = worker
 	t.live = nil
 	b.doneN++
 	b.counts[worker]++
 	return true
+}
+
+// Fail reports an attempt error arriving on a heartbeat: the worker's
+// live attempt is dropped immediately, so the task becomes assignable
+// on the very next Assign instead of silently waiting out its lease.
+//
+// dropped is false when the worker held no live attempt for the task —
+// a redelivered report (heartbeat replies can be lost mid-frame, so
+// reports arrive at-least-once) or one whose lease already expired.
+// Such reports are fully ignored: counting them would double-spend the
+// failure budget. exhausted is true when MaxAttempts attempts have
+// *reported errors* and none is still running — the caller should
+// treat that as a permanent task failure. Only reported failures spend
+// the budget: lease re-issues after silent worker death and
+// speculative duplicates never do (they cap only further speculation),
+// or churn could wedge a healthy job.
+func (b *Board) Fail(task int, worker string) (dropped, exhausted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if task < 0 || task >= len(b.tasks) {
+		return false, false
+	}
+	t := &b.tasks[task]
+	if t.done {
+		return false, false
+	}
+	for i, a := range t.live {
+		if a.worker == worker {
+			t.live = append(t.live[:i], t.live[i+1:]...)
+			t.failures++
+			return true, t.failures >= b.max && len(t.live) == 0
+		}
+	}
+	return false, false
+}
+
+// Release drops worker's live attempt on task without spending the
+// failure budget: the immediate-re-issue half of Fail for
+// infrastructure failures — a reduce attempt that could not fetch a
+// dead peer's shuffle output did nothing wrong, and charging it could
+// terminally fail a job that a re-run would finish. It returns false
+// when the worker held no live attempt (a redelivered report).
+func (b *Board) Release(task int, worker string) (dropped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if task < 0 || task >= len(b.tasks) {
+		return false
+	}
+	t := &b.tasks[task]
+	if t.done {
+		return false
+	}
+	for i, a := range t.live {
+		if a.worker == worker {
+			t.live = append(t.live[:i], t.live[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Reopen marks a completed task pending again. The distributed shuffle
+// uses it when a finished map task's output is lost with its tracker
+// and must be recomputed; the completion count and the winning worker's
+// credit are rolled back so accounting stays exact across re-runs, and
+// the per-task attempt budget restarts — the earlier attempts did their
+// job, losing their output to a dead node must not eat into the re-run's
+// failure allowance. The board-wide Attempts total keeps counting every
+// launch.
+func (b *Board) Reopen(task int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if task < 0 || task >= len(b.tasks) {
+		return
+	}
+	t := &b.tasks[task]
+	if !t.done {
+		return
+	}
+	t.done = false
+	t.attempts = 0
+	t.failures = 0
+	t.live = nil
+	b.doneN--
+	b.counts[t.winner]--
+	t.winner = ""
 }
 
 // Done reports whether every task has completed.

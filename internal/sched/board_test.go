@@ -116,6 +116,72 @@ func TestBoardSpeculationPicksOldestAndRespectsCaps(t *testing.T) {
 	}
 }
 
+func TestBoardFailReissuesImmediately(t *testing.T) {
+	b := boardAt(t, 1, time.Minute, Options{MaxAttempts: 3})
+	t0 := time.Unix(0, 0)
+	if got := b.Assign("a", 1, t0, nil); len(got) != 1 {
+		t.Fatalf("granted %v", got)
+	}
+	// A reported failure frees the task well inside its lease.
+	dropped, exhausted := b.Fail(0, "a")
+	if !dropped || exhausted {
+		t.Fatalf("Fail = (%v, %v), want dropped without exhaustion", dropped, exhausted)
+	}
+	// Reports arrive at-least-once: a redelivered failure finds no
+	// live attempt and must not double-spend the budget.
+	if dropped, _ := b.Fail(0, "a"); dropped {
+		t.Fatal("redelivered failure report counted twice")
+	}
+	got := b.Assign("b", 1, t0.Add(time.Millisecond), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("granted %v right after the failure, want [0]", got)
+	}
+	if _, exhausted := b.Fail(0, "b"); exhausted {
+		t.Fatal("exhausted at failure 2 of 3")
+	}
+	b.Assign("c", 1, t0.Add(2*time.Millisecond), nil)
+	if _, exhausted := b.Fail(0, "c"); !exhausted {
+		t.Fatal("third reported failure did not exhaust the cap")
+	}
+	// Out-of-range tasks and workers without an attempt are no-ops.
+	if d, e := b.Fail(-1, "x"); d || e {
+		t.Error("out-of-range failure accepted")
+	}
+	if d, e := b.Fail(9, "x"); d || e {
+		t.Error("out-of-range failure accepted")
+	}
+}
+
+func TestBoardReopenRollsBackCompletion(t *testing.T) {
+	b := boardAt(t, 2, time.Minute, Options{})
+	t0 := time.Unix(0, 0)
+	b.Assign("a", 2, t0, nil)
+	if !b.Complete(0, "a") {
+		t.Fatal("completion rejected")
+	}
+	if n := b.Counts()["a"]; n != 1 {
+		t.Fatalf("counts[a] = %d, want 1", n)
+	}
+	// Reopen: the task is assignable again and the credit rolls back,
+	// so accounting stays exact across shuffle re-runs.
+	b.Reopen(0)
+	if n := b.Counts()["a"]; n != 0 {
+		t.Fatalf("counts[a] = %d after reopen, want 0", n)
+	}
+	got := b.Assign("b", 2, t0.Add(time.Millisecond), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("granted %v after reopen, want [0] (task 1 still leased)", got)
+	}
+	if !b.Complete(0, "b") || !b.Complete(1, "a") {
+		t.Fatal("re-run completions rejected")
+	}
+	if !b.Done() {
+		t.Error("board not done after every task re-completed")
+	}
+	b.Reopen(-1) // out-of-range: no-op
+	b.Reopen(5)
+}
+
 func TestBoardValidation(t *testing.T) {
 	if _, err := NewBoard(0, time.Second, Options{}); err == nil {
 		t.Error("zero tasks accepted")

@@ -71,8 +71,10 @@ type Options struct {
 	Speculative bool
 	// MaxAttempts caps attempts per task (0: DefaultMaxAttempts). The
 	// pool aborts the run when a task fails this many times; the board
-	// uses it only to bound speculative duplicates (lease re-issue
-	// after worker death is never capped, or jobs could wedge).
+	// uses it to bound speculative duplicates and to declare a task
+	// exhausted once MaxAttempts of its attempts have reported errors
+	// with none still running (lease re-issue after silent worker
+	// death never spends the failure budget, or jobs could wedge).
 	MaxAttempts int
 	// OnCommit, when set, is called exactly once per task with the
 	// winning attempt's result, concurrently across tasks, before Run
