@@ -21,7 +21,7 @@ bench:
 # parsed into the machine-readable perf artifact (name parameterized
 # like the CI lane's BENCH_ARTIFACT). The intermediate file (not a
 # pipe) keeps a benchmark failure fatal.
-BENCH_ARTIFACT ?= BENCH_PR3
+BENCH_ARTIFACT ?= BENCH_PR4
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_ARTIFACT).json < bench.out

@@ -32,7 +32,8 @@ func main() {
 	accelFraction := flag.Float64("accel-fraction", 1.0, "fraction of nodes with accelerators")
 	speculative := flag.Bool("speculative", false, "enable speculative execution (sim, live and net)")
 	maxAttempts := flag.Int("max-attempts", 0, "per-task attempt cap, 0 = scheduler default (live and net)")
-	speedHints := flag.Bool("speed-hints", false, "seed the scheduler with perfmodel's Cell/PPE speed ratio for the accelerated fraction (live)")
+	speedHints := flag.Bool("speed-hints", false, "seed the scheduler with perfmodel's Cell/PPE speed ratio for the accelerated fraction (live; on net this also sets the device profile)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline, 0 = engine default (net)")
 	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart (sim)")
 	flag.Parse()
 
@@ -46,10 +47,13 @@ func main() {
 		AccelFraction: accel,
 		Speculative:   *speculative,
 		MaxAttempts:   *maxAttempts,
+		JobTimeout:    *jobTimeout,
 		Timeline:      *timeline,
 	}
 	if *speedHints {
-		cfg.SpeedHints = engine.HeterogeneousSpeedHints(*nodes, *accelFraction)
+		// accel already follows the Config convention the shared
+		// resolver expects (0 -> NoAcceleration happened above).
+		cfg.SpeedHints = engine.HeterogeneousSpeedHints(*nodes, accel)
 	}
 	job, err := buildJob(*backend, *wl, cfg, *gbPerMapper, *mb, int64(*samples), *maps)
 	if err == nil {
@@ -133,7 +137,14 @@ func run(backend string, cfg engine.Config, job *engine.Job) error {
 		if len(res.TaskCounts) > 0 {
 			fmt.Printf("  task counts    ")
 			for _, name := range sortedKeys(res.TaskCounts) {
-				fmt.Printf(" %s=%d", name, res.TaskCounts[name])
+				// The net backend reports each tracker's device kind;
+				// print it next to the count so the heterogeneous skew
+				// is visible at a glance.
+				if kind := res.Devices[name]; kind != "" {
+					fmt.Printf(" %s(%s)=%d", name, kind, res.TaskCounts[name])
+				} else {
+					fmt.Printf(" %s=%d", name, res.TaskCounts[name])
+				}
 			}
 			fmt.Println()
 		}

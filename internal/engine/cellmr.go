@@ -27,6 +27,16 @@ type cellmrRunner struct {
 
 func init() {
 	Register("cellmr", func(cfg Config) (Runner, error) {
+		// The framework IS the accelerated path: a config asking for
+		// the host mapper or a partially-accelerated cluster cannot be
+		// honoured here, and silently running the fully-accelerated
+		// single node instead would be a different job.
+		if cfg.Mapper != "cell" {
+			return nil, fmt.Errorf("%w: mapper %q on cellmr — the framework is the accelerated node runtime", ErrUnsupported, cfg.Mapper)
+		}
+		if cfg.AccelFraction != 1 {
+			return nil, fmt.Errorf("%w: accelerated fraction %g on cellmr — the single-node framework is fully accelerated", ErrUnsupported, cfg.AccelFraction)
+		}
 		fw, err := cellmr.New(cellbe.NewChip(0), perfmodel.SPEsPerCell, perfmodel.SPEBlockBytes)
 		if err != nil {
 			return nil, err

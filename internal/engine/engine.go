@@ -160,6 +160,11 @@ type Result struct {
 	// imbalance a heterogeneous cluster produces. Nil elsewhere.
 	TaskCounts map[string]int
 
+	// Devices maps worker ID to its device kind ("cell" or "host") on
+	// the net backend — read alongside TaskCounts, it shows how
+	// completions skew toward accelerated nodes. Nil elsewhere.
+	Devices map[string]string
+
 	Sim *SimStats
 }
 

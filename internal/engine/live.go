@@ -23,7 +23,7 @@ type liveRunner struct {
 func init() {
 	Register("live", func(cfg Config) (Runner, error) {
 		if cfg.Mapper == "empty" {
-			return nil, fmt.Errorf("engine: mapper \"empty\" models pure runtime overhead and only exists on the sim backend")
+			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
 		}
 		clus, err := core.NewLiveCluster(cfg.Workers,
 			core.WithBlockSize(cfg.BlockSize),

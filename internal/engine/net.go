@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hetmr/internal/kernels"
@@ -12,28 +13,70 @@ import (
 // netRunner executes jobs on the socket-backed distributed runtime
 // (internal/netmr): NameNode, DataNodes, JobTracker and TaskTrackers
 // as TCP daemons on loopback, block data crossing the network stack.
+// An AccelFraction of the trackers carry a per-node Cell accelerator;
+// cell-mapper jobs offload their pi, aes-ctr and wordcount map tasks
+// to it with a bit-identical host fallback on the plain trackers.
 type netRunner struct {
 	cfg  Config
 	clus *netmr.Cluster
-	seq  int
-}
 
-// netJobTimeout bounds how long one submitted job may run; loopback
-// jobs finish in milliseconds-to-seconds, so this is generous.
-const netJobTimeout = 2 * time.Minute
+	// mu guards seq: Run may be called concurrently, and two jobs
+	// colliding on one DFS staging path would corrupt each other's
+	// input.
+	mu  sync.Mutex
+	seq int
+}
 
 func init() {
 	Register("net", func(cfg Config) (Runner, error) {
+		if cfg.Mapper == "empty" {
+			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
+		}
+		kinds, err := netDeviceKinds(cfg)
+		if err != nil {
+			return nil, err
+		}
 		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
 			cfg.BlockSize, 20*time.Millisecond,
 			netmr.WithSpeculation(cfg.Speculative),
 			netmr.WithMaxAttempts(cfg.MaxAttempts),
-			netmr.WithTrackerDelays(cfg.FaultDelays))
+			netmr.WithTrackerDelays(cfg.FaultDelays),
+			netmr.WithDeviceKinds(kinds))
 		if err != nil {
 			return nil, err
 		}
 		return &netRunner{cfg: cfg, clus: clus}, nil
 	})
+}
+
+// netDeviceKinds derives the cluster's per-tracker device profiles:
+// the first AccelFraction of workers carry a device, the same layout
+// the live and sim backends use, so one Config builds the same
+// hardware everywhere. SpeedHints never override the profile; they are
+// cross-checked against it — a hint above the host baseline on a
+// worker without a device claims accelerated-class throughput the
+// profile cannot provide and is an error, never a silently dropped
+// knob. (The converse is fine: a device-equipped worker may carry a
+// low hint — a straggling accelerated node — and
+// HeterogeneousSpeedHints with the matching fraction agrees with the
+// profile by construction.)
+func netDeviceKinds(cfg Config) ([]string, error) {
+	kinds := make([]string, cfg.Workers)
+	accelerated := cfg.acceleratedNodes(cfg.Workers)
+	for i := range kinds {
+		if i < accelerated {
+			kinds[i] = netmr.DeviceCell
+		} else {
+			kinds[i] = netmr.DeviceHost
+		}
+	}
+	for i, h := range cfg.SpeedHints {
+		if h > 1 && kinds[i] != netmr.DeviceCell {
+			return nil, fmt.Errorf("engine: speed hint %g for worker %d exceeds the host baseline but the %d/%d accelerated device profile gives it no device — on net, hints must agree with AccelFraction (use HeterogeneousSpeedHints with the same fraction)",
+				h, i, accelerated, cfg.Workers)
+		}
+	}
+	return kinds, nil
 }
 
 // Backend implements Runner.
@@ -45,8 +88,8 @@ func (r *netRunner) Close() error {
 	return nil
 }
 
-// Cluster exposes the running deployment (daemon addresses etc.) for
-// callers that need backend-specific detail.
+// Cluster exposes the running deployment (daemon addresses, tracker
+// devices etc.) for callers that need backend-specific detail.
 func (r *netRunner) Cluster() *netmr.Cluster { return r.clus }
 
 // reducers resolves the distributed-shuffle reduce-task count for data
@@ -62,22 +105,24 @@ func (r *netRunner) reducers() int {
 	return 1
 }
 
-// submitAndWait runs one job to completion and fetches the scheduler's
-// per-tracker completion counts alongside the reduced result.
-func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, counts map[string]int, err error) {
+// submitAndWait runs one job to completion under the configured
+// JobTimeout and fetches the scheduler's per-tracker completion counts
+// and device profile alongside the reduced result.
+func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, st netmr.StatusReply, err error) {
+	spec.Mapper = r.cfg.Mapper
 	id, err := r.clus.Client.Submit(spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
-	raw, err = r.clus.Client.Wait(id, netJobTimeout)
+	raw, err = r.clus.Client.Wait(id, r.cfg.JobTimeout)
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
-	st, err := r.clus.Client.Status(id)
+	st, err = r.clus.Client.Status(id)
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
-	return raw, st.Counts, nil
+	return raw, st, nil
 }
 
 // stageInput stores the job's dataset in the distributed FS.
@@ -86,15 +131,19 @@ func (r *netRunner) stageInput(job *Job) (string, error) {
 	if len(data) == 0 {
 		data = syntheticInput(job.InputBytes)
 	}
+	r.mu.Lock()
 	r.seq++
 	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
+	r.mu.Unlock()
 	if err := r.clus.Client.WriteFile(name, data, ""); err != nil {
 		return "", err
 	}
 	return name, nil
 }
 
-// Run implements Runner.
+// Run implements Runner. It is safe for concurrent use: each call
+// stages its input under a distinct DFS path and the netmr client is
+// connectionless per call.
 func (r *netRunner) Run(job *Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -107,7 +156,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
+		raw, st, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "wordcount", Input: input,
 			NumReducers: r.reducers(),
 		})
@@ -119,7 +168,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		res.Pairs = pairsFromCounts(counts)
-		res.TaskCounts = taskCounts
+		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Sort:
 		if r.cfg.BlockSize%kernels.SortRecordBytes != 0 {
 			return nil, fmt.Errorf("engine: net sort needs a block size divisible by %d, got %d",
@@ -129,7 +178,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
+		raw, st, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "sort", Input: input,
 			NumReducers: r.reducers(),
 		})
@@ -139,7 +188,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
 			return nil, err
 		}
-		res.TaskCounts = taskCounts
+		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Encrypt:
 		input, err := r.stageInput(job)
 		if err != nil {
@@ -151,7 +200,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
+		raw, st, err := r.submitAndWait(netmr.JobSpec{
 			Name: job.title(), Kernel: "aes-ctr", Input: input, Args: args,
 		})
 		if err != nil {
@@ -160,13 +209,13 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
 			return nil, err
 		}
-		res.TaskCounts = taskCounts
+		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Pi:
 		seed := job.Seed
 		if seed == 0 {
 			seed = DefaultSeed
 		}
-		raw, taskCounts, err := r.submitAndWait(netmr.JobSpec{
+		raw, st, err := r.submitAndWait(netmr.JobSpec{
 			Name:     job.title(),
 			Kernel:   "pi",
 			Samples:  job.Samples,
@@ -181,7 +230,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 			return nil, err
 		}
 		res.Pi, res.Inside, res.Total = pi.Pi, pi.Inside, pi.Total
-		res.TaskCounts = taskCounts
+		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	default:
 		return nil, fmt.Errorf("%w: %s on net", ErrUnsupported, job.Kind)
 	}

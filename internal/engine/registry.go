@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -34,20 +35,29 @@ type Config struct {
 	// Reducers is the shuffle partition count: the live backend's
 	// in-process bucket count, and the net backend's distributed
 	// reduce-task count for kernels with partitioned output (0:
-	// runtime default — one reduce task per worker on net).
+	// runtime default — one reduce task per worker on net). Negative
+	// counts are rejected here, at the API boundary, instead of
+	// panicking in the partition hash mid-shuffle.
 	Reducers int
 	// Mapper selects the mapper variant: "cell" (accelerated, the
 	// default), "java" (host path) or "empty" (simulated backend
 	// only: reads records, computes nothing). The sim backend honours
-	// it for every kind; the live backend only for Encrypt — its Pi
-	// jobs always run the host path so results stay bit-identical
-	// across backends, and wordcount/sort have no accelerated kernel.
-	// The net and cellmr backends ignore it.
+	// it for every kind. The net backend honours it for every kind
+	// too: "cell" offloads pi, aes-ctr and wordcount map tasks to the
+	// accelerated trackers' per-node device with a bit-identical host
+	// fallback elsewhere. The live backend offloads only Encrypt —
+	// its Pi jobs always run the host path so results stay
+	// bit-identical across backends, and wordcount/sort have no
+	// accelerated kernel there. cellmr is the accelerated node
+	// framework itself and rejects "java"/"empty" with
+	// ErrUnsupported.
 	Mapper string
 	// AccelFraction is the fraction of nodes carrying accelerators
-	// (live and simulated backends). The zero value selects the
+	// (live, simulated and net backends; on net it decides which
+	// trackers own a per-node device). The zero value selects the
 	// default of 1.0 (fully accelerated, the paper's baseline); use
 	// NoAcceleration for a cluster with no accelerators at all.
+	// ResolveAccelFraction is the single copy of that convention.
 	AccelFraction float64
 	// Speculative enables speculative execution of straggler tasks on
 	// the live, net and simulated backends: when idle capacity appears
@@ -62,18 +72,33 @@ type Config struct {
 	// SpeedHints declares per-worker relative throughput (len must be
 	// 0 or Workers, values positive). The live backend's scheduler
 	// seeds its initial task distribution proportionally; work
-	// stealing corrects any hint error at run time. Use
-	// HeterogeneousSpeedHints to mirror perfmodel's device ratios.
+	// stealing corrects any hint error at run time. The net backend
+	// cross-checks them against its AccelFraction-derived device
+	// profile — a hint above the host baseline (1) on a worker the
+	// fraction leaves without a device is an error, never a silent
+	// pick (low hints on accelerated workers stay valid: a straggling
+	// accelerated node). Use HeterogeneousSpeedHints with the same
+	// fraction to mirror perfmodel's device ratios.
 	SpeedHints []float64
 	// FaultDelays injects a fixed artificial delay into every task a
 	// worker executes (len must be 0 or Workers), on the live and net
 	// backends — the straggler fault-injection knob the conformance
 	// suite and benchmarks use. Nil injects nothing.
 	FaultDelays []time.Duration
+	// JobTimeout bounds one submitted job's end-to-end run on the net
+	// backend (Submit through Wait). 0 selects DefaultJobTimeout;
+	// raise it for large inputs or slow CI machines instead of hitting
+	// an arbitrary cliff. Negative is an error.
+	JobTimeout time.Duration
 	// Timeline requests a rendered task Gantt chart in Result.Sim
 	// (simulated backend).
 	Timeline bool
 }
+
+// DefaultJobTimeout is the net backend's per-job deadline when
+// Config.JobTimeout is zero; loopback jobs finish in
+// milliseconds-to-seconds, so this is generous.
+const DefaultJobTimeout = 2 * time.Minute
 
 // withDefaults resolves zero fields.
 func (c Config) withDefaults() (Config, error) {
@@ -100,13 +125,19 @@ func (c Config) withDefaults() (Config, error) {
 	default:
 		return c, fmt.Errorf("engine: unknown mapper variant %q (cell|java|empty)", c.Mapper)
 	}
-	switch {
-	case c.AccelFraction == 0:
-		c.AccelFraction = 1.0
-	case c.AccelFraction == NoAcceleration:
-		c.AccelFraction = 0
-	case c.AccelFraction < 0 || c.AccelFraction > 1:
-		return c, fmt.Errorf("engine: accelerated fraction %g outside [0,1]", c.AccelFraction)
+	frac, err := ResolveAccelFraction(c.AccelFraction)
+	if err != nil {
+		return c, err
+	}
+	c.AccelFraction = frac
+	if c.Reducers < 0 {
+		return c, fmt.Errorf("engine: negative reducer count %d", c.Reducers)
+	}
+	if c.JobTimeout < 0 {
+		return c, fmt.Errorf("engine: negative job timeout %v", c.JobTimeout)
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = DefaultJobTimeout
 	}
 	if c.MaxAttempts < 0 {
 		return c, fmt.Errorf("engine: negative attempt cap %d", c.MaxAttempts)
@@ -135,14 +166,15 @@ func (c Config) withDefaults() (Config, error) {
 // while the rest run the PPE Java path — the relative rates are
 // perfmodel's calibrated Pi plateaus, so the scheduler's initial
 // distribution mirrors the paper's measured device heterogeneity.
+// accelFraction follows the Config.AccelFraction convention (0 means
+// the fully-accelerated default, NoAcceleration means none); an
+// out-of-range fraction, like a non-positive worker count, yields nil.
 func HeterogeneousSpeedHints(workers int, accelFraction float64) []float64 {
-	if workers <= 0 {
+	frac, err := ResolveAccelFraction(accelFraction)
+	if workers <= 0 || err != nil {
 		return nil
 	}
-	accelerated := int(accelFraction*float64(workers) + 0.5)
-	if accelerated > workers {
-		accelerated = workers
-	}
+	accelerated := acceleratedNodeCount(workers, frac)
 	ratio := perfmodel.PiCellSamplesPerSec / perfmodel.PiPPESamplesPerSec
 	hints := make([]float64, workers)
 	for i := range hints {
@@ -160,13 +192,42 @@ func HeterogeneousSpeedHints(workers int, accelFraction float64) []float64 {
 // fully accelerated).
 const NoAcceleration = -1
 
-// acceleratedNodes resolves the accelerated-node count for n workers.
-func (c Config) acceleratedNodes(n int) int {
-	a := int(c.AccelFraction*float64(n) + 0.5)
+// ResolveAccelFraction maps the Config.AccelFraction convention onto a
+// plain fraction in [0,1]: the zero value selects the paper's
+// fully-accelerated baseline, NoAcceleration selects an all-host
+// cluster, anything outside [0,1] is an error. Every consumer of the
+// knob — withDefaults, HeterogeneousSpeedHints, the backends — routes
+// through this one resolver, so 0 can never mean "default" in one
+// place and "none" in another.
+func ResolveAccelFraction(f float64) (float64, error) {
+	switch {
+	case f == 0:
+		return 1, nil
+	case f == NoAcceleration:
+		return 0, nil
+	case math.IsNaN(f) || f < 0 || f > 1:
+		// NaN must be named explicitly: every comparison against it is
+		// false, so it would otherwise fall through as "valid".
+		return 0, fmt.Errorf("engine: accelerated fraction %g outside [0,1]", f)
+	}
+	return f, nil
+}
+
+// acceleratedNodeCount rounds a resolved fraction to a node count,
+// never exceeding n.
+func acceleratedNodeCount(n int, frac float64) int {
+	a := int(frac*float64(n) + 0.5)
 	if a > n {
 		a = n
 	}
 	return a
+}
+
+// acceleratedNodes resolves the accelerated-node count for n workers.
+// Callers run after withDefaults, so AccelFraction is already a plain
+// fraction.
+func (c Config) acceleratedNodes(n int) int {
+	return acceleratedNodeCount(n, c.AccelFraction)
 }
 
 // Factory builds one backend runner.

@@ -8,13 +8,20 @@ import "math"
 // Hadoop's PiEstimator sample structure but uses a splitmix64
 // generator so every mapper gets an independent, reproducible stream.
 
+// piGamma is the splitmix64 state increment. The generator's state
+// after k next() calls is exactly seed + k*piGamma, which makes the
+// sample stream seekable in O(1): each sample consumes two draws, so a
+// worker can resume the stream at any sample index without replaying
+// the prefix (CountInsideFrom).
+const piGamma = 0x9e3779b97f4a7c15
+
 // piRNG is a self-contained splitmix64 (duplicated from internal/sim
 // deliberately: the kernel must not depend on simulation packages,
 // exactly as the SPE kernel could not link against Hadoop).
 type piRNG struct{ state uint64 }
 
 func (r *piRNG) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
+	r.state += piGamma
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -49,6 +56,19 @@ func CountInside(seed uint64, n int64) int64 {
 		}
 	}
 	return inside
+}
+
+// CountInsideFrom counts how many of samples [skip, skip+n) of the
+// stream seeded by seed fall inside the quarter circle. The splitmix64
+// state advances by a fixed increment per draw and each sample takes
+// two draws, so seeking is a single multiply — the per-sample decisions
+// are bit-identical to the corresponding slice of a full CountInside
+// pass. Splitting [0, total) into contiguous ranges and summing
+// CountInsideFrom over them therefore reproduces CountInside(seed,
+// total) exactly; this is what lets an accelerated runtime fan one map
+// task out over SPEs without changing the task's result.
+func CountInsideFrom(seed uint64, skip, n int64) int64 {
+	return CountInside(seed+2*uint64(skip)*piGamma, n)
 }
 
 // SampleSplit is one canonical Monte Carlo map task: an independent

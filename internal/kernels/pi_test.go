@@ -87,6 +87,35 @@ func TestPiErrorBound(t *testing.T) {
 	}
 }
 
+func TestCountInsideFromSeeksExactStream(t *testing.T) {
+	// The accelerated runtime splits one map task's sample range over
+	// SPEs; the split must reproduce the host kernel's single pass bit
+	// for bit, for any chunking.
+	const seed, n = uint64(2009), int64(10_007)
+	want := CountInside(seed, n)
+	for _, chunks := range []int64{1, 2, 3, 7, 8, 64, n} {
+		var got int64
+		per := n / chunks
+		for c := int64(0); c < chunks; c++ {
+			lo := c * per
+			hi := lo + per
+			if c == chunks-1 {
+				hi = n
+			}
+			got += CountInsideFrom(seed, lo, hi-lo)
+		}
+		if got != want {
+			t.Fatalf("%d chunks: inside = %d, want %d", chunks, got, want)
+		}
+	}
+	if CountInsideFrom(seed, 0, n) != want {
+		t.Fatal("skip=0 must equal CountInside")
+	}
+	if CountInsideFrom(seed, n, 0) != 0 {
+		t.Fatal("empty range must count zero")
+	}
+}
+
 func TestCountsAdditiveAcrossSeeds(t *testing.T) {
 	// Distributed mappers each run an independent seed; totals are
 	// summed by the reducer. The sum of two independent halves must

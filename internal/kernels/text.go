@@ -13,6 +13,11 @@ func isWordByte(b byte) bool {
 	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
 }
 
+// IsWordByte exposes the word/separator classification, so runtimes
+// that carve a block into sub-blocks (the accelerated wordcount path)
+// can split only at separators and never cut a word in half.
+func IsWordByte(b byte) bool { return isWordByte(b) }
+
 // Words calls fn for every maximal word in data, lowercased. The
 // callback slice is only valid during the call.
 func Words(data []byte, fn func(word []byte)) {

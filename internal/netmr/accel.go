@@ -1,0 +1,227 @@
+package netmr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hetmr/internal/cellbe"
+	"hetmr/internal/kernels"
+	"hetmr/internal/perfmodel"
+	"hetmr/internal/spurt"
+)
+
+// Device kinds a tracker reports on heartbeats and the JobTracker
+// surfaces in StatusReply.Devices — the cluster's device profile, the
+// paper's "nodes enabled with hardware accelerators and general
+// purpose nodes".
+const (
+	// DeviceHost is a general-purpose node: every kernel runs the host
+	// (Java-path) implementation.
+	DeviceHost = "host"
+	// DeviceCell is an accelerator-equipped node: one Cell BE chip,
+	// driven through the spurt runtime, runs map work for kernels with
+	// an accelerated variant.
+	DeviceCell = "cell"
+)
+
+// Mapper variants a JobSpec may request for its map tasks.
+const (
+	// MapperCell (the default) offloads map work to the tracker's
+	// accelerator where the node has one and the kernel has an
+	// accelerated variant; everywhere else the host path runs — the
+	// fallback is bit-identical, so partial acceleration is purely a
+	// performance choice.
+	MapperCell = "cell"
+	// MapperJava pins every map task to the host path.
+	MapperJava = "java"
+)
+
+// errAccelFallback is returned by an accelerated kernel variant that
+// declines its input (e.g. a word longer than the local-store budget):
+// the tracker runs the host path instead, keeping the result identical.
+var errAccelFallback = errors.New("netmr: input unsuitable for the accelerator, host fallback")
+
+// AccelDevice is one node's accelerator: a functional Cell BE chip
+// (internal/cellbe) driven through the spurt runtime for streaming and
+// compute offload (the paper's direct path), with the wordcount path
+// running the cellmr framework's map-stage discipline — dynamic
+// sub-block claiming, DMA into the local store, per-SPE tallies —
+// directly on the chip (the framework's fixed-size KV records cannot
+// carry string keys). Trackers built with WithAccelerator own exactly
+// one device; offload sessions on one chip serialize (cellbe.Chip
+// holds its SPE contexts exclusively per session), exactly as
+// concurrent map slots contended on the real hardware.
+type AccelDevice struct {
+	chip *cellbe.Chip
+	rt   *spurt.Runtime
+}
+
+// NewCellDevice builds a per-node Cell accelerator: one chip, all
+// eight SPEs, the paper's 4 KB SPE blocking.
+func NewCellDevice() (*AccelDevice, error) {
+	chip := cellbe.NewChip(0)
+	rt, err := spurt.New(chip, perfmodel.SPEsPerCell, perfmodel.SPEBlockBytes)
+	if err != nil {
+		return nil, fmt.Errorf("netmr: accelerator runtime: %w", err)
+	}
+	return &AccelDevice{chip: chip, rt: rt}, nil
+}
+
+// Kind reports the device kind for heartbeats and status.
+func (d *AccelDevice) Kind() string { return DeviceCell }
+
+// Chip exposes the underlying chip for DMA accounting in tests and
+// benchmarks.
+func (d *AccelDevice) Chip() *cellbe.Chip { return d.chip }
+
+// CountInside offloads one Pi map task: the task's sample range is
+// carved into one contiguous share per SPE and each SPE seeks into the
+// exact splitmix64 stream (kernels.CountInsideFrom), so the summed
+// tally is bit-identical to the host kernel's single sequential pass —
+// the conformance contract that makes AccelFraction a pure performance
+// knob.
+func (d *AccelDevice) CountInside(seed uint64, samples int64) (int64, error) {
+	if samples <= 0 {
+		return 0, nil
+	}
+	n := int64(d.rt.NSPEs())
+	per := samples / n
+	rem := samples % n
+	results, err := d.rt.Compute(func(worker int) (int64, error) {
+		// Contiguous shares, earlier workers absorbing the remainder;
+		// with fewer samples than SPEs the tail workers draw nothing.
+		// Any contiguous split gives the same sum — the stream seek is
+		// exact.
+		w := int64(worker)
+		lo := w * per
+		cnt := per
+		if w < rem {
+			lo += w
+			cnt++
+		} else {
+			lo += rem
+		}
+		return kernels.CountInsideFrom(seed, lo, cnt), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var inside int64
+	for _, r := range results {
+		inside += r.Value
+	}
+	return inside, nil
+}
+
+// CTRStream offloads one AES-CTR map task through the spurt streaming
+// runtime: 4 KB blocks double-buffered through the SPE local stores,
+// each encrypted position-aware at base+offset. CTR mode is seekable,
+// so the ciphertext is bit-identical to the host path whatever the
+// blocking.
+func (d *AccelDevice) CTRStream(c *kernels.Cipher, iv []byte, base int64, data []byte) ([]byte, error) {
+	out := make([]byte, len(data))
+	kern := spurt.KernelFunc{
+		KernelName: "aes-ctr",
+		Fn: func(block []byte, offset int64) error {
+			kernels.CTRStream(c, iv, base+offset, block, block)
+			return nil
+		},
+	}
+	if err := d.rt.Stream(kern, data, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// wordCountSlack bounds how far past the nominal sub-block size a
+// sub-block may grow while scanning for a word boundary. A single word
+// longer than this declines the offload (errAccelFallback) instead of
+// overrunning the local-store buffer.
+const wordCountSlack = 1024
+
+// WordCount offloads one wordcount map task: the block is carved into
+// separator-aligned sub-blocks of roughly the SPE block size, each SPE
+// claims sub-blocks dynamically, DMAs them into its local store and
+// tallies them with the shared host kernel. Words never straddle a
+// sub-block boundary and counting is a commutative fold, so the merged
+// table is bit-identical to kernels.WordCount over the whole block.
+func (d *AccelDevice) WordCount(data []byte) (map[string]int64, error) {
+	target := d.rt.BlockBytes()
+	bufBytes := target + wordCountSlack
+	// Carve at separators: extend each nominal boundary to the end of
+	// the word it would split.
+	type span struct{ start, end int }
+	var spans []span
+	for start := 0; start < len(data); {
+		end := start + target
+		if end >= len(data) {
+			end = len(data)
+		} else {
+			for end < len(data) && kernels.IsWordByte(data[end]) {
+				if end-start >= bufBytes {
+					return nil, errAccelFallback
+				}
+				end++
+			}
+		}
+		spans = append(spans, span{start, end})
+		start = end
+	}
+	if len(spans) == 0 {
+		return map[string]int64{}, nil
+	}
+	nSPEs := d.rt.NSPEs()
+	if nSPEs > len(spans) {
+		nSPEs = len(spans)
+	}
+	// Dynamic claiming, per-worker tallies merged after the session —
+	// the merge order cannot matter because the result is a bag of
+	// counts.
+	var claimMu sync.Mutex
+	next := 0
+	take := func() (span, bool) {
+		claimMu.Lock()
+		defer claimMu.Unlock()
+		if next >= len(spans) {
+			return span{}, false
+		}
+		s := spans[next]
+		next++
+		return s, true
+	}
+	tallies := make([]map[string]int64, nSPEs)
+	err := d.chip.RunOnSPEs(nSPEs, func(spe *cellbe.SPE, worker int) error {
+		buf, err := spe.LS.Alloc(bufBytes)
+		if err != nil {
+			return fmt.Errorf("netmr: accel wordcount: %w", err)
+		}
+		defer spe.LS.Free(buf)
+		counts := make(map[string]int64)
+		for {
+			s, ok := take()
+			if !ok {
+				break
+			}
+			if err := spe.MFC.GetLarge(buf, 0, data[s.start:s.end], 0); err != nil {
+				return fmt.Errorf("netmr: accel wordcount dma: %w", err)
+			}
+			spe.MFC.WaitTag(0)
+			for w, n := range kernels.WordCount(buf.Bytes()[:s.end-s.start]) {
+				counts[w] += n
+			}
+		}
+		tallies[worker] = counts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := make(map[string]int64)
+	for _, t := range tallies {
+		for w, n := range t {
+			total[w] += n
+		}
+	}
+	return total, nil
+}

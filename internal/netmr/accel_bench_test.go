@@ -1,0 +1,27 @@
+package netmr
+
+import "testing"
+
+// BenchmarkSkewedClusterOffload is the CI bench lane's heterogeneous
+// data point: one Pi job on a 50%-accelerated cluster (two trackers
+// with a per-node Cell device, two host trackers paced at perfmodel's
+// PPE rate gap). accel_tasks/host_tasks report the winning-attempt
+// split by device kind — the accelerated half of the cluster should
+// complete proportionally more tasks, the paper's heterogeneity win
+// reproduced on the distributed runtime.
+func BenchmarkSkewedClusterOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		accel, host, c := skewedClusterCounts(b, 24, 100_000)
+		var offloaded int64
+		for _, tt := range c.TTs {
+			offloaded += tt.AccelTasks()
+		}
+		c.Shutdown()
+		b.ReportMetric(float64(accel), "accel_tasks")
+		b.ReportMetric(float64(host), "host_tasks")
+		b.ReportMetric(float64(offloaded), "offloads")
+		if accel <= host {
+			b.Fatalf("accelerated trackers won %d tasks, host trackers %d", accel, host)
+		}
+	}
+}

@@ -288,6 +288,7 @@ type clusterConfig struct {
 	taskLease   time.Duration
 	delays      []time.Duration
 	replication int
+	deviceKinds []string
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -318,6 +319,15 @@ func WithTrackerDelays(delays []time.Duration) ClusterOption {
 // DefaultReplication; always capped by the DataNode count).
 func WithReplication(n int) ClusterOption {
 	return func(c *clusterConfig) { c.replication = n }
+}
+
+// WithDeviceKinds sets each tracker's device profile by worker index:
+// DeviceCell equips the tracker with its own Cell accelerator
+// (NewCellDevice), anything else leaves it a general-purpose node. A
+// shorter slice leaves the remaining trackers host-only — the paper's
+// §V heterogeneous cluster of accelerated and plain nodes.
+func WithDeviceKinds(kinds []string) ClusterOption {
+	return func(c *clusterConfig) { c.deviceKinds = kinds }
 }
 
 // StartCluster boots a full deployment with the given worker count,
@@ -358,6 +368,14 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 		var ttOpts []TrackerOption
 		if i < len(cfg.delays) && cfg.delays[i] > 0 {
 			ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
+		}
+		if i < len(cfg.deviceKinds) && cfg.deviceKinds[i] == DeviceCell {
+			dev, err := NewCellDevice()
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			ttOpts = append(ttOpts, WithAccelerator(dev))
 		}
 		tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), jt.Addr(), dn.Addr(), slots, heartbeat, ttOpts...)
 		if err != nil {

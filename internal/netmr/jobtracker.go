@@ -93,7 +93,8 @@ type JobTracker struct {
 	mu        sync.Mutex
 	nextJob   int64
 	jobs      map[int64]*jobRecord
-	dataBytes int64 // task output bytes carried by heartbeats
+	devices   map[string]string // tracker ID -> device kind, from heartbeats
+	dataBytes int64             // task output bytes carried by heartbeats
 }
 
 // StartJobTracker launches the JobTracker on addr.
@@ -107,6 +108,7 @@ func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
 		nnAddr:    nameNodeAddr,
 		TaskLease: 10 * time.Second,
 		jobs:      make(map[int64]*jobRecord),
+		devices:   make(map[string]string),
 	}
 	srv.Handle("Submit", jt.handleSubmit)
 	srv.Handle("Heartbeat", jt.handleHeartbeat)
@@ -139,14 +141,39 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	// API-boundary validation: a negative reduce count would otherwise
+	// surface as a partition-hash divide-by-zero deep inside a mapper.
+	if args.Spec.NumReducers < 0 {
+		return nil, fmt.Errorf("netmr: job %q: NumReducers must be >= 0, got %d",
+			args.Spec.Name, args.Spec.NumReducers)
+	}
+	mapper := args.Spec.Mapper
+	if mapper == "" {
+		mapper = MapperCell
+	}
+	if mapper != MapperCell && mapper != MapperJava {
+		return nil, fmt.Errorf("netmr: job %q: unknown mapper variant %q (%s|%s)",
+			args.Spec.Name, args.Spec.Mapper, MapperCell, MapperJava)
+	}
 	tasks, err := jt.expand(args.Spec)
 	if err != nil {
 		return nil, err
 	}
 	opts := sched.Options{Speculative: jt.Speculative, MaxAttempts: jt.MaxAttempts}
+	// Map tasks prefer accelerated trackers when the job offloads;
+	// reduce tasks are host merges either way. The affinity steers the
+	// grant order only — mismatched trackers still take the work before
+	// idling.
+	mapOpts := opts
+	mapOpts.Affinity = DeviceHost
+	if mapper == MapperCell {
+		mapOpts.Affinity = DeviceCell
+	}
+	redOpts := opts
+	redOpts.Affinity = DeviceHost
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
-	mapBoard, err := sched.NewBoard(len(tasks), jt.TaskLease, opts)
+	mapBoard, err := sched.NewBoard(len(tasks), jt.TaskLease, mapOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +191,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		kern.Partition != nil && kern.Merge != nil
 	for _, t := range tasks {
 		t.JobID = id
+		t.Mapper = mapper
 		if rec.shuffle {
 			t.NumParts = args.Spec.NumReducers
 		}
@@ -171,7 +199,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	}
 	if rec.shuffle {
 		r := args.Spec.NumReducers
-		rec.redBoard, err = sched.NewBoard(r, jt.TaskLease, opts)
+		rec.redBoard, err = sched.NewBoard(r, jt.TaskLease, redOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +213,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 				Kernel: args.Spec.Kernel,
 				Args:   args.Spec.Args,
 				Reduce: true,
+				Mapper: mapper,
 			})
 		}
 	}
@@ -248,6 +277,13 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	// Track the cluster's device profile (trackers started before the
+	// Device field default to host).
+	device := args.Device
+	if device == "" {
+		device = DeviceHost
+	}
+	jt.devices[args.TrackerID] = device
 	// Record completions and failures. The boards keep the first
 	// finished attempt of each task and discard late duplicates
 	// (speculative or re-issued after a lease expiry); reported
@@ -274,15 +310,27 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 			go jt.finalize(rec, outputs)
 		}
 	}
-	// Hand out work, oldest jobs first. Each board grants data-local
-	// map tasks first (a replica on the tracker's co-located DataNode
-	// — the paper's "tries to minimize the number of remote block
+	// Hand out work, oldest jobs first, in three passes.
+	//
+	// Device-affinity pass: boards whose tasks prefer this tracker's
+	// device kind are served first — an accelerated job's map tasks
+	// land on accelerated trackers (and host jobs' on host trackers)
+	// while matching work remains. Within a board, data-local map
+	// tasks go first (a replica on the tracker's co-located DataNode —
+	// the paper's "tries to minimize the number of remote block
 	// accesses"), then any pending task; reduce tasks join the pool
-	// once every map partition is in place. Only when every job's
-	// pending work is exhausted do the remaining slots fill with
-	// speculative duplicates of the longest-running in-flight tasks,
-	// again oldest job first — speculation is what idle capacity
-	// does, never what starves a younger job's real work.
+	// once every map partition is in place.
+	//
+	// Pending pass: remaining slots take any job's pending work —
+	// affinity orders grants, it never idles a mismatched tracker
+	// (host trackers fall back to accelerated tasks via the
+	// bit-identical host kernel rather than sit empty).
+	//
+	// Speculative pass: only when every job's pending work is
+	// exhausted do the remaining slots fill with duplicates of the
+	// longest-running in-flight tasks, again oldest job first —
+	// speculation is what idle capacity does, never what starves a
+	// younger job's real work.
 	var reply HeartbeatReply
 	now := time.Now()
 	eachJob := func(fn func(rec *jobRecord)) {
@@ -292,23 +340,33 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 			}
 		}
 	}
-	eachJob(func(rec *jobRecord) {
-		var local func(int) bool
-		if args.LocalDataNode != "" {
-			local = func(i int) bool {
-				return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
+	assignPending := func(rec *jobRecord, maps, reduces bool) {
+		if maps {
+			var local func(int) bool
+			if args.LocalDataNode != "" {
+				local = func(i int) bool {
+					return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
+				}
+			}
+			for _, i := range rec.mapBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
+				reply.Tasks = append(reply.Tasks, rec.maps[i])
 			}
 		}
-		for _, i := range rec.mapBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
-			reply.Tasks = append(reply.Tasks, rec.maps[i])
-		}
-		if rec.shuffle && rec.mapDone == len(rec.maps) {
+		if reduces && rec.shuffle && rec.mapDone == len(rec.maps) {
 			for _, p := range rec.redBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, nil) {
 				reply.Tasks = append(reply.Tasks, rec.reduceTask(p))
 			}
 		}
+	}
+	eachJob(func(rec *jobRecord) { // device-affinity pass
+		assignPending(rec,
+			rec.mapBoard.Affinity() == device,
+			rec.redBoard != nil && rec.redBoard.Affinity() == device)
 	})
-	eachJob(func(rec *jobRecord) {
+	eachJob(func(rec *jobRecord) { // pending pass
+		assignPending(rec, true, true)
+	})
+	eachJob(func(rec *jobRecord) { // speculative pass
 		for _, i := range rec.mapBoard.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
 			reply.Tasks = append(reply.Tasks, rec.maps[i])
 		}
@@ -442,6 +500,12 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 			counts[w] += n
 		}
 	}
+	// Copied under the lock: the reply is marshalled after the handler
+	// returns, and heartbeats keep writing the device map.
+	devices := make(map[string]string, len(jt.devices))
+	for id, kind := range jt.devices {
+		devices[id] = kind
+	}
 	return StatusReply{
 		Done:      rec.done,
 		Completed: rec.mapDone + rec.redDone,
@@ -450,5 +514,6 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 		Err:       rec.failed,
 		Attempts:  attempts,
 		Counts:    counts,
+		Devices:   devices,
 	}, nil
 }

@@ -35,6 +35,15 @@ type MapKernel struct {
 	// Merge runs on the reducing TaskTracker: fold one partition's
 	// per-mapper pieces into the partition's reduce output.
 	Merge func(pieces [][]byte) ([]byte, error)
+	// AccelMap, when set, is Map's accelerated variant: it offloads
+	// the map work to the tracker's device and MUST produce bytes
+	// bit-identical to Map's. It runs only on accelerator-equipped
+	// trackers for tasks whose Mapper is MapperCell; returning
+	// errAccelFallback hands the task back to the host path.
+	AccelMap func(dev *AccelDevice, task Task, data []byte) ([]byte, error)
+	// AccelPartition is Partition's accelerated variant under the same
+	// contract.
+	AccelPartition func(dev *AccelDevice, task Task, data []byte, parts int) ([][]byte, error)
 }
 
 // kernelRegistry holds the built-in kernels; RegisterKernel extends it
@@ -102,6 +111,29 @@ func init() {
 		return total, nil
 	}
 
+	// splitWordCounts routes each word's count to the partition its
+	// hash selects, so a reduce task owns a disjoint key range. Shared
+	// by the host and accelerated Partition variants — only how the
+	// per-block table is produced differs.
+	splitWordCounts := func(counts map[string]int64, parts int) ([][]byte, error) {
+		split := make([]map[string]int64, parts)
+		for p := range split {
+			split[p] = make(map[string]int64)
+		}
+		for w, n := range counts {
+			split[kernels.PartitionIndexString(w, parts)][w] = n
+		}
+		out := make([][]byte, parts)
+		for p := range split {
+			payload, err := rpcnet.Marshal(wordCountPartial{Counts: split[p]})
+			if err != nil {
+				return nil, err
+			}
+			out[p] = payload
+		}
+		return out, nil
+	}
+
 	RegisterKernel("wordcount", MapKernel{
 		Map: func(_ Task, data []byte) ([]byte, error) {
 			return rpcnet.Marshal(wordCountPartial{Counts: kernels.WordCount(data)})
@@ -113,25 +145,8 @@ func init() {
 			}
 			return rpcnet.Marshal(total)
 		},
-		// Shuffle path: each word's count goes to the partition its
-		// hash selects, so a reduce task owns a disjoint key range.
 		Partition: func(_ Task, data []byte, parts int) ([][]byte, error) {
-			split := make([]map[string]int64, parts)
-			for p := range split {
-				split[p] = make(map[string]int64)
-			}
-			for w, n := range kernels.WordCount(data) {
-				split[kernels.PartitionIndexString(w, parts)][w] = n
-			}
-			out := make([][]byte, parts)
-			for p := range split {
-				payload, err := rpcnet.Marshal(wordCountPartial{Counts: split[p]})
-				if err != nil {
-					return nil, err
-				}
-				out[p] = payload
-			}
-			return out, nil
+			return splitWordCounts(kernels.WordCount(data), parts)
 		},
 		Merge: func(pieces [][]byte) ([]byte, error) {
 			total, err := mergeWordCounts(pieces)
@@ -139,6 +154,23 @@ func init() {
 				return nil, err
 			}
 			return rpcnet.Marshal(wordCountPartial{Counts: total})
+		},
+		// Accelerated variants: the block's table comes off the SPEs
+		// (separator-aligned sub-blocks, commutative merge), then the
+		// same marshalling as the host path — bit-identical results.
+		AccelMap: func(dev *AccelDevice, _ Task, data []byte) ([]byte, error) {
+			counts, err := dev.WordCount(data)
+			if err != nil {
+				return nil, err
+			}
+			return rpcnet.Marshal(wordCountPartial{Counts: counts})
+		},
+		AccelPartition: func(dev *AccelDevice, _ Task, data []byte, parts int) ([][]byte, error) {
+			counts, err := dev.WordCount(data)
+			if err != nil {
+				return nil, err
+			}
+			return splitWordCounts(counts, parts)
 		},
 	})
 
@@ -155,6 +187,23 @@ func init() {
 			out := make([]byte, len(data))
 			offset := int64(task.TaskID) * args.BlockBytes
 			kernels.CTRStream(c, args.IV, offset, out, data)
+			return rpcnet.Marshal(out)
+		},
+		// Accelerated variant: the same seekable CTR stream, 4 KB
+		// blocks double-buffered through the SPE local stores.
+		AccelMap: func(dev *AccelDevice, task Task, data []byte) ([]byte, error) {
+			var args AESArgs
+			if err := rpcnet.Unmarshal(task.Args, &args); err != nil {
+				return nil, err
+			}
+			c, err := kernels.NewCipher(args.Key)
+			if err != nil {
+				return nil, err
+			}
+			out, err := dev.CTRStream(c, args.IV, int64(task.TaskID)*args.BlockBytes, data)
+			if err != nil {
+				return nil, err
+			}
 			return rpcnet.Marshal(out)
 		},
 		Reduce: func(partials [][]byte) ([]byte, error) {
@@ -175,6 +224,16 @@ func init() {
 	RegisterKernel("pi", MapKernel{
 		Map: func(task Task, _ []byte) ([]byte, error) {
 			inside := kernels.CountInside(task.Seed, task.Samples)
+			return rpcnet.Marshal(piPartial{Inside: inside, Total: task.Samples})
+		},
+		// Accelerated variant: the task's sample range fans out over
+		// the SPEs, each seeking into the exact splitmix64 stream —
+		// the summed tally equals the host kernel's single pass.
+		AccelMap: func(dev *AccelDevice, task Task, _ []byte) ([]byte, error) {
+			inside, err := dev.CountInside(task.Seed, task.Samples)
+			if err != nil {
+				return nil, err
+			}
 			return rpcnet.Marshal(piPartial{Inside: inside, Total: task.Samples})
 		},
 		Reduce: func(partials [][]byte) ([]byte, error) {

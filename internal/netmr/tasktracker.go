@@ -1,6 +1,7 @@
 package netmr
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -42,11 +43,19 @@ type TaskTracker struct {
 	// injection for tests and benchmarks); immutable after start.
 	delay time.Duration
 
+	// device is the node's accelerator (nil on general-purpose nodes);
+	// immutable after start. Map tasks whose job asks for the cell
+	// mapper offload through it when the kernel has an accelerated
+	// variant, and its kind travels on every heartbeat for the
+	// JobTracker's device-affinity pass.
+	device *AccelDevice
+
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
 	localFetch  int64
 	remoteFetch int64
+	accelTasks  int64
 	shuffle     map[int64]map[partKey][]byte // jobID -> partition payloads
 
 	stop chan struct{} // graceful: drain unreported results first
@@ -62,6 +71,30 @@ type TrackerOption func(*TaskTracker)
 // results stay bit-identical when one worker is 10x slower.
 func WithTaskDelay(d time.Duration) TrackerOption {
 	return func(tt *TaskTracker) { tt.delay = d }
+}
+
+// WithAccelerator equips the tracker with a per-node accelerator
+// device: cell-mapper map tasks of kernels with an accelerated variant
+// offload to it, everything else keeps the host path.
+func WithAccelerator(dev *AccelDevice) TrackerOption {
+	return func(tt *TaskTracker) { tt.device = dev }
+}
+
+// DeviceKind reports the tracker's device kind (DeviceCell when an
+// accelerator is attached, DeviceHost otherwise).
+func (tt *TaskTracker) DeviceKind() string {
+	if tt.device != nil {
+		return tt.device.Kind()
+	}
+	return DeviceHost
+}
+
+// AccelTasks reports how many task attempts ran on the accelerator —
+// the offload proof the heterogeneous tests and benchmarks assert on.
+func (tt *TaskTracker) AccelTasks() int64 {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.accelTasks
 }
 
 // FetchStats reports how many block fetches hit the co-located
@@ -221,6 +254,7 @@ func (tt *TaskTracker) loop() {
 		err := client.Call("Heartbeat", HeartbeatArgs{
 			TrackerID:     tt.ID,
 			LocalDataNode: tt.LocalDataNode,
+			Device:        tt.DeviceKind(),
 			FreeSlots:     free,
 			Completed:     reports,
 			HeldJobs:      held,
@@ -278,6 +312,7 @@ func (tt *TaskTracker) drain(client *rpcnet.Client) {
 				client.Call("Heartbeat", HeartbeatArgs{
 					TrackerID:     tt.ID,
 					LocalDataNode: tt.LocalDataNode,
+					Device:        tt.DeviceKind(),
 					Completed:     reports,
 				}, nil)
 			}
@@ -341,7 +376,7 @@ func (tt *TaskTracker) runTask(task Task) {
 	if task.NumParts > 0 && kern.Partition != nil {
 		// Distributed shuffle: the partitions stay here, served over
 		// FetchPartition; only their location crosses the heartbeat.
-		parts, err := kern.Partition(task, data, task.NumParts)
+		parts, err := tt.partitionTask(task, kern, data)
 		if err != nil {
 			res.Err = err.Error()
 			tt.report(res)
@@ -361,7 +396,7 @@ func (tt *TaskTracker) runTask(task Task) {
 		tt.report(res)
 		return
 	}
-	out, err := kern.Map(task, data)
+	out, err := tt.mapTask(task, kern, data)
 	if err != nil {
 		res.Err = err.Error()
 		tt.report(res)
@@ -369,6 +404,55 @@ func (tt *TaskTracker) runTask(task Task) {
 	}
 	res.Output = out
 	tt.report(res)
+}
+
+// offloads reports whether the task's map work should try the
+// accelerator: the node has a device and the job asked for the cell
+// mapper (an empty Mapper predates the variant and means the default,
+// cell).
+func (tt *TaskTracker) offloads(task Task) bool {
+	return tt.device != nil && !task.Reduce &&
+		(task.Mapper == "" || task.Mapper == MapperCell)
+}
+
+// noteAccel counts one completed offload.
+func (tt *TaskTracker) noteAccel() {
+	tt.mu.Lock()
+	tt.accelTasks++
+	tt.mu.Unlock()
+}
+
+// mapTask runs one map task's kernel, trying the accelerated variant
+// first when the task, the node and the kernel all support it. A
+// declined offload (errAccelFallback) re-runs on the host path — the
+// variants are bit-identical, so the fallback is invisible to the job.
+func (tt *TaskTracker) mapTask(task Task, kern MapKernel, data []byte) ([]byte, error) {
+	if tt.offloads(task) && kern.AccelMap != nil {
+		out, err := kern.AccelMap(tt.device, task, data)
+		if err == nil {
+			tt.noteAccel()
+			return out, nil
+		}
+		if !errors.Is(err, errAccelFallback) {
+			return nil, err
+		}
+	}
+	return kern.Map(task, data)
+}
+
+// partitionTask is mapTask for the distributed-shuffle path.
+func (tt *TaskTracker) partitionTask(task Task, kern MapKernel, data []byte) ([][]byte, error) {
+	if tt.offloads(task) && kern.AccelPartition != nil {
+		parts, err := kern.AccelPartition(tt.device, task, data, task.NumParts)
+		if err == nil {
+			tt.noteAccel()
+			return parts, nil
+		}
+		if !errors.Is(err, errAccelFallback) {
+			return nil, err
+		}
+	}
+	return kern.Partition(task, data, task.NumParts)
 }
 
 // runReduce executes one reduce task: pull partition task.TaskID from

@@ -156,8 +156,15 @@ type JobSpec struct {
 	// data jobs whose kernel supports partitioned output: map outputs
 	// are hash-partitioned into this many reduce tasks, each scheduled
 	// like a map task and fetched directly from the mapper trackers.
-	// 0 keeps the centralized reduce at the JobTracker.
+	// 0 keeps the centralized reduce at the JobTracker; negative is
+	// rejected at submission (the partition hash cannot route into a
+	// non-positive partition count).
 	NumReducers int
+	// Mapper selects the map-task variant: MapperCell (the default,
+	// offload to the tracker's accelerator where one exists, host
+	// fallback elsewhere — bit-identical either way) or MapperJava
+	// (host path everywhere).
+	Mapper string
 }
 
 // SubmitArgs submits a job.
@@ -189,6 +196,11 @@ type Task struct {
 	// Inputs locates every map task's output for a reduce task,
 	// ordered by map task ID.
 	Inputs []MapOutputRef
+	// Mapper is the job's resolved map variant (MapperCell or
+	// MapperJava): MapperCell lets a tracker with an accelerator run
+	// the kernel's accelerated variant; trackers without one (or
+	// kernels without a variant) run the bit-identical host path.
+	Mapper string
 }
 
 // MapOutputRef locates one map task's shuffle output.
@@ -227,8 +239,14 @@ type HeartbeatArgs struct {
 	// (same machine in the paper's deployment); the JobTracker
 	// prefers handing the tracker tasks whose block lives there.
 	LocalDataNode string
-	FreeSlots     int
-	Completed     []TaskResult
+	// Device is the tracker's device kind (DeviceCell for an
+	// accelerator-equipped node, DeviceHost otherwise): the
+	// JobTracker's device-affinity pass steers accelerated map tasks
+	// toward matching trackers, and Status surfaces the cluster's
+	// device profile.
+	Device    string
+	FreeSlots int
+	Completed []TaskResult
 	// HeldJobs lists jobs whose shuffle partitions this tracker still
 	// stores; the reply's PurgeJobs names the ones safe to free.
 	HeldJobs []int64
@@ -266,4 +284,9 @@ type StatusReply struct {
 	// imbalance view.
 	Attempts int
 	Counts   map[string]int
+	// Devices maps every tracker that has heartbeated to its device
+	// kind (DeviceCell or DeviceHost) — read alongside Counts, it
+	// shows how completions skew toward accelerated nodes on a
+	// heterogeneous cluster.
+	Devices map[string]string
 }

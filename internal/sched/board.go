@@ -267,6 +267,15 @@ func (b *Board) Reopen(task int) {
 	t.winner = ""
 }
 
+// Affinity reports the device kind this board's tasks prefer ("" when
+// indifferent) — the device-affinity grant pass: a master serving
+// several boards grants from boards whose affinity matches the
+// heartbeating worker's device kind first (accelerated map tasks land
+// on accelerated trackers while those have matching work), then sweeps
+// every board, so a mismatched worker falls back to any pending task
+// rather than idling.
+func (b *Board) Affinity() string { return b.opts.Affinity }
+
 // Done reports whether every task has completed.
 func (b *Board) Done() bool {
 	b.mu.Lock()

@@ -36,6 +36,18 @@ func TestBoardAssignsEachTaskOnce(t *testing.T) {
 	}
 }
 
+func TestBoardRecordsAffinity(t *testing.T) {
+	// The device-affinity grant pass lives at the master (serve
+	// matching boards first, sweep the rest), so the board's part is
+	// carrying the preference faithfully.
+	if got := boardAt(t, 1, time.Second, Options{Affinity: "cell"}).Affinity(); got != "cell" {
+		t.Errorf("Affinity() = %q, want %q", got, "cell")
+	}
+	if got := boardAt(t, 1, time.Second, Options{}).Affinity(); got != "" {
+		t.Errorf("Affinity() = %q, want empty", got)
+	}
+}
+
 func TestBoardLocalityFirst(t *testing.T) {
 	b := boardAt(t, 4, time.Second, Options{})
 	t0 := time.Unix(0, 0)

@@ -82,6 +82,14 @@ type Options struct {
 	// live runner's shuffle) without double-insertion under
 	// speculation.
 	OnCommit func(t int, result any)
+	// Affinity names the device kind this board's tasks prefer (e.g.
+	// netmr's "cell" for accelerated map tasks, "host" for reduce
+	// merges; "" means no preference). The board records it for the
+	// master's device-affinity grant pass: serve boards whose Affinity
+	// matches the heartbeating worker's device first, then sweep every
+	// board with Assign — preference orders grants, it never idles a
+	// worker whose kind mismatches.
+	Affinity string
 }
 
 // maxAttempts resolves the attempt cap.
