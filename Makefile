@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json repro-quick fmt vet lint race ci
+.PHONY: build test bench bench-json mem-smoke repro-quick fmt vet lint race ci
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,18 @@ bench:
 # parsed into the machine-readable perf artifact (name parameterized
 # like the CI lane's BENCH_ARTIFACT). The intermediate file (not a
 # pipe) keeps a benchmark failure fatal.
-BENCH_ARTIFACT ?= BENCH_PR4
+BENCH_ARTIFACT ?= BENCH_PR5
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_ARTIFACT).json < bench.out
 	@rm -f bench.out
 	@echo "wrote $(BENCH_ARTIFACT).json"
+
+# mem-smoke mirrors the CI bounded-memory lane: above-watermark
+# synthetic datasets streamed through the live and net backends under
+# a hard runtime memory limit.
+mem-smoke:
+	GOMEMLIMIT=256MiB $(GO) test -v -run TestBoundedMemoryStreaming ./internal/engine/
 
 repro-quick:
 	$(GO) run ./cmd/repro -quick
@@ -49,4 +55,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt lint build race repro-quick bench
+ci: fmt lint build race mem-smoke repro-quick bench

@@ -9,6 +9,7 @@
 //	mrsim -nodes 32 -workload pi -mapper cell -samples 1e11 -accel-fraction 0.5 -speculative
 //	mrsim -backend live -nodes 4 -workload wc -mb 4
 //	mrsim -backend net -nodes 4 -workload pi -samples 1e7
+//	mrsim -backend live -workload sort -input big.dat -output sorted.dat -spill-mem 33554432
 package main
 
 import (
@@ -35,11 +36,21 @@ func main() {
 	speedHints := flag.Bool("speed-hints", false, "seed the scheduler with perfmodel's Cell/PPE speed ratio for the accelerated fraction (live; on net this also sets the device profile)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline, 0 = engine default (net)")
 	timeline := flag.Bool("timeline", false, "print a task-attempt Gantt chart (sim)")
+	input := flag.String("input", "", "stream this file from disk through Job.Source instead of a synthetic dataset (data workloads)")
+	output := flag.String("output", "", "stream the job's output to this file through Job.Sink (sort and enc)")
+	spillMem := flag.Int64("spill-mem", 0, "data-plane spill watermark in bytes: 0 keeps everything in memory, -1 spills every payload (live and net)")
+	spillCompress := flag.Bool("spill-compress", false, "frame-compress spilled payloads")
 	flag.Parse()
 
 	accel := *accelFraction
 	if accel == 0 {
 		accel = engine.NoAcceleration
+	}
+	// Any negative flag value selects spill-everything, independent of
+	// what numeric value engine.SpillAll happens to be.
+	spill := *spillMem
+	if spill < 0 {
+		spill = engine.SpillAll
 	}
 	cfg := engine.Config{
 		Workers:       *nodes,
@@ -49,6 +60,8 @@ func main() {
 		MaxAttempts:   *maxAttempts,
 		JobTimeout:    *jobTimeout,
 		Timeline:      *timeline,
+		SpillMemBytes: spill,
+		SpillCompress: *spillCompress,
 	}
 	if *speedHints {
 		// accel already follows the Config convention the shared
@@ -57,12 +70,43 @@ func main() {
 	}
 	job, err := buildJob(*backend, *wl, cfg, *gbPerMapper, *mb, int64(*samples), *maps)
 	if err == nil {
-		err = run(*backend, cfg, job)
+		err = wireStreams(job, *input, *output, func(job *engine.Job) error {
+			return run(*backend, cfg, job)
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mrsim:", err)
 		os.Exit(1)
 	}
+}
+
+// wireStreams attaches the -input file as Job.Source and the -output
+// file as Job.Sink (both streamed, never slurped), then runs the job
+// and closes the files.
+func wireStreams(job *engine.Job, input, output string, run func(*engine.Job) error) error {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		job.Source = f
+		job.Input = nil
+		job.InputBytes = 0
+	}
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			return err
+		}
+		job.Sink = f
+		if err := run(job); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return run(job)
 }
 
 // buildJob translates the CLI workload flags into an engine job.
@@ -162,6 +206,9 @@ func run(backend string, cfg engine.Config, job *engine.Job) error {
 	case engine.Sort, engine.Encrypt:
 		if res.Bytes != nil {
 			fmt.Printf("  output          %d bytes\n", len(res.Bytes))
+		}
+		if res.OutputBytes > 0 {
+			fmt.Printf("  output          %d bytes streamed to sink\n", res.OutputBytes)
 		}
 	}
 	return nil

@@ -27,6 +27,7 @@ import (
 	"hetmr/internal/kernels"
 	"hetmr/internal/perfmodel"
 	"hetmr/internal/sched"
+	"hetmr/internal/spill"
 	"hetmr/internal/spurt"
 )
 
@@ -56,6 +57,14 @@ type LiveCluster struct {
 	speeds    []float64
 	delays    []time.Duration
 	lastStats *sched.Stats
+
+	// Spill configuration: run stores (sorted runs, transformed
+	// stream blocks) inherit the cluster's watermark so every stage
+	// of a job is bounded by the same knob. spillMem < 0 means
+	// unbounded memory (no spilling anywhere).
+	spillDir   string
+	spillMem   int64
+	spillCodec spill.Codec
 }
 
 // LiveOption customizes NewLiveCluster.
@@ -70,6 +79,9 @@ type liveConfig struct {
 	sched          sched.Options
 	speeds         []float64
 	delays         []time.Duration
+	spillDir       string
+	spillMem       int64 // < 0: unbounded memory, no spilling
+	spillCodec     spill.Codec
 }
 
 // WithBlockSize sets the DFS block size (default 64 MB).
@@ -118,6 +130,21 @@ func WithTaskDelays(delays []time.Duration) LiveOption {
 	return func(c *liveConfig) { c.delays = delays }
 }
 
+// WithSpill bounds the cluster's resident data-plane memory: the DFS
+// block store and every job's run store keep payloads in memory up to
+// memBytes each and spill the rest to files under dir ("" selects the
+// OS temp dir), through codec when non-nil. memBytes zero spills
+// everything; a negative value restores the historical all-in-memory
+// behaviour. With spilling on, a job's peak heap is O(blockSize ×
+// concurrent mappers) regardless of input size.
+func WithSpill(dir string, memBytes int64, codec spill.Codec) LiveOption {
+	return func(c *liveConfig) {
+		c.spillDir = dir
+		c.spillMem = memBytes
+		c.spillCodec = codec
+	}
+}
+
 // NewLiveCluster builds a functional cluster of n nodes.
 func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 	if n <= 0 {
@@ -129,6 +156,7 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 		mappersPerNode: perfmodel.MapSlotsPerNode,
 		acceleratedN:   -1,
 		speBlock:       perfmodel.SPEBlockBytes,
+		spillMem:       -1,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -153,7 +181,12 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 			}
 		}
 	}
-	nn, err := hdfs.NewNameNode(cfg.blockSize, cfg.replication)
+	var fsOpts []hdfs.Option
+	if cfg.spillMem >= 0 {
+		fsOpts = append(fsOpts, hdfs.WithBlockStore(
+			hdfs.NewSpillBlockStore(cfg.spillDir, cfg.spillMem, cfg.spillCodec)))
+	}
+	nn, err := hdfs.NewNameNode(cfg.blockSize, cfg.replication, fsOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +196,9 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 		Sched:          cfg.sched,
 		speeds:         cfg.speeds,
 		delays:         cfg.delays,
+		spillDir:       cfg.spillDir,
+		spillMem:       cfg.spillMem,
+		spillCodec:     cfg.spillCodec,
 	}
 	accelerated := cfg.acceleratedN
 	if accelerated < 0 {
@@ -184,6 +220,17 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil
+}
+
+// Close releases the DFS block store (spill files, when the cluster
+// was built WithSpill). Idempotent; the cluster is unusable after.
+func (c *LiveCluster) Close() error { return c.FS.Close() }
+
+// newRunStore builds a per-job payload store (sorted runs, stream
+// output blocks) under the cluster's spill configuration (negative
+// watermark: all in memory).
+func (c *LiveCluster) newRunStore() *spill.Store {
+	return spill.NewStore(c.spillDir, c.spillMem, c.spillCodec)
 }
 
 // AcceleratedCount reports how many nodes carry accelerators.

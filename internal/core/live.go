@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -116,8 +118,10 @@ func (c *LiveCluster) stall(node int) {
 // from the home under stealing and speculation) and must return a
 // result that depends only on the block — the scheduler commits the
 // first finished attempt of each task, calling onCommit (when set)
-// exactly once per block. The per-task results are returned indexed
-// like work, and the run's stats are retained for LastStats.
+// exactly once per block. Without a commit hook the per-task results
+// are returned indexed like work; with one, the hook owns the results
+// and the returned slice holds nils (bounded memory). The run's stats
+// are retained for LastStats.
 func (c *LiveCluster) runBlocks(work []blockWork,
 	fn func(w blockWork, node *LiveNode, data []byte) (any, error),
 	onCommit func(task int, result any)) ([]any, error) {
@@ -140,6 +144,10 @@ func (c *LiveCluster) runBlocks(work []blockWork,
 	}
 	opts := c.Sched
 	opts.OnCommit = onCommit
+	// A commit hook owns the results (shuffle insert, run-store
+	// spill); retaining them in the results slice too would hold
+	// every block's payload in memory for the whole job.
+	opts.DiscardResults = onCommit != nil
 	results, stats, err := sched.Run(c.schedWorkers(), tasks, exec, opts)
 	c.lastStats = stats
 	return results, err
@@ -220,8 +228,15 @@ func (c *LiveCluster) RunStream(job *StreamJob) (int64, error) {
 	}
 	// The transformed block is the task result: whichever node's
 	// attempt wins (the accelerated and host paths are bit-identical,
-	// so stolen or speculated blocks transform the same).
-	results, err := c.runBlocks(work, func(w blockWork, node *LiveNode, data []byte) (any, error) {
+	// so stolen or speculated blocks transform the same). Committed
+	// blocks land in a spill-bounded run store instead of a resident
+	// slice, so the job's peak memory is O(blockSize × mappers), not
+	// O(input).
+	outStore := c.newRunStore()
+	defer outStore.Close()
+	var commitErrMu sync.Mutex
+	var commitErr error
+	_, err = c.runBlocks(work, func(w blockWork, node *LiveNode, data []byte) (any, error) {
 		out := make([]byte, len(data))
 		if job.Accelerated && node.Accel != nil {
 			if err := node.Accel.Stream(offsetKernel{job.Kernel, w.offset}, data, out); err != nil {
@@ -244,32 +259,49 @@ func (c *LiveCluster) RunStream(job *StreamJob) (int64, error) {
 			}
 		}
 		return out, nil
-	}, nil)
+	}, func(task int, result any) {
+		if err := outStore.Put(runKey(work[task].index), result.([]byte)); err != nil {
+			commitErrMu.Lock()
+			if commitErr == nil {
+				commitErr = err
+			}
+			commitErrMu.Unlock()
+		}
+	})
 	if err != nil {
 		return 0, err
 	}
-	outputs := make([][]byte, len(work))
-	var total int64
-	for i, res := range results {
-		out := res.([]byte)
-		outputs[work[i].index] = out
-		total += int64(len(out))
+	if commitErr != nil {
+		return 0, fmt.Errorf("core: stream job %q: %w", job.Name, commitErr)
 	}
-	// Commit the output file in block order.
+	// Commit the output file in block order, streaming each
+	// transformed block out of the run store.
 	wtr, err := c.FS.Create(job.Output, "")
 	if err != nil {
 		return 0, err
 	}
-	for _, out := range outputs {
-		if _, err := wtr.Write(out); err != nil {
+	var total int64
+	for i := range work {
+		rc, err := outStore.Open(runKey(work[i].index))
+		if err != nil {
 			return 0, err
 		}
+		n, err := io.Copy(wtr, rc)
+		rc.Close()
+		if err != nil {
+			return 0, err
+		}
+		outStore.Delete(runKey(work[i].index))
+		total += n
 	}
 	if err := wtr.Close(); err != nil {
 		return 0, err
 	}
 	return total, nil
 }
+
+// runKey names a block-indexed payload in a job's run store.
+func runKey(index int) string { return strconv.Itoa(index) }
 
 // offsetKernel rebases a block kernel's offsets to the block's
 // position within the whole file (the SPE runtime reports offsets

@@ -2,15 +2,21 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"sync"
 
 	"hetmr/internal/kernels"
 )
 
 // Distributed TeraSort-style sort on the live runner: each input block
-// is sorted on the node that stores it (map phase), and the sorted
-// runs are merged into the output file (reduce-side merge). The paper
+// is sorted on the node that stores it (map phase), the sorted runs
+// land in a spill-bounded run store, and an external k-way merge
+// streams them into the output file (reduce-side merge). The paper
 // uses the Terasort contest (§IV-A) to argue mappers are record-
-// delivery-bound; this job is the workload behind that argument.
+// delivery-bound; this job is the workload behind that argument. With
+// the cluster built WithSpill, the whole sort — input blocks, runs,
+// merge, output — runs in O(blockSize × mappers) memory, so datasets
+// far larger than RAM sort through the disk.
 
 // RunSort sorts a stored file of 100-byte TeraSort records into
 // output. The DFS block size must be a multiple of the record size so
@@ -29,24 +35,50 @@ func (c *LiveCluster) RunSort(input, output string) error {
 	}
 	// Map phase: sort each block where it lives (or wherever the
 	// scheduler migrates it — a sorted run depends only on the block).
-	results, err := c.runBlocks(work, func(w blockWork, _ *LiveNode, data []byte) (any, error) {
+	// The commit hook spills each winning run to the run store, so no
+	// resident slice ever holds every run at once.
+	runStore := c.newRunStore()
+	defer runStore.Close()
+	var commitErrMu sync.Mutex
+	var commitErr error
+	_, err = c.runBlocks(work, func(w blockWork, _ *LiveNode, data []byte) (any, error) {
 		run := append([]byte(nil), data...)
 		if err := kernels.SortRecords(run); err != nil {
 			return nil, fmt.Errorf("core: sort block %d: %w", w.index, err)
 		}
 		return run, nil
-	}, nil)
+	}, func(task int, result any) {
+		if err := runStore.Put(runKey(work[task].index), result.([]byte)); err != nil {
+			commitErrMu.Lock()
+			if commitErr == nil {
+				commitErr = err
+			}
+			commitErrMu.Unlock()
+		}
+	})
 	if err != nil {
 		return err
 	}
-	runs := make([][]byte, len(work))
-	for i, res := range results {
-		runs[work[i].index] = res.([]byte)
+	if commitErr != nil {
+		return fmt.Errorf("core: sort %q: %w", input, commitErr)
 	}
-	// Reduce phase: merge the sorted runs.
-	merged, err := kernels.MergeSortedRuns(runs)
+	// Reduce phase: external k-way merge over the spilled runs,
+	// streamed straight into the output file.
+	readers := make([]io.Reader, len(work))
+	for i := range work {
+		rc, err := runStore.Open(runKey(work[i].index))
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		readers[i] = rc
+	}
+	wtr, err := c.FS.Create(output, "")
 	if err != nil {
 		return err
 	}
-	return c.FS.WriteFile(output, merged, "")
+	if _, err := kernels.MergeSortedStreams(wtr, readers...); err != nil {
+		return err
+	}
+	return wtr.Close()
 }

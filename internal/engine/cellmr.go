@@ -57,16 +57,20 @@ func (r *cellmrRunner) Framework() *cellmr.Framework { return r.fw }
 
 // Run implements Runner.
 func (r *cellmrRunner) Run(job *Job) (*Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := r.cfg.validateJob(job); err != nil {
 		return nil, err
 	}
 	if job.Kind != Encrypt {
 		return nil, fmt.Errorf("%w: %s on cellmr", ErrUnsupported, job.Kind)
 	}
 	start := time.Now()
-	input := job.Input
-	if len(input) == 0 {
-		input = syntheticInput(job.InputBytes)
+	// The single-node framework streams SPE-block by SPE-block inside
+	// RunStream but works over one resident buffer — materialize a
+	// streamed Source (cellmr is the node-level runtime, not the
+	// above-RAM path).
+	input, err := job.materializeInput()
+	if err != nil {
+		return nil, err
 	}
 	cipher, err := kernels.NewCipher(job.Key)
 	if err != nil {
@@ -77,9 +81,15 @@ func (r *cellmrRunner) Run(job *Job) (*Result, error) {
 	if err := r.fw.RunStream(ctr, input, out); err != nil {
 		return nil, err
 	}
-	return &Result{
-		Backend: r.Backend(),
-		Elapsed: time.Since(start),
-		Bytes:   out,
-	}, nil
+	res := &Result{Backend: r.Backend(), Elapsed: time.Since(start)}
+	if job.Sink != nil {
+		n, err := job.Sink.Write(out)
+		if err != nil {
+			return nil, err
+		}
+		res.OutputBytes = int64(n)
+	} else {
+		res.Bytes = out
+	}
+	return res, nil
 }

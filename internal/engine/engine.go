@@ -12,7 +12,9 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -48,12 +50,28 @@ type Job struct {
 	// Input is the dataset for data kinds. Backends split it into
 	// blocks of the runner's configured block size, so block-boundary
 	// semantics (e.g. words straddling blocks) agree across backends.
+	// It is the materialized convenience over Source: a job may set
+	// either, not both (Input wins when both are set).
 	Input []byte
+	// Source streams the dataset for data kinds when Input is nil:
+	// the functional backends consume it incrementally — block by
+	// block into the DFS — so a job's input never has to fit in
+	// memory. A Source is read exactly once; a job carrying one can
+	// be Run once. The simulated backend materializes it (its duty is
+	// the timing model, not bounded memory).
+	Source io.Reader
 	// InputBytes requests a synthetic dataset of this size when Input
-	// is nil: functional backends generate a deterministic pattern,
-	// the simulated backend models the size without materializing
-	// bytes. Used for modelled sweeps far above RAM scale.
+	// and Source are nil: functional backends stream a deterministic
+	// generator (SyntheticReader) incrementally, the simulated
+	// backend models the size (materializing only small datasets for
+	// its functional result). Used for sweeps far above RAM scale.
 	InputBytes int64
+	// Sink, when set on a byte-output kind (Sort, Encrypt), receives
+	// the job's output as a stream instead of Result.Bytes: the live
+	// backend copies straight out of the DFS, the net backend pulls
+	// streamed result pieces from the worker trackers. Result.Bytes
+	// stays nil and Result.OutputBytes counts what was written.
+	Sink io.Writer
 	// Key and IV parameterize Encrypt (AES-128/CTR). Key must be 16
 	// bytes; a nil IV selects a zero IV.
 	Key, IV []byte
@@ -71,8 +89,8 @@ type Job struct {
 func (j *Job) Validate() error {
 	switch j.Kind {
 	case Wordcount, Sort, Encrypt:
-		if len(j.Input) == 0 && j.InputBytes <= 0 {
-			return fmt.Errorf("engine: %s job needs Input or InputBytes", j.Kind)
+		if len(j.Input) == 0 && j.Source == nil && j.InputBytes <= 0 {
+			return fmt.Errorf("engine: %s job needs Input, Source or InputBytes", j.Kind)
 		}
 		if j.Kind == Encrypt {
 			if j.Key == nil {
@@ -149,7 +167,11 @@ type Result struct {
 	Elapsed time.Duration
 
 	Pairs []KV   // Wordcount: sorted by key
-	Bytes []byte // Sort: merged sorted records; Encrypt: ciphertext
+	Bytes []byte // Sort: merged sorted records; Encrypt: ciphertext (nil when Job.Sink streamed it)
+
+	// OutputBytes counts the bytes streamed to Job.Sink (0 when the
+	// job materialized Bytes instead).
+	OutputBytes int64
 
 	Pi     float64 // Pi estimate
 	Inside int64   // samples inside the quarter circle
@@ -220,12 +242,67 @@ func sortKVs(pairs []KV) {
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
 }
 
-// syntheticInput generates the deterministic pattern dataset used when
-// a job names a size instead of bytes.
-func syntheticInput(n int64) []byte {
-	data := make([]byte, n)
-	for i := range data {
-		data[i] = byte(i*131 + i>>10)
+// SyntheticReader streams the deterministic pattern dataset used when
+// a job names a size instead of bytes — the same bytes every backend
+// generates for a given n, produced incrementally so a 100 GB
+// synthetic job costs O(buffer) memory to feed.
+func SyntheticReader(n int64) io.Reader {
+	return &syntheticReader{remaining: n}
+}
+
+type syntheticReader struct {
+	off       int64
+	remaining int64
+}
+
+// Read implements io.Reader with the generator pattern
+// byte(i*131 + i>>10) at absolute offset i.
+func (r *syntheticReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
 	}
+	n := len(p)
+	if int64(n) > r.remaining {
+		n = int(r.remaining)
+	}
+	for i := 0; i < n; i++ {
+		j := r.off + int64(i)
+		p[i] = byte(int(j)*131 + int(j)>>10)
+	}
+	r.off += int64(n)
+	r.remaining -= int64(n)
+	return n, nil
+}
+
+// syntheticInput materializes the generator's output (small sizes
+// only; streaming callers use SyntheticReader directly).
+func syntheticInput(n int64) []byte {
+	data, _ := io.ReadAll(SyntheticReader(n))
 	return data
+}
+
+// inputReader returns the job's data stream: Source, else Input, else
+// the synthetic generator. Call at most once per Run — a Source is
+// consumed by reading.
+func (j *Job) inputReader() io.Reader {
+	if len(j.Input) > 0 {
+		return bytes.NewReader(j.Input)
+	}
+	if j.Source != nil {
+		return j.Source
+	}
+	return SyntheticReader(j.InputBytes)
+}
+
+// materializeInput returns the whole dataset as bytes, reading Source
+// when the job streams. For backends that need the full buffer
+// (cellmr's single-node framework, the simulator's functional pass).
+func (j *Job) materializeInput() ([]byte, error) {
+	if len(j.Input) > 0 {
+		return j.Input, nil
+	}
+	if j.Source != nil {
+		return io.ReadAll(j.Source)
+	}
+	return syntheticInput(j.InputBytes), nil
 }

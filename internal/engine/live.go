@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"strconv"
+	"sync"
 	"time"
 
 	"hetmr/internal/core"
@@ -17,7 +19,12 @@ import (
 type liveRunner struct {
 	cfg  Config
 	clus *core.LiveCluster
-	seq  int
+
+	// mu guards seq: two concurrent Runs colliding on one DFS staging
+	// path would corrupt each other's input (same pattern as the net
+	// runner).
+	mu  sync.Mutex
+	seq int
 }
 
 func init() {
@@ -25,7 +32,7 @@ func init() {
 		if cfg.Mapper == "empty" {
 			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
 		}
-		clus, err := core.NewLiveCluster(cfg.Workers,
+		opts := []core.LiveOption{
 			core.WithBlockSize(cfg.BlockSize),
 			core.WithMappersPerNode(cfg.MappersPerNode),
 			core.WithAcceleratedNodes(cfg.acceleratedNodes(cfg.Workers)),
@@ -34,7 +41,12 @@ func init() {
 				MaxAttempts: cfg.MaxAttempts,
 			}),
 			core.WithSpeedHints(cfg.SpeedHints),
-			core.WithTaskDelays(cfg.FaultDelays))
+			core.WithTaskDelays(cfg.FaultDelays),
+		}
+		if cfg.SpillMemBytes != 0 {
+			opts = append(opts, core.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
+		}
+		clus, err := core.NewLiveCluster(cfg.Workers, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -45,31 +57,55 @@ func init() {
 // Backend implements Runner.
 func (r *liveRunner) Backend() string { return "live" }
 
-// Close implements Runner. The live cluster is garbage-collected
-// state; nothing to tear down.
-func (r *liveRunner) Close() error { return nil }
+// Close implements Runner: releases the DFS block store's spill files.
+func (r *liveRunner) Close() error { return r.clus.Close() }
 
 // Cluster exposes the underlying live cluster for callers that need
 // backend-specific detail (DMA accounting, direct SPE runs).
 func (r *liveRunner) Cluster() *core.LiveCluster { return r.clus }
 
-// stageInput writes the job's dataset into the DFS under a fresh path.
+// stageInput streams the job's dataset into the DFS under a fresh
+// path — one transfer buffer plus one block resident, never the whole
+// dataset.
 func (r *liveRunner) stageInput(job *Job) (string, error) {
-	data := job.Input
-	if len(data) == 0 {
-		data = syntheticInput(job.InputBytes)
-	}
+	r.mu.Lock()
 	r.seq++
 	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
-	if err := r.clus.FS.WriteFile(name, data, ""); err != nil {
+	r.mu.Unlock()
+	if _, err := r.clus.FS.CreateFrom(name, "", job.inputReader()); err != nil {
 		return "", err
 	}
 	return name, nil
 }
 
+// deliverOutput resolves a byte-output job's result: streamed from
+// the DFS into the job's Sink (the staged files are deleted so
+// repeated streaming runs do not accumulate state), or materialized
+// into res.Bytes as before.
+func (r *liveRunner) deliverOutput(job *Job, res *Result, input, output string) error {
+	if job.Sink == nil {
+		var err error
+		res.Bytes, err = r.clus.FS.ReadFile(output)
+		return err
+	}
+	rd, err := r.clus.FS.Open(output, "")
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(job.Sink, rd)
+	if err != nil {
+		return err
+	}
+	res.OutputBytes = n
+	if err := r.clus.FS.Delete(input); err != nil {
+		return err
+	}
+	return r.clus.FS.Delete(output)
+}
+
 // Run implements Runner.
 func (r *liveRunner) Run(job *Job) (*Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := r.cfg.validateJob(job); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -118,7 +154,7 @@ func (r *liveRunner) Run(job *Job) (*Result, error) {
 		if err := r.clus.RunSort(input, output); err != nil {
 			return nil, err
 		}
-		if res.Bytes, err = r.clus.FS.ReadFile(output); err != nil {
+		if err := r.deliverOutput(job, res, input, output); err != nil {
 			return nil, err
 		}
 	case Encrypt:
@@ -143,7 +179,7 @@ func (r *liveRunner) Run(job *Job) (*Result, error) {
 		}); err != nil {
 			return nil, err
 		}
-		if res.Bytes, err = r.clus.FS.ReadFile(output); err != nil {
+		if err := r.deliverOutput(job, res, input, output); err != nil {
 			return nil, err
 		}
 	case Pi:

@@ -2,10 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
-	"hetmr/internal/kernels"
 	"hetmr/internal/netmr"
 	"hetmr/internal/rpcnet"
 )
@@ -36,12 +36,17 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
-			cfg.BlockSize, 20*time.Millisecond,
+		opts := []netmr.ClusterOption{
 			netmr.WithSpeculation(cfg.Speculative),
 			netmr.WithMaxAttempts(cfg.MaxAttempts),
 			netmr.WithTrackerDelays(cfg.FaultDelays),
-			netmr.WithDeviceKinds(kinds))
+			netmr.WithDeviceKinds(kinds),
+		}
+		if cfg.SpillMemBytes != 0 {
+			opts = append(opts, netmr.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
+		}
+		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
+			cfg.BlockSize, 20*time.Millisecond, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -125,27 +130,44 @@ func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, st netmr.Stat
 	return raw, st, nil
 }
 
-// stageInput stores the job's dataset in the distributed FS.
+// stageInput streams the job's dataset into the distributed FS, one
+// block resident at a time.
 func (r *netRunner) stageInput(job *Job) (string, error) {
-	data := job.Input
-	if len(data) == 0 {
-		data = syntheticInput(job.InputBytes)
-	}
 	r.mu.Lock()
 	r.seq++
 	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
 	r.mu.Unlock()
-	if err := r.clus.Client.WriteFile(name, data, ""); err != nil {
+	if _, err := r.clus.Client.WriteFrom(name, job.inputReader(), ""); err != nil {
 		return "", err
 	}
 	return name, nil
+}
+
+// streamResult runs one byte-output job with its result streamed: the
+// output pieces stay in the worker trackers' stores, the client pulls
+// them straight into the sink, and the JobTracker never buffers a
+// byte of output.
+func (r *netRunner) streamResult(spec netmr.JobSpec, sink io.Writer) (int64, netmr.StatusReply, error) {
+	var st netmr.StatusReply
+	spec.Mapper = r.cfg.Mapper
+	spec.StreamOutput = true
+	id, err := r.clus.Client.Submit(spec)
+	if err != nil {
+		return 0, st, err
+	}
+	n, err := r.clus.Client.WaitOutput(id, r.cfg.JobTimeout, sink, netmr.DecodeRawBytes)
+	if err != nil {
+		return n, st, err
+	}
+	st, err = r.clus.Client.Status(id)
+	return n, st, err
 }
 
 // Run implements Runner. It is safe for concurrent use: each call
 // stages its input under a distinct DFS path and the netmr client is
 // connectionless per call.
 func (r *netRunner) Run(job *Job) (*Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := r.cfg.validateJob(job); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -170,10 +192,6 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		res.Pairs = pairsFromCounts(counts)
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Sort:
-		if r.cfg.BlockSize%kernels.SortRecordBytes != 0 {
-			return nil, fmt.Errorf("engine: net sort needs a block size divisible by %d, got %d",
-				kernels.SortRecordBytes, r.cfg.BlockSize)
-		}
 		input, err := r.stageInput(job)
 		if err != nil {
 			return nil, err
@@ -185,8 +203,23 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := rpcnet.Unmarshal(raw, &res.Bytes); err != nil {
+		// The shuffle hash-partitions records, so the globally sorted
+		// result only exists after the JobTracker's final merge —
+		// sort's Sink receives that merged result in one stream (a
+		// range partitioner, which would let partitions concatenate in
+		// order, is a ROADMAP follow-on).
+		var merged []byte
+		if err := rpcnet.Unmarshal(raw, &merged); err != nil {
 			return nil, err
+		}
+		if job.Sink != nil {
+			n, err := job.Sink.Write(merged)
+			if err != nil {
+				return nil, err
+			}
+			res.OutputBytes = int64(n)
+		} else {
+			res.Bytes = merged
 		}
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Encrypt:
@@ -200,9 +233,22 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw, st, err := r.submitAndWait(netmr.JobSpec{
+		spec := netmr.JobSpec{
 			Name: job.title(), Kernel: "aes-ctr", Input: input, Args: args,
-		})
+		}
+		if job.Sink != nil {
+			// Fully streamed: ciphertext blocks park on the trackers
+			// (spilling past the watermark) and flow straight to the
+			// sink — the JobTracker and client never hold the output.
+			n, st, err := r.streamResult(spec, job.Sink)
+			if err != nil {
+				return nil, err
+			}
+			res.OutputBytes = n
+			res.TaskCounts, res.Devices = st.Counts, st.Devices
+			break
+		}
+		raw, st, err := r.submitAndWait(spec)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"hetmr/internal/kernels"
 	"hetmr/internal/perfmodel"
+	"hetmr/internal/spill"
 )
 
 // ErrUnknownBackend is wrapped by New for unregistered names.
@@ -90,6 +92,23 @@ type Config struct {
 	// raise it for large inputs or slow CI machines instead of hitting
 	// an arbitrary cliff. Negative is an error.
 	JobTimeout time.Duration
+	// SpillMemBytes bounds the resident memory of every data-plane
+	// store on the functional backends — the live runner's DFS block
+	// store and per-job run stores, the net runtime's DataNode block
+	// stores and tracker shuffle stores. Payloads above the watermark
+	// spill to disk and stream back transparently. 0 keeps everything
+	// in memory (the historical behaviour); SpillAll spills every
+	// payload; other negative values are an error. With a watermark
+	// set, a job's peak heap is O(blockSize × workers) regardless of
+	// input size.
+	SpillMemBytes int64
+	// SpillDir is the parent directory for spill files ("" selects
+	// the OS temp dir). Stores create and remove their own
+	// subdirectories.
+	SpillDir string
+	// SpillCompress frame-compresses spilled payloads (DEFLATE at
+	// fastest) — trade CPU for spill-disk footprint.
+	SpillCompress bool
 	// Timeline requests a rendered task Gantt chart in Result.Sim
 	// (simulated backend).
 	Timeline bool
@@ -99,6 +118,11 @@ type Config struct {
 // Config.JobTimeout is zero; loopback jobs finish in
 // milliseconds-to-seconds, so this is generous.
 const DefaultJobTimeout = 2 * time.Minute
+
+// SpillAll is the Config.SpillMemBytes value that spills every
+// data-plane payload to disk (the field's zero value means "never
+// spill").
+const SpillAll = -1
 
 // withDefaults resolves zero fields.
 func (c Config) withDefaults() (Config, error) {
@@ -138,6 +162,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.JobTimeout == 0 {
 		c.JobTimeout = DefaultJobTimeout
+	}
+	if c.SpillMemBytes < SpillAll {
+		return c, fmt.Errorf("engine: spill watermark %d (0: never spill, SpillAll: everything, >0: bytes in memory)", c.SpillMemBytes)
 	}
 	if c.MaxAttempts < 0 {
 		return c, fmt.Errorf("engine: negative attempt cap %d", c.MaxAttempts)
@@ -228,6 +255,59 @@ func acceleratedNodeCount(n int, frac float64) int {
 // fraction.
 func (c Config) acceleratedNodes(n int) int {
 	return acceleratedNodeCount(n, c.AccelFraction)
+}
+
+// spillMem translates the Config.SpillMemBytes convention (0: never
+// spill) into the store layers' convention (negative: never spill).
+// Callers run after withDefaults.
+func (c Config) spillMem() int64 {
+	switch {
+	case c.SpillMemBytes == 0:
+		return -1
+	case c.SpillMemBytes == SpillAll:
+		return 0
+	default:
+		return c.SpillMemBytes
+	}
+}
+
+// spillCodec resolves the spill frame codec.
+func (c Config) spillCodec() spill.Codec {
+	if c.SpillCompress {
+		return spill.Flate()
+	}
+	return nil
+}
+
+// validateJob checks a job against this backend configuration at the
+// API boundary — the shared Submit-time gate every runner calls, so a
+// shape mismatch errors up front instead of corrupting records
+// mid-job.
+func (c Config) validateJob(j *Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.Sink != nil && j.Kind != Sort && j.Kind != Encrypt {
+		return fmt.Errorf("engine: %s job cannot stream to a Sink (byte-output kinds only)", j.Kind)
+	}
+	if j.Kind == Sort {
+		// A block size that is not a whole number of records would
+		// silently split records across block boundaries and sort
+		// garbage.
+		if c.BlockSize%kernels.SortRecordBytes != 0 {
+			return fmt.Errorf("engine: sort needs a block size that is a multiple of the %d-byte record, got %d",
+				kernels.SortRecordBytes, c.BlockSize)
+		}
+		if len(j.Input) > 0 && len(j.Input)%kernels.SortRecordBytes != 0 {
+			return fmt.Errorf("engine: sort input of %d bytes is not a whole number of %d-byte records",
+				len(j.Input), kernels.SortRecordBytes)
+		}
+		if len(j.Input) == 0 && j.Source == nil && j.InputBytes%kernels.SortRecordBytes != 0 {
+			return fmt.Errorf("engine: synthetic sort input of %d bytes is not a whole number of %d-byte records",
+				j.InputBytes, kernels.SortRecordBytes)
+		}
+	}
+	return nil
 }
 
 // Factory builds one backend runner.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"hetmr/internal/cluster"
@@ -50,25 +51,50 @@ func (r *simRunner) blocks(data []byte) [][]byte {
 	return out
 }
 
+// maxFunctionalSyntheticBytes bounds how large a synthetic
+// (InputBytes) dataset the simulated backend materializes for its
+// functional result. Above it — the paper models 120 GB working sets
+// — the run is timing-only, as it always was. Streaming (Source)
+// jobs materialize whatever they carry: the caller chose to hand the
+// modelling backend real bytes.
+const maxFunctionalSyntheticBytes = 64 << 20
+
+// functionalInput resolves the bytes the functional pass computes
+// over: Input, a consumed Source, or a small synthetic dataset. nil
+// means a modelled-size-only run.
+func (r *simRunner) functionalInput(job *Job) ([]byte, error) {
+	if len(job.Input) > 0 {
+		return job.Input, nil
+	}
+	if job.Source != nil {
+		return io.ReadAll(job.Source)
+	}
+	if job.InputBytes > 0 && job.InputBytes <= maxFunctionalSyntheticBytes {
+		return syntheticInput(job.InputBytes), nil
+	}
+	return nil, nil
+}
+
 // functional computes the job's real result with the shared kernels.
-func (r *simRunner) functional(job *Job, res *Result) error {
+// data is the resolved dataset for data kinds (nil: timing-only).
+func (r *simRunner) functional(job *Job, data []byte, res *Result) error {
 	switch job.Kind {
 	case Wordcount:
-		if len(job.Input) == 0 {
-			return nil // synthetic size: timing-only run
+		if len(data) == 0 {
+			return nil // modelled size: timing-only run
 		}
 		counts := make(map[string]int64)
-		for _, blk := range r.blocks(job.Input) {
+		for _, blk := range r.blocks(data) {
 			for w, n := range kernels.WordCount(blk) {
 				counts[w] += n
 			}
 		}
 		res.Pairs = pairsFromCounts(counts)
 	case Sort:
-		if len(job.Input) == 0 {
+		if len(data) == 0 {
 			return nil
 		}
-		blks := r.blocks(job.Input)
+		blks := r.blocks(data)
 		runs := make([][]byte, len(blks))
 		for i, blk := range blks {
 			runs[i] = append([]byte(nil), blk...)
@@ -82,15 +108,15 @@ func (r *simRunner) functional(job *Job, res *Result) error {
 		}
 		res.Bytes = merged
 	case Encrypt:
-		if len(job.Input) == 0 {
+		if len(data) == 0 {
 			return nil
 		}
 		cipher, err := kernels.NewCipher(job.Key)
 		if err != nil {
 			return err
 		}
-		out := make([]byte, len(job.Input))
-		kernels.CTRStream(cipher, job.iv(), 0, out, job.Input)
+		out := make([]byte, len(data))
+		kernels.CTRStream(cipher, job.iv(), 0, out, data)
 		res.Bytes = out
 	case Pi:
 		if job.Samples > maxFunctionalPiSamples {
@@ -110,8 +136,8 @@ func (r *simRunner) functional(job *Job, res *Result) error {
 // maxFunctionalPiSamples bounds how many Monte Carlo samples the
 // simulated backend actually draws. Above it — the paper sweeps up to
 // 10^12 — the run is timing-only, exactly as data jobs given a
-// synthetic size are: the simulator's duty is the model, and really
-// sampling at that scale would take hours.
+// paper-scale synthetic size are: the simulator's duty is the model,
+// and really sampling at that scale would take hours.
 const maxFunctionalPiSamples = 200_000_000
 
 // mapperFor resolves the configured mapper variant for the job kind.
@@ -136,13 +162,14 @@ func (r *simRunner) mapperFor(kind Kind) (func(*cluster.Node) hadoop.Mapper, err
 	return nil, fmt.Errorf("engine: unknown mapper variant %q", r.cfg.Mapper)
 }
 
-// buildSplits lays the job's input out on the simulated DFS.
-func (r *simRunner) buildSplits(job *Job) func(nn *hdfs.NameNode, nodes []string) ([]hadoop.Split, error) {
+// buildSplits lays the job's input out on the simulated DFS. data is
+// the resolved dataset (nil: modelled size only).
+func (r *simRunner) buildSplits(job *Job, data []byte) func(nn *hdfs.NameNode, nodes []string) ([]hadoop.Split, error) {
 	return func(nn *hdfs.NameNode, nodes []string) ([]hadoop.Split, error) {
 		if job.Kind == Pi {
 			return core.PiSplits(job.Samples, normalizeTasks(job.Tasks, r.cfg.Workers))
 		}
-		if len(job.Input) == 0 {
+		if len(data) == 0 {
 			// Modelled-size dataset: the paper's Fig. 3 layout, one
 			// pinned sub-file per mapper.
 			nMappers := len(nodes) * r.cfg.MappersPerNode
@@ -153,11 +180,11 @@ func (r *simRunner) buildSplits(job *Job) func(nn *hdfs.NameNode, nodes []string
 			return workload.EncryptionDataset(nn, nodes, r.cfg.MappersPerNode, per)
 		}
 		name := "/engine/" + job.title()
-		if err := nn.WriteFile(name, job.Input, ""); err != nil {
+		if err := nn.WriteFile(name, data, ""); err != nil {
 			return nil, err
 		}
 		numSplits := len(nodes) * r.cfg.MappersPerNode
-		if blocks := (int64(len(job.Input)) + r.cfg.BlockSize - 1) / r.cfg.BlockSize; int64(numSplits) > blocks {
+		if blocks := (int64(len(data)) + r.cfg.BlockSize - 1) / r.cfg.BlockSize; int64(numSplits) > blocks {
 			numSplits = int(blocks)
 		}
 		return core.SplitsFromFile(nn, name, numSplits, r.cfg.BlockSize)
@@ -166,13 +193,39 @@ func (r *simRunner) buildSplits(job *Job) func(nn *hdfs.NameNode, nodes []string
 
 // Run implements Runner.
 func (r *simRunner) Run(job *Job) (*Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := r.cfg.validateJob(job); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Backend: r.Backend()}
-	if err := r.functional(job, res); err != nil {
+	var data []byte
+	if job.Kind != Pi {
+		// Resolve the dataset once: the functional pass and the
+		// modelled DFS layout must see the same bytes, and a Source
+		// can only be read once.
+		var err error
+		if data, err = r.functionalInput(job); err != nil {
+			return nil, err
+		}
+		if job.Sink != nil && len(data) == 0 {
+			// A paper-scale synthetic size runs timing-only here; a
+			// Sink promises output bytes the model never computes.
+			// Refusing beats silently streaming nothing while the
+			// functional backends stream the real result.
+			return nil, fmt.Errorf("%w: sim models a %d-byte %s dataset without materializing it and cannot stream output to a Sink (functional cap: %d bytes)",
+				ErrUnsupported, job.InputBytes, job.Kind, maxFunctionalSyntheticBytes)
+		}
+	}
+	if err := r.functional(job, data, res); err != nil {
 		return nil, err
+	}
+	if job.Sink != nil && res.Bytes != nil {
+		n, err := job.Sink.Write(res.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		res.OutputBytes = int64(n)
+		res.Bytes = nil
 	}
 	mapperFor, err := r.mapperFor(job.Kind)
 	if err != nil {
@@ -181,7 +234,7 @@ func (r *simRunner) Run(job *Job) (*Result, error) {
 	cfg := hadoop.DefaultConfig()
 	cfg.MapSlots = r.cfg.MappersPerNode
 	cfg.Speculative = r.cfg.Speculative
-	run, err := experiments.RunDistributed(r.cfg.Workers, cfg, r.buildSplits(job), mapperFor,
+	run, err := experiments.RunDistributed(r.cfg.Workers, cfg, r.buildSplits(job, data), mapperFor,
 		cluster.WithAcceleratedFraction(r.cfg.AccelFraction))
 	if err != nil {
 		return nil, err

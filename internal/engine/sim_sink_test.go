@@ -1,0 +1,20 @@
+package engine
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestSimRefusesSinkAboveFunctionalCap(t *testing.T) {
+	r, err := New("sim", Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.Run(&Job{Kind: Encrypt, Key: []byte("0123456789abcdef"),
+		InputBytes: maxFunctionalSyntheticBytes + 100, Sink: io.Discard})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("sim accepted a Sink on a modelled-only dataset: %v", err)
+	}
+}

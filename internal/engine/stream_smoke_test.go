@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestBoundedMemoryStreaming is the bounded-memory smoke gate: a
+// synthetic dataset far above the spill watermark streams end to end
+// — generator → DFS blocks → kernel → spilled output → sink — on both
+// functional backends under a hard Go memory limit. If any layer
+// regresses to materializing the dataset, the peak heap blows through
+// the assertion (and under the CI lane's GOMEMLIMIT, the runtime
+// thrashes or dies) instead of silently passing.
+func TestBoundedMemoryStreaming(t *testing.T) {
+	// A hard ceiling well below the combined input sizes: the
+	// streamed path needs only a few MB, a materializing regression
+	// needs hundreds.
+	old := debug.SetMemoryLimit(256 << 20)
+	defer debug.SetMemoryLimit(old)
+
+	const (
+		liveInput = 64 << 20 // 64 MB through the in-process cluster
+		netInput  = 32 << 20 // 32 MB through the socket-backed cluster
+		peakCap   = 128 << 20
+	)
+	cases := []struct {
+		backend string
+		input   int64
+	}{
+		{"live", liveInput},
+		{"net", netInput},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.backend, func(t *testing.T) {
+			peak := samplePeakHeap(func() {
+				streamEncryptOnce(t, tc.backend, tc.input, t.TempDir())
+			})
+			t.Logf("peak_heap_MB=%.1f input_MB=%d", float64(peak)/(1<<20), tc.input/(1<<20))
+			if peak > peakCap {
+				t.Fatalf("peak heap %.1f MB exceeds the %d MB bound for a %d MB streamed input",
+					float64(peak)/(1<<20), peakCap>>20, tc.input>>20)
+			}
+		})
+	}
+}

@@ -1,13 +1,18 @@
-// Package hdfs is a from-scratch, in-memory implementation of the
-// Hadoop Distributed File System's architecture as the paper uses it
+// Package hdfs is a from-scratch implementation of the Hadoop
+// Distributed File System's architecture as the paper uses it
 // (§III-A): a master NameNode owning the namespace and block map, and
-// DataNodes storing fixed-size blocks on their local disks, with
-// configurable replication and locality-aware block placement.
+// DataNodes storing fixed-size blocks, with configurable replication
+// and locality-aware block placement.
 //
-// Files can carry real bytes (live execution, examples, tests) or be
-// synthetic — metadata and sizes only — so the simulated experiments
-// can describe the paper's 120 GB working sets without allocating
-// them.
+// Block payloads live in a pluggable BlockStore: the default keeps
+// everything in memory (live execution, examples, tests), while the
+// spill-backed store keeps payloads under a memory watermark and
+// spills the rest to disk — the bounded-memory path for datasets far
+// larger than RAM. Replicas share one immutable payload per block;
+// replication is placement metadata, not extra copies. Files can also
+// be synthetic — metadata and sizes only — so the simulated
+// experiments can describe the paper's 120 GB working sets without
+// allocating them.
 package hdfs
 
 import (
@@ -33,17 +38,12 @@ var (
 // BlockID identifies one block cluster-wide.
 type BlockID int64
 
-// Block is a stored block replica. Data is nil for synthetic blocks.
-type Block struct {
-	ID   BlockID
-	Size int64
-	Data []byte
-}
-
-// DataNode stores block replicas for one cluster node.
+// DataNode stores block replicas for one cluster node. A replica is
+// metadata — block ID and size — referencing the payload the NameNode's
+// BlockStore holds once.
 type DataNode struct {
 	Name   string
-	blocks map[BlockID]*Block
+	blocks map[BlockID]int64 // replica sizes
 	used   int64
 	alive  bool
 }
@@ -80,31 +80,59 @@ type NameNode struct {
 	mu          sync.Mutex
 	blockSize   int64
 	replication int
+	store       BlockStore
 	files       map[string]*fileMeta
 	nodes       map[string]*DataNode
 	nodeOrder   []string // registration order, for deterministic placement
 	locations   map[BlockID][]string
 	blockSizes  map[BlockID]int64
+	hasData     map[BlockID]bool // false: synthetic (metadata-only) block
 	nextBlock   BlockID
+}
+
+// Option customizes NewNameNode.
+type Option func(*NameNode)
+
+// WithBlockStore selects the block payload store (default: all in
+// memory). The NameNode owns the store after construction; Close
+// releases it.
+func WithBlockStore(bs BlockStore) Option {
+	return func(nn *NameNode) { nn.store = bs }
 }
 
 // NewNameNode creates a NameNode with the given block size and
 // replication factor (the paper: 64 MB blocks, replication 1).
-func NewNameNode(blockSize int64, replication int) (*NameNode, error) {
+func NewNameNode(blockSize int64, replication int, opts ...Option) (*NameNode, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("hdfs: block size %d must be positive", blockSize)
 	}
 	if replication < 1 {
 		return nil, ErrBadReplFactor
 	}
-	return &NameNode{
+	nn := &NameNode{
 		blockSize:   blockSize,
 		replication: replication,
 		files:       make(map[string]*fileMeta),
 		nodes:       make(map[string]*DataNode),
 		locations:   make(map[BlockID][]string),
 		blockSizes:  make(map[BlockID]int64),
-	}, nil
+		hasData:     make(map[BlockID]bool),
+	}
+	for _, o := range opts {
+		o(nn)
+	}
+	if nn.store == nil {
+		nn.store = NewMemBlockStore()
+	}
+	return nn, nil
+}
+
+// Close releases the block store (spill files, when the store is
+// disk-backed). The file system is unusable afterwards.
+func (nn *NameNode) Close() error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.store.Close()
 }
 
 // BlockSize returns the configured block size.
@@ -120,7 +148,7 @@ func (nn *NameNode) RegisterDataNode(name string) (*DataNode, error) {
 	if _, ok := nn.nodes[name]; ok {
 		return nil, fmt.Errorf("hdfs: datanode %q already registered", name)
 	}
-	d := &DataNode{Name: name, blocks: make(map[BlockID]*Block), alive: true}
+	d := &DataNode{Name: name, blocks: make(map[BlockID]int64), alive: true}
 	nn.nodes[name] = d
 	nn.nodeOrder = append(nn.nodeOrder, name)
 	return d, nil
@@ -184,21 +212,29 @@ func (nn *NameNode) place(preferred string) ([]*DataNode, error) {
 	return chosen, nil
 }
 
-// addBlock registers a block's replicas on the chosen nodes.
-func (nn *NameNode) addBlock(f *fileMeta, size int64, data []byte, preferred string) error {
+// addSyntheticBlock registers a metadata-only block (no payload, no
+// store traffic). Callers hold nn.mu.
+func (nn *NameNode) addSyntheticBlock(f *fileMeta, size int64, preferred string) error {
+	id := nn.nextBlock
+	nn.nextBlock++
+	return nn.commitBlock(f, id, size, false, preferred)
+}
+
+// commitBlock registers a block's replicas on the chosen nodes and
+// appends it to the file. For data blocks the payload is already in
+// the block store under id, so a reader can never observe registered
+// metadata without its bytes. Callers hold nn.mu.
+func (nn *NameNode) commitBlock(f *fileMeta, id BlockID, size int64, hasData bool, preferred string) error {
 	hosts, err := nn.place(preferred)
 	if err != nil {
 		return err
 	}
-	id := nn.nextBlock
-	nn.nextBlock++
+	if hasData {
+		nn.hasData[id] = true
+	}
 	var names []string
 	for _, d := range hosts {
-		blk := &Block{ID: id, Size: size}
-		if data != nil {
-			blk.Data = append([]byte(nil), data...)
-		}
-		d.blocks[id] = blk
+		d.blocks[id] = size
 		d.used += size
 		names = append(names, d.Name)
 	}
@@ -206,6 +242,27 @@ func (nn *NameNode) addBlock(f *fileMeta, size int64, data []byte, preferred str
 	nn.blockSizes[id] = size
 	f.blocks = append(f.blocks, id)
 	f.size += size
+	return nil
+}
+
+// storeBlock is the data-block write path: mint an ID, store the
+// payload OUTSIDE nn.mu — a spill-backed store may compress and hit
+// the disk, and that work must not stall every concurrent metadata
+// operation — then commit the metadata under the lock.
+func (nn *NameNode) storeBlock(f *fileMeta, data []byte, preferred string) error {
+	nn.mu.Lock()
+	id := nn.nextBlock
+	nn.nextBlock++
+	nn.mu.Unlock()
+	if err := nn.store.Put(id, data); err != nil {
+		return err
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.commitBlock(f, id, int64(len(data)), true, preferred); err != nil {
+		nn.store.Delete(id)
+		return err
+	}
 	return nil
 }
 
@@ -235,7 +292,7 @@ func (nn *NameNode) CreateSyntheticAt(name string, size int64, preferredNode str
 		if remaining < n {
 			n = remaining
 		}
-		if err := nn.addBlock(f, n, nil, preferredNode); err != nil {
+		if err := nn.addSyntheticBlock(f, n, preferredNode); err != nil {
 			return err
 		}
 		remaining -= n
@@ -245,7 +302,10 @@ func (nn *NameNode) CreateSyntheticAt(name string, size int64, preferredNode str
 }
 
 // Writer streams data into a new file, cutting blocks at the block
-// size. Close finalizes the file.
+// size. Close finalizes the file. The internal buffer never holds more
+// than one block plus the largest single Write: emitted blocks advance
+// an offset cursor and the consumed prefix is dropped with one copy
+// per call, so writing an n-byte file costs O(n), not O(n²).
 type Writer struct {
 	nn        *NameNode
 	f         *fileMeta
@@ -267,21 +327,38 @@ func (nn *NameNode) Create(name, preferredNode string) (*Writer, error) {
 	return &Writer{nn: nn, f: f, preferred: preferredNode}, nil
 }
 
-// Write implements io.Writer.
+// Write implements io.Writer. A Writer is not goroutine-safe
+// (standard io.Writer contract); blockSize is immutable, and each
+// emitted block takes the NameNode lock only for its metadata commit.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, errors.New("hdfs: write on closed writer")
 	}
+	written := len(p)
+	bs := int(w.nn.blockSize)
+	// Full blocks available directly from p skip the buffer entirely
+	// (the block store copies what it keeps).
+	if len(w.buf) == 0 {
+		for len(p) >= bs {
+			if err := w.nn.storeBlock(w.f, p[:bs], w.preferred); err != nil {
+				return 0, err
+			}
+			p = p[bs:]
+		}
+	}
 	w.buf = append(w.buf, p...)
-	w.nn.mu.Lock()
-	defer w.nn.mu.Unlock()
-	for int64(len(w.buf)) >= w.nn.blockSize {
-		if err := w.nn.addBlock(w.f, w.nn.blockSize, w.buf[:w.nn.blockSize], w.preferred); err != nil {
+	start := 0
+	for len(w.buf)-start >= bs {
+		if err := w.nn.storeBlock(w.f, w.buf[start:start+bs], w.preferred); err != nil {
 			return 0, err
 		}
-		w.buf = append([]byte(nil), w.buf[w.nn.blockSize:]...)
+		start += bs
 	}
-	return len(p), nil
+	if start > 0 {
+		n := copy(w.buf, w.buf[start:])
+		w.buf = w.buf[:n]
+	}
+	return written, nil
 }
 
 // Close flushes the final partial block.
@@ -290,10 +367,8 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	w.nn.mu.Lock()
-	defer w.nn.mu.Unlock()
 	if len(w.buf) > 0 {
-		if err := w.nn.addBlock(w.f, int64(len(w.buf)), w.buf, w.preferred); err != nil {
+		if err := w.nn.storeBlock(w.f, w.buf, w.preferred); err != nil {
 			return err
 		}
 		w.buf = nil
@@ -311,6 +386,27 @@ func (nn *NameNode) WriteFile(name string, data []byte, preferredNode string) er
 		return err
 	}
 	return w.Close()
+}
+
+// copyBufBytes caps CreateFrom's transfer buffer: large enough to
+// amortize call overhead, far below a 64 MB block.
+const copyBufBytes = 256 * 1024
+
+// CreateFrom streams r into a new file, returning the bytes written.
+// Memory use is bounded by the transfer buffer plus the writer's
+// block buffer regardless of the stream's length — the ingest path
+// for datasets larger than RAM.
+func (nn *NameNode) CreateFrom(name, preferredNode string, r io.Reader) (int64, error) {
+	w, err := nn.Create(name, preferredNode)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, copyBufBytes)
+	n, err := io.CopyBuffer(w, r, buf)
+	if err != nil {
+		return n, err
+	}
+	return n, w.Close()
 }
 
 // Exists reports whether the file exists.
@@ -332,7 +428,8 @@ func (nn *NameNode) FileSize(name string) (int64, error) {
 	return f.size, nil
 }
 
-// Delete removes a file and frees its replicas.
+// Delete removes a file, frees its replicas and drops its payloads
+// from the block store.
 func (nn *NameNode) Delete(name string) error {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
@@ -343,14 +440,16 @@ func (nn *NameNode) Delete(name string) error {
 	for _, id := range f.blocks {
 		for _, host := range nn.locations[id] {
 			if d, ok := nn.nodes[host]; ok {
-				if blk, ok := d.blocks[id]; ok {
-					d.used -= blk.Size
+				if size, ok := d.blocks[id]; ok {
+					d.used -= size
 					delete(d.blocks, id)
 				}
 			}
 		}
+		nn.store.Delete(id)
 		delete(nn.locations, id)
 		delete(nn.blockSizes, id)
+		delete(nn.hasData, id)
 	}
 	delete(nn.files, name)
 	return nil
@@ -391,31 +490,41 @@ func (nn *NameNode) Locations(name string) ([]BlockLocation, error) {
 	return out, nil
 }
 
-// ReadBlock fetches a block's data from a specific datanode.
+// ReadBlock fetches a block's data from a specific datanode. The
+// returned slice may alias the store's copy and must be treated as
+// immutable.
 func (nn *NameNode) ReadBlock(id BlockID, host string) ([]byte, error) {
 	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	d, ok := nn.nodes[host]
 	if !ok {
+		nn.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, host)
 	}
 	if !d.alive {
+		nn.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNodeDead, host)
 	}
-	blk, ok := d.blocks[id]
-	if !ok {
+	if _, ok := d.blocks[id]; !ok {
+		nn.mu.Unlock()
 		return nil, fmt.Errorf("hdfs: block %d not on %s", id, host)
 	}
-	if blk.Data == nil {
+	if !nn.hasData[id] {
+		nn.mu.Unlock()
 		return nil, ErrSynthetic
 	}
-	return blk.Data, nil
+	store := nn.store
+	nn.mu.Unlock()
+	return store.Get(id)
 }
 
 // Reader reads a file's real data sequentially, preferring replicas on
-// preferredNode (locality) when available.
+// preferredNode (locality) when available. A replica that dies
+// mid-read fails over to the remaining replicas, refreshing the block
+// layout once (re-replication after a node death can mint new hosts)
+// before giving up.
 type Reader struct {
 	nn        *NameNode
+	name      string
 	locs      []BlockLocation
 	preferred string
 	blockIdx  int
@@ -439,7 +548,50 @@ func (nn *NameNode) Open(name, preferredNode string) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{nn: nn, locs: locs, preferred: preferredNode}, nil
+	return &Reader{nn: nn, name: name, locs: locs, preferred: preferredNode}, nil
+}
+
+// fetchCurrent loads the reader's current block, failing over along
+// the replica list and refreshing stale locations once.
+func (r *Reader) fetchCurrent() ([]byte, error) {
+	try := func(loc BlockLocation) ([]byte, error) {
+		hosts := loc.Hosts
+		if len(hosts) == 0 {
+			return nil, fmt.Errorf("%w: block %d", ErrBlockLost, loc.Block)
+		}
+		ordered := make([]string, 0, len(hosts))
+		for _, h := range hosts {
+			if h == r.preferred {
+				ordered = append(ordered, h)
+			}
+		}
+		for _, h := range hosts {
+			if h != r.preferred {
+				ordered = append(ordered, h)
+			}
+		}
+		var lastErr error
+		for _, h := range ordered {
+			data, err := r.nn.ReadBlock(loc.Block, h)
+			if err == nil {
+				return data, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	}
+	data, err := try(r.locs[r.blockIdx])
+	if err == nil {
+		return data, nil
+	}
+	// The cached layout may predate a node death; re-replication can
+	// have minted fresh replicas since.
+	locs, lerr := r.nn.Locations(r.name)
+	if lerr != nil || r.blockIdx >= len(locs) {
+		return nil, err
+	}
+	r.locs = locs
+	return try(locs[r.blockIdx])
 }
 
 // Read implements io.Reader.
@@ -449,18 +601,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 			if r.blockIdx >= len(r.locs) {
 				return 0, io.EOF
 			}
-			loc := r.locs[r.blockIdx]
-			if len(loc.Hosts) == 0 {
-				return 0, fmt.Errorf("%w: block %d", ErrBlockLost, loc.Block)
-			}
-			host := loc.Hosts[0]
-			for _, h := range loc.Hosts {
-				if h == r.preferred {
-					host = h
-					break
-				}
-			}
-			data, err := r.nn.ReadBlock(loc.Block, host)
+			data, err := r.fetchCurrent()
 			if err != nil {
 				return 0, err
 			}
@@ -491,7 +632,9 @@ func (nn *NameNode) ReadFile(name string) ([]byte, error) {
 // KillDataNode marks a node dead. Its replicas become unavailable; the
 // NameNode re-replicates blocks that still have a live copy elsewhere
 // (with replication 1, as in the paper, a dead node means lost blocks,
-// which Locations will report as host-less).
+// which Locations will report as host-less). Because replicas share
+// one stored payload, re-replication is a metadata move — no payload
+// copy.
 func (nn *NameNode) KillDataNode(name string) error {
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
@@ -514,7 +657,7 @@ func (nn *NameNode) KillDataNode(name string) error {
 		if len(liveHosts) == 0 || len(liveHosts) >= nn.replication {
 			continue
 		}
-		src := liveHosts[0].blocks[id]
+		size := liveHosts[0].blocks[id]
 		for _, cand := range nn.liveNodes() {
 			if len(liveHosts) >= nn.replication {
 				break
@@ -522,12 +665,8 @@ func (nn *NameNode) KillDataNode(name string) error {
 			if _, has := cand.blocks[id]; has {
 				continue
 			}
-			blk := &Block{ID: id, Size: src.Size}
-			if src.Data != nil {
-				blk.Data = append([]byte(nil), src.Data...)
-			}
-			cand.blocks[id] = blk
-			cand.used += src.Size
+			cand.blocks[id] = size
+			cand.used += size
 			liveHosts = append(liveHosts, cand)
 		}
 		var names []string

@@ -1,0 +1,87 @@
+package hdfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWriterLargeWrite streams multi-megabyte payloads through
+// the Writer with a small block size. Before the offset-cursor fix the
+// Writer reallocated its whole remaining buffer once per emitted block
+// — O(n²) in the write size, visible here as ns/op growing with the
+// square of MB; after it, MB/s holds steady as the size quadruples.
+func BenchmarkWriterLargeWrite(b *testing.B) {
+	for _, mb := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			size := mb << 20
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				nn, err := NewNameNode(4096, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nn.RegisterDataNode("n0"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				w, err := nn.Create("/bench", "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Write(data); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				nn.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkWriterChunkedWrite is the streaming-ingest shape: the same
+// payload arriving in 64 KB Writes, as CreateFrom delivers it.
+func BenchmarkWriterChunkedWrite(b *testing.B) {
+	const size = 4 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(size)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nn, err := NewNameNode(4096, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nn.RegisterDataNode("n0"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		w, err := nn.Create("/bench", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < size; off += 64 << 10 {
+			if _, err := w.Write(data[off : off+64<<10]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		nn.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+)
+
+// External k-way merge of sorted TeraSort record runs. The runs are
+// io.Readers — in-memory buffers, spilled run files, network streams —
+// and the merge holds one record per run plus a small heap, so memory
+// stays O(k·recordSize) no matter how large the runs are. This is the
+// reduce-side merge behind both the live runner's sort (over spilled
+// run files) and the netmr sort kernel (over fetched partition
+// pieces).
+
+// mergeBufBytes is the per-run read-ahead; a few records' worth keeps
+// syscall counts low without hoarding memory.
+const mergeBufBytes = 16 * 1024
+
+// runCursor is one run's read head: the current record plus its
+// source index (the tie-breaker that keeps the merge stable, matching
+// the historical scan-based merge bit for bit).
+type runCursor struct {
+	r   *bufio.Reader
+	rec [SortRecordBytes]byte
+	idx int
+}
+
+// advance loads the cursor's next record. It reports false at a clean
+// run end and errors when a run ends mid-record.
+func (c *runCursor) advance() (bool, error) {
+	_, err := io.ReadFull(c.r, c.rec[:])
+	if err == io.EOF {
+		return false, nil
+	}
+	if err == io.ErrUnexpectedEOF {
+		return false, fmt.Errorf("%w: run %d ends mid-record", ErrRecordSize, c.idx)
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// cursorHeap orders cursors by current key, ties broken by run index
+// so equal keys drain lower-indexed runs first — the exact order the
+// scan merge produced.
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].rec[:SortKeyBytes], h[j].rec[:SortKeyBytes])
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].idx < h[j].idx
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// MergeSortedStreams merges independently sorted record streams into w
+// and returns the bytes written. Each run must be a whole number of
+// 100-byte records in key order; the output interleaves them into one
+// globally sorted stream. Memory use is O(len(runs)·recordSize): this
+// is the external-merge kernel that lets a sort's reduce phase run
+// over spilled runs far larger than RAM.
+func MergeSortedStreams(w io.Writer, runs ...io.Reader) (int64, error) {
+	bw := bufio.NewWriterSize(w, mergeBufBytes)
+	h := make(cursorHeap, 0, len(runs))
+	for i, r := range runs {
+		c := &runCursor{r: bufio.NewReaderSize(r, mergeBufBytes), idx: i}
+		ok, err := c.advance()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	var written int64
+	for h.Len() > 0 {
+		c := h[0]
+		if _, err := bw.Write(c.rec[:]); err != nil {
+			return written, err
+		}
+		written += SortRecordBytes
+		ok, err := c.advance()
+		if err != nil {
+			return written, err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// MergeSortedRuns merges independently sorted in-memory runs (the map
+// outputs) into one sorted buffer — the reduce-side merge. It is the
+// materialized convenience over MergeSortedStreams; callers with runs
+// on disk should merge the streams directly.
+func MergeSortedRuns(runs [][]byte) ([]byte, error) {
+	var total int
+	for _, r := range runs {
+		if len(r)%SortRecordBytes != 0 {
+			return nil, fmt.Errorf("%w: run of %d bytes", ErrRecordSize, len(r))
+		}
+		total += len(r)
+	}
+	readers := make([]io.Reader, len(runs))
+	for i, r := range runs {
+		readers[i] = bytes.NewReader(r)
+	}
+	var out bytes.Buffer
+	out.Grow(total)
+	if _, err := MergeSortedStreams(&out, readers...); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,142 @@
+package kernels
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// scanMergeReference is the historical O(k·n) scan merge, kept here as
+// the oracle the heap-based external merge must match bit for bit.
+func scanMergeReference(runs [][]byte) []byte {
+	var total int
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]byte, 0, total)
+	offs := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		var bestKey []byte
+		for i, r := range runs {
+			if offs[i] >= len(r) {
+				continue
+			}
+			key := r[offs[i] : offs[i]+SortKeyBytes]
+			if best < 0 || bytes.Compare(key, bestKey) < 0 {
+				best, bestKey = i, key
+			}
+		}
+		out = append(out, runs[best][offs[best]:offs[best]+SortRecordBytes]...)
+		offs[best] += SortRecordBytes
+	}
+	return out
+}
+
+// splitSortedRuns cuts a deterministic dataset into k individually
+// sorted runs.
+func splitSortedRuns(t *testing.T, seed uint64, records, k int) [][]byte {
+	t.Helper()
+	data := GenerateSortRecords(seed, records)
+	per := (records + k - 1) / k
+	var runs [][]byte
+	for off := 0; off < len(data); off += per * SortRecordBytes {
+		end := off + per*SortRecordBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		run := append([]byte(nil), data[off:end]...)
+		if err := SortRecords(run); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+func TestMergeSortedRunsMatchesScanReference(t *testing.T) {
+	runs := splitSortedRuns(t, 2009, 997, 7)
+	got, err := MergeSortedRuns(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanMergeReference(runs)
+	if !bytes.Equal(got, want) {
+		t.Fatal("heap merge diverges from the scan-merge reference")
+	}
+	sorted, err := RecordsSorted(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted {
+		t.Fatal("merge output is not sorted")
+	}
+}
+
+func TestMergeSortedStreamsOverReaders(t *testing.T) {
+	runs := splitSortedRuns(t, 7, 500, 4)
+	readers := make([]io.Reader, len(runs))
+	for i, r := range runs {
+		readers[i] = iotest{bytes.NewReader(r)} // one byte at a time
+	}
+	var out bytes.Buffer
+	n, err := MergeSortedStreams(&out, readers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(500*SortRecordBytes) {
+		t.Fatalf("merged %d bytes, want %d", n, 500*SortRecordBytes)
+	}
+	want, err := MergeSortedRuns(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("stream merge differs from buffer merge")
+	}
+}
+
+// iotest yields at most one byte per Read, exercising the cursor's
+// short-read handling.
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestMergeSortedStreamsEmptyAndPartialRuns(t *testing.T) {
+	run := GenerateSortRecords(3, 10)
+	if err := SortRecords(run); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := MergeSortedStreams(&out, bytes.NewReader(nil), bytes.NewReader(run), bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(run)) || !bytes.Equal(out.Bytes(), run) {
+		t.Fatal("merge with empty runs corrupted the output")
+	}
+}
+
+func TestMergeSortedStreamsRejectsTornRecord(t *testing.T) {
+	run := GenerateSortRecords(4, 3)
+	if err := SortRecords(run); err != nil {
+		t.Fatal(err)
+	}
+	torn := run[:len(run)-7]
+	var out bytes.Buffer
+	if _, err := MergeSortedStreams(&out, bytes.NewReader(torn)); !errors.Is(err, ErrRecordSize) {
+		t.Fatalf("torn run merged without ErrRecordSize: %v", err)
+	}
+}
+
+func TestMergeSortedRunsRejectsBadRunLength(t *testing.T) {
+	if _, err := MergeSortedRuns([][]byte{make([]byte, 150)}); !errors.Is(err, ErrRecordSize) {
+		t.Fatalf("odd-length run accepted: %v", err)
+	}
+}

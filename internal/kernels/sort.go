@@ -74,33 +74,3 @@ func RecordsSorted(buf []byte) (bool, error) {
 	}
 	return true, nil
 }
-
-// MergeSortedRuns merges independently sorted record runs (the map
-// outputs) into one sorted buffer — the reduce-side merge.
-func MergeSortedRuns(runs [][]byte) ([]byte, error) {
-	var total int
-	for _, r := range runs {
-		if len(r)%SortRecordBytes != 0 {
-			return nil, fmt.Errorf("%w: run of %d bytes", ErrRecordSize, len(r))
-		}
-		total += len(r)
-	}
-	out := make([]byte, 0, total)
-	offs := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		var bestKey []byte
-		for i, r := range runs {
-			if offs[i] >= len(r) {
-				continue
-			}
-			key := r[offs[i] : offs[i]+SortKeyBytes]
-			if best < 0 || bytes.Compare(key, bestKey) < 0 {
-				best, bestKey = i, key
-			}
-		}
-		out = append(out, runs[best][offs[best]:offs[best]+SortRecordBytes]...)
-		offs[best] += SortRecordBytes
-	}
-	return out, nil
-}

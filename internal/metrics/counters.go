@@ -1,0 +1,40 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a process-wide monotonic meter. The data-plane layers
+// increment the package-level counters below as bytes move, so tests
+// and benchmarks can assert on where traffic actually went (heartbeat
+// channel vs. shuffle stores vs. spill files) without threading a
+// meter handle through every constructor.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current total.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter and returns the value it held — benchmarks
+// reset between runs to meter one run at a time.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Package-level data-plane meters. They are cumulative across the
+// process; callers that need a per-run figure snapshot Load before and
+// after, or Reset between runs.
+var (
+	// SpillBytes counts payload bytes written to disk-backed spill
+	// stores (DFS block stores, shuffle stores, sort-run stores) —
+	// the external-memory half of the bounded-memory data plane.
+	// Sizes are pre-compression, so the meter reflects logical
+	// traffic regardless of codec.
+	SpillBytes Counter
+
+	// DataPlaneBytes counts task output bytes that crossed a control
+	// plane (the netmr JobTracker's heartbeat channel). A streaming
+	// job keeps this near zero: outputs stay on the workers and only
+	// locations travel.
+	DataPlaneBytes Counter
+)

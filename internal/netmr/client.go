@@ -1,13 +1,16 @@
 package netmr
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"hetmr/internal/rpcnet"
+	"hetmr/internal/spill"
 )
 
 // Client is the user-facing handle to a running netmr cluster: DFS
@@ -31,63 +34,85 @@ func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64) (*Client, e
 // WriteFile stores data under name, block by block. preferred, when
 // non-empty, is the DataNode address to favour for every block.
 func (c *Client) WriteFile(name string, data []byte, preferred string) error {
+	_, err := c.WriteFrom(name, bytes.NewReader(data), preferred)
+	return err
+}
+
+// WriteFrom streams r into the DFS under name, cutting blocks at the
+// client's block size. Only one block is resident at a time, so
+// ingesting a dataset far larger than RAM costs O(blockSize) memory.
+// It returns the bytes written.
+func (c *Client) WriteFrom(name string, r io.Reader, preferred string) (int64, error) {
 	nnc, err := rpcnet.Dial(c.nnAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer nnc.Close()
+	buf := make([]byte, c.blockSize)
+	var total int64
+	first := true
+	for {
+		n, rerr := io.ReadFull(r, buf)
+		if rerr == io.EOF && !first {
+			break // clean end on a block boundary
+		}
+		if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+			return total, rerr
+		}
+		chunk := buf[:n] // n == 0 only for an empty file's first block
+		if err := c.writeBlock(nnc, name, chunk, preferred); err != nil {
+			return total, err
+		}
+		total += int64(n)
+		first = false
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+	}
+	return total, nil
+}
+
+// writeBlock allocates and stores one block on every replica target.
+func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, preferred string) error {
+	var alloc AllocateReply
+	err := nnc.Call("Allocate", AllocateArgs{
+		File: name, Size: int64(len(chunk)), Preferred: preferred,
+	}, &alloc)
 	if err != nil {
 		return err
 	}
-	defer nnc.Close()
-	for off := int64(0); off == 0 || off < int64(len(data)); off += c.blockSize {
-		end := off + c.blockSize
-		if end > int64(len(data)) {
-			end = int64(len(data))
+	// Every replica gets the block at write time, so readers can
+	// fail over when a DataNode dies later. A placement target
+	// that is down costs the block a copy, not the write: the
+	// surviving replicas are confirmed back to the NameNode so
+	// readers never chase the unwritten one.
+	var stored []string
+	var lastErr error
+	for _, addr := range alloc.Block.ReplicaAddrs() {
+		dnc, err := rpcnet.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
 		}
-		chunk := data[off:end]
-		if len(chunk) == 0 && off > 0 {
-			break
+		dnc.SetCallTimeout(dataCallTimeout)
+		err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
+		dnc.Close()
+		if err != nil {
+			lastErr = err
+			continue
 		}
-		var alloc AllocateReply
-		err := nnc.Call("Allocate", AllocateArgs{
-			File: name, Size: int64(len(chunk)), Preferred: preferred,
-		}, &alloc)
+		stored = append(stored, addr)
+	}
+	if len(stored) == 0 {
+		return fmt.Errorf("netmr: block %d: no replica target reachable: %v",
+			alloc.Block.ID, lastErr)
+	}
+	if len(stored) < len(alloc.Block.ReplicaAddrs()) {
+		err := nnc.Call("Confirm", ConfirmArgs{
+			File: name, BlockID: alloc.Block.ID, Replicas: stored,
+		}, nil)
 		if err != nil {
 			return err
-		}
-		// Every replica gets the block at write time, so readers can
-		// fail over when a DataNode dies later. A placement target
-		// that is down costs the block a copy, not the write: the
-		// surviving replicas are confirmed back to the NameNode so
-		// readers never chase the unwritten one.
-		var stored []string
-		var lastErr error
-		for _, addr := range alloc.Block.ReplicaAddrs() {
-			dnc, err := rpcnet.Dial(addr)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			dnc.SetCallTimeout(dataCallTimeout)
-			err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
-			dnc.Close()
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			stored = append(stored, addr)
-		}
-		if len(stored) == 0 {
-			return fmt.Errorf("netmr: block %d: no replica target reachable: %v",
-				alloc.Block.ID, lastErr)
-		}
-		if len(stored) < len(alloc.Block.ReplicaAddrs()) {
-			err := nnc.Call("Confirm", ConfirmArgs{
-				File: name, BlockID: alloc.Block.ID, Replicas: stored,
-			}, nil)
-			if err != nil {
-				return err
-			}
-		}
-		if len(data) == 0 {
-			break
 		}
 	}
 	return nil
@@ -197,17 +222,27 @@ const waitCallTimeout = dataCallTimeout
 // per-call timeout clamped to the remaining deadline: a JobTracker
 // that hangs mid-call cannot block Wait beyond its deadline.
 func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
+	st, err := c.waitDone(jobID, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return st.Result, nil
+}
+
+// waitDone is the polling loop shared by Wait and WaitOutput: it
+// returns the job's terminal StatusReply.
+func (c *Client) waitDone(jobID int64, timeout time.Duration) (StatusReply, error) {
 	deadline := time.Now().Add(timeout)
 	jtc, err := rpcnet.Dial(c.jtAddr)
 	if err != nil {
-		return nil, err
+		return StatusReply{}, err
 	}
 	defer func() { jtc.Close() }()
 	var last StatusReply
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done)",
+			return last, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done)",
 				jobID, last.Completed, last.Total)
 		}
 		callTimeout := remaining
@@ -218,7 +253,7 @@ func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
 		var status StatusReply
 		if err := jtc.Call("Status", StatusArgs{JobID: jobID}, &status); err != nil {
 			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done): %v",
+				return last, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done): %v",
 					jobID, last.Completed, last.Total, err)
 			}
 			var ne net.Error
@@ -229,22 +264,103 @@ func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
 				jtc.Close()
 				fresh, err := rpcnet.Dial(c.jtAddr)
 				if err != nil {
-					return nil, err // jtc stays closed; double Close is safe
+					return last, err // jtc stays closed; double Close is safe
 				}
 				jtc = fresh
 				continue
 			}
-			return nil, err
+			return last, err
 		}
 		last = status
 		if status.Err != "" {
-			return nil, errors.New(status.Err)
+			return status, errors.New(status.Err)
 		}
 		if status.Done {
-			return status.Result, nil
+			return status, nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// DecodeRawBytes decodes one gob-encoded []byte output piece — the
+// WaitOutput decode hook for byte-stream kernels (aes-ctr, sort).
+func DecodeRawBytes(p []byte) ([]byte, error) {
+	var b []byte
+	err := rpcnet.Unmarshal(p, &b)
+	return b, err
+}
+
+// WaitOutput polls a StreamOutput job to completion, then streams its
+// stored result pieces — fetched in task order straight from the
+// worker trackers' shuffle stores, decoded by decode when non-nil —
+// into w, and releases the job so the stores can free the space. The
+// JobTracker never touches the output bytes; the client holds one
+// piece at a time. Returns the bytes written to w.
+func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, decode func([]byte) ([]byte, error)) (int64, error) {
+	st, err := c.waitDone(jobID, timeout)
+	if err != nil {
+		return 0, err
+	}
+	// Release whichever way the stream ends: a fetch or sink error
+	// cannot be retried through this call anyway, and without the
+	// release every tracker would hold the job's full output until
+	// cluster shutdown. Best effort — a failed release leaks store
+	// space, never correctness.
+	defer c.Release(jobID)
+	if len(st.Outputs) == 0 {
+		return 0, fmt.Errorf("netmr: job %d reported no streamed outputs (submit with StreamOutput for a data job)", jobID)
+	}
+	clients := make(map[string]*rpcnet.Client)
+	defer func() {
+		for _, cc := range clients {
+			cc.Close()
+		}
+	}()
+	var total int64
+	for _, ref := range st.Outputs {
+		if ref.Addr == "" {
+			return total, fmt.Errorf("netmr: job %d output piece (%d,%d) has no location", jobID, ref.MapTask, ref.Part)
+		}
+		cc, ok := clients[ref.Addr]
+		if !ok {
+			cc, err = rpcnet.Dial(ref.Addr)
+			if err != nil {
+				return total, fmt.Errorf("netmr: job %d output store %s: %w", jobID, ref.Addr, err)
+			}
+			cc.SetCallTimeout(dataCallTimeout)
+			clients[ref.Addr] = cc
+		}
+		var rep FetchPartitionReply
+		if err := cc.Call("FetchPartition", FetchPartitionArgs{
+			JobID: jobID, MapTask: ref.MapTask, Part: ref.Part,
+		}, &rep); err != nil {
+			return total, fmt.Errorf("netmr: job %d fetch output (%d,%d) from %s: %w",
+				jobID, ref.MapTask, ref.Part, ref.Addr, err)
+		}
+		chunk := rep.Data
+		if decode != nil {
+			if chunk, err = decode(chunk); err != nil {
+				return total, err
+			}
+		}
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Release tells the JobTracker a streamed-output job's results have
+// been consumed, so trackers free the stored pieces.
+func (c *Client) Release(jobID int64) error {
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return err
+	}
+	defer jtc.Close()
+	return jtc.Call("Release", ReleaseArgs{JobID: jobID}, nil)
 }
 
 // Status fetches a job's current state, including the scheduler's
@@ -289,6 +405,9 @@ type clusterConfig struct {
 	delays      []time.Duration
 	replication int
 	deviceKinds []string
+	spillDir    string
+	spillMem    int64 // < 0: all in memory (default)
+	spillCodec  spill.Codec
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -321,6 +440,21 @@ func WithReplication(n int) ClusterOption {
 	return func(c *clusterConfig) { c.replication = n }
 }
 
+// WithSpill bounds every daemon's resident data-plane memory: each
+// DataNode's block store and each TaskTracker's shuffle store keeps
+// payloads in memory up to memBytes and spills the rest to files
+// under dir ("" selects the OS temp dir), through codec when non-nil
+// (spill.Flate() for the built-in frame compressor). A negative
+// memBytes keeps everything in memory — the historical behaviour and
+// the default.
+func WithSpill(dir string, memBytes int64, codec spill.Codec) ClusterOption {
+	return func(c *clusterConfig) {
+		c.spillDir = dir
+		c.spillMem = memBytes
+		c.spillCodec = codec
+	}
+}
+
 // WithDeviceKinds sets each tracker's device profile by worker index:
 // DeviceCell equips the tracker with its own Cell accelerator
 // (NewCellDevice), anything else leaves it a general-purpose node. A
@@ -336,7 +470,7 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	if workers <= 0 {
 		return nil, fmt.Errorf("netmr: need at least one worker, got %d", workers)
 	}
-	var cfg clusterConfig
+	cfg := clusterConfig{spillMem: -1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -359,13 +493,20 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	}
 	c := &Cluster{NN: nn, JT: jt}
 	for i := 0; i < workers; i++ {
-		dn, err := StartDataNode("127.0.0.1:0", nn.Addr())
+		var dnOpts []DataNodeOption
+		if cfg.spillMem >= 0 {
+			dnOpts = append(dnOpts, WithBlockSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
+		}
+		dn, err := StartDataNode("127.0.0.1:0", nn.Addr(), dnOpts...)
 		if err != nil {
 			c.Shutdown()
 			return nil, err
 		}
 		c.DNs = append(c.DNs, dn)
 		var ttOpts []TrackerOption
+		if cfg.spillMem >= 0 {
+			ttOpts = append(ttOpts, WithShuffleSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
+		}
 		if i < len(cfg.delays) && cfg.delays[i] > 0 {
 			ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
 		}

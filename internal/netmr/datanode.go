@@ -2,39 +2,66 @@ package netmr
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
 
 	"hetmr/internal/rpcnet"
+	"hetmr/internal/spill"
 )
 
-// DataNode is a TCP block server: it stores block replicas in memory
-// and serves them to TaskTrackers — the hop the paper's RecordReader
-// measurement is about.
+// DataNode is a TCP block server: it stores block replicas and serves
+// them to TaskTrackers — the hop the paper's RecordReader measurement
+// is about. Blocks live in a spill store: all in memory by default,
+// bounded by a watermark (the rest on disk) when the node is started
+// WithBlockSpill — the path that lets a cluster hold datasets larger
+// than its RAM.
 type DataNode struct {
-	srv *rpcnet.Server
+	srv   *rpcnet.Server
+	store *spill.Store
 
-	mu     sync.Mutex
-	blocks map[int64][]byte
+	spillDir   string
+	spillMem   int64
+	spillCodec spill.Codec
+}
+
+// DataNodeOption customizes StartDataNode.
+type DataNodeOption func(*DataNode)
+
+// WithBlockSpill bounds the DataNode's resident block memory: blocks
+// above memBytes spill to files under dir ("" selects the OS temp
+// dir), through codec when non-nil. Negative memBytes keeps every
+// block in memory (the default).
+func WithBlockSpill(dir string, memBytes int64, codec spill.Codec) DataNodeOption {
+	return func(dn *DataNode) {
+		dn.spillDir = dir
+		dn.spillMem = memBytes
+		dn.spillCodec = codec
+	}
 }
 
 // StartDataNode launches a DataNode on addr and registers it with the
 // NameNode.
-func StartDataNode(addr, nameNodeAddr string) (*DataNode, error) {
+func StartDataNode(addr, nameNodeAddr string, opts ...DataNodeOption) (*DataNode, error) {
 	srv, err := rpcnet.NewServer(addr)
 	if err != nil {
 		return nil, err
 	}
-	dn := &DataNode{srv: srv, blocks: make(map[int64][]byte)}
+	dn := &DataNode{srv: srv, spillMem: spill.NoSpill}
+	for _, o := range opts {
+		o(dn)
+	}
+	dn.store = spill.NewStore(dn.spillDir, dn.spillMem, dn.spillCodec)
 	srv.Handle("Put", dn.handlePut)
 	srv.Handle("Get", dn.handleGet)
 	nnc, err := rpcnet.Dial(nameNodeAddr)
 	if err != nil {
 		srv.Close()
+		dn.store.Close()
 		return nil, err
 	}
 	defer nnc.Close()
 	if err := nnc.Call("Register", RegisterArgs{Addr: srv.Addr()}, nil); err != nil {
 		srv.Close()
+		dn.store.Close()
 		return nil, err
 	}
 	return dn, nil
@@ -43,24 +70,32 @@ func StartDataNode(addr, nameNodeAddr string) (*DataNode, error) {
 // Addr returns the DataNode's RPC address.
 func (dn *DataNode) Addr() string { return dn.srv.Addr() }
 
-// Close stops the server.
-func (dn *DataNode) Close() error { return dn.srv.Close() }
+// Close stops the server and releases any spill files.
+func (dn *DataNode) Close() error {
+	err := dn.srv.Close()
+	if serr := dn.store.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
 
 // BlockCount reports stored replicas (for tests).
-func (dn *DataNode) BlockCount() int {
-	dn.mu.Lock()
-	defer dn.mu.Unlock()
-	return len(dn.blocks)
-}
+func (dn *DataNode) BlockCount() int { return dn.store.Len() }
+
+// SpilledBytes reports the cumulative block bytes this node sent to
+// disk.
+func (dn *DataNode) SpilledBytes() int64 { return dn.store.SpilledBytes() }
+
+func dnBlockKey(id int64) string { return strconv.FormatInt(id, 10) }
 
 func (dn *DataNode) handlePut(body []byte) (any, error) {
 	var args PutArgs
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	dn.mu.Lock()
-	defer dn.mu.Unlock()
-	dn.blocks[args.ID] = append([]byte(nil), args.Data...)
+	if err := dn.store.Put(dnBlockKey(args.ID), args.Data); err != nil {
+		return nil, err
+	}
 	return PutReply{}, nil
 }
 
@@ -69,10 +104,8 @@ func (dn *DataNode) handleGet(body []byte) (any, error) {
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	dn.mu.Lock()
-	data, ok := dn.blocks[args.ID]
-	dn.mu.Unlock()
-	if !ok {
+	data, err := dn.store.Get(dnBlockKey(args.ID))
+	if err != nil {
 		return nil, fmt.Errorf("netmr: block %d not on this datanode", args.ID)
 	}
 	return GetReply{Data: data}, nil

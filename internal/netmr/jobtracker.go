@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetmr/internal/kernels"
+	"hetmr/internal/metrics"
 	"hetmr/internal/rpcnet"
 	"hetmr/internal/sched"
 )
@@ -21,6 +22,13 @@ type jobRecord struct {
 	spec    JobSpec
 	kern    MapKernel
 	shuffle bool // distributed shuffle/reduce plane on
+	// streamOut: final-phase outputs stay in the worker trackers'
+	// shuffle stores; outLoc records each piece's address, Status
+	// serves the refs, and the stores free them only after the client
+	// Releases the job.
+	streamOut bool
+	outLoc    []string
+	released  bool
 
 	maps     []Task
 	mapBoard *sched.Board
@@ -59,7 +67,7 @@ func (rec *jobRecord) reduceTask(p int) Task {
 	t := rec.reduces[p]
 	t.Inputs = make([]MapOutputRef, len(rec.maps))
 	for i, addr := range rec.mapLoc {
-		t.Inputs[i] = MapOutputRef{MapTask: i, Addr: addr}
+		t.Inputs[i] = MapOutputRef{MapTask: i, Part: p, Addr: addr}
 	}
 	return t
 }
@@ -113,6 +121,7 @@ func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
 	srv.Handle("Submit", jt.handleSubmit)
 	srv.Handle("Heartbeat", jt.handleHeartbeat)
 	srv.Handle("Status", jt.handleStatus)
+	srv.Handle("Release", jt.handleRelease)
 	return jt, nil
 }
 
@@ -189,13 +198,21 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	rec.mapBoard = mapBoard
 	rec.shuffle = args.Spec.NumReducers > 0 && args.Spec.Input != "" &&
 		kern.Partition != nil && kern.Merge != nil
+	// Streamed results apply to data jobs only: compute jobs (pi)
+	// reduce to a handful of bytes that ride the heartbeat anyway.
+	rec.streamOut = args.Spec.StreamOutput && args.Spec.Input != ""
 	for _, t := range tasks {
 		t.JobID = id
 		t.Mapper = mapper
 		if rec.shuffle {
 			t.NumParts = args.Spec.NumReducers
+		} else if rec.streamOut {
+			t.StreamOutput = true
 		}
 		rec.maps = append(rec.maps, t)
+	}
+	if rec.streamOut && !rec.shuffle {
+		rec.outLoc = make([]string, len(rec.maps))
 	}
 	if rec.shuffle {
 		r := args.Spec.NumReducers
@@ -208,13 +225,17 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		rec.fetchFails = make(map[string]int)
 		for p := 0; p < r; p++ {
 			rec.reduces = append(rec.reduces, Task{
-				JobID:  id,
-				TaskID: p,
-				Kernel: args.Spec.Kernel,
-				Args:   args.Spec.Args,
-				Reduce: true,
-				Mapper: mapper,
+				JobID:        id,
+				TaskID:       p,
+				Kernel:       args.Spec.Kernel,
+				Args:         args.Spec.Args,
+				Reduce:       true,
+				Mapper:       mapper,
+				StreamOutput: rec.streamOut,
 			})
+		}
+		if rec.streamOut {
+			rec.outLoc = make([]string, r)
 		}
 	}
 	jt.jobs[id] = rec
@@ -300,12 +321,17 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	// The kernel's Reduce runs outside jt.mu (it may be arbitrarily
 	// expensive), and its error becomes the job's terminal error in
 	// StatusReply instead of leaking to an arbitrary heartbeating
-	// tracker.
+	// tracker. Streamed-output jobs skip the fold entirely: their
+	// result is the set of stored pieces, already in place.
 	for _, rec := range jt.jobs {
 		if rec.done || rec.finalizing || rec.failed != "" {
 			continue
 		}
 		if outputs, ready := rec.phaseOutputsReady(); ready {
+			if rec.streamOut {
+				rec.done = true
+				continue
+			}
 			rec.finalizing = true
 			go jt.finalize(rec, outputs)
 		}
@@ -377,13 +403,33 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		}
 	})
 	// Shuffle-store GC: name the held jobs that finished, so trackers
-	// free their partitions.
+	// free their partitions. A streamed-output job's stores also hold
+	// its results — those survive until the client Releases the job
+	// (or the job fails terminally).
 	for _, id := range args.HeldJobs {
-		if rec, ok := jt.jobs[id]; !ok || rec.done {
+		rec, ok := jt.jobs[id]
+		if !ok || (rec.done && (!rec.streamOut || rec.released || rec.failed != "")) {
 			reply.PurgeJobs = append(reply.PurgeJobs, id)
 		}
 	}
 	return reply, nil
+}
+
+// handleRelease marks a streamed-output job's results consumed:
+// trackers free the stored pieces on their next heartbeat.
+func (jt *JobTracker) handleRelease(body []byte) (any, error) {
+	var args ReleaseArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	rec, ok := jt.jobs[args.JobID]
+	if !ok {
+		return nil, fmt.Errorf("netmr: unknown job %d", args.JobID)
+	}
+	rec.released = true
+	return ReleaseReply{}, nil
 }
 
 // recordResult folds one task report into the job. Callers hold jt.mu.
@@ -397,8 +443,12 @@ func (jt *JobTracker) recordResult(rec *jobRecord, trackerID string, res TaskRes
 			return
 		}
 		if rec.redBoard.Complete(res.TaskID, trackerID) {
-			jt.dataBytes += int64(len(res.Output))
-			rec.redOut[res.TaskID] = res.Output
+			jt.addDataBytes(int64(len(res.Output)))
+			if rec.streamOut {
+				rec.outLoc[res.TaskID] = res.ShuffleAddr
+			} else {
+				rec.redOut[res.TaskID] = res.Output
+			}
 			rec.redDone++
 			// This reduce fetched from every shuffle store, so any
 			// accumulated transient-blame against them is stale.
@@ -414,14 +464,25 @@ func (jt *JobTracker) recordResult(rec *jobRecord, trackerID string, res TaskRes
 		return
 	}
 	if rec.mapBoard.Complete(res.TaskID, trackerID) {
-		jt.dataBytes += int64(len(res.Output))
-		if rec.shuffle {
+		jt.addDataBytes(int64(len(res.Output)))
+		switch {
+		case rec.shuffle:
 			rec.mapLoc[res.TaskID] = res.ShuffleAddr
-		} else {
+		case rec.streamOut:
+			rec.outLoc[res.TaskID] = res.ShuffleAddr
+		default:
 			rec.mapOut[res.TaskID] = res.Output
 		}
 		rec.mapDone++
 	}
+}
+
+// addDataBytes meters winning task output bytes that crossed the
+// heartbeat channel — the JobTracker's local counter plus the shared
+// process-wide meter. Callers hold jt.mu.
+func (jt *JobTracker) addDataBytes(n int64) {
+	jt.dataBytes += n
+	metrics.DataPlaneBytes.Add(n)
 }
 
 // fetchFailThreshold is how many reduce-fetch failure reports an
@@ -506,6 +567,19 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 	for id, kind := range jt.devices {
 		devices[id] = kind
 	}
+	// A finished streamed-output job's result is its list of stored
+	// pieces, in task order.
+	var outputs []MapOutputRef
+	if rec.streamOut && rec.done && rec.failed == "" {
+		outputs = make([]MapOutputRef, len(rec.outLoc))
+		for i, addr := range rec.outLoc {
+			if rec.shuffle {
+				outputs[i] = MapOutputRef{MapTask: -1, Part: i, Addr: addr}
+			} else {
+				outputs[i] = MapOutputRef{MapTask: i, Part: -1, Addr: addr}
+			}
+		}
+	}
 	return StatusReply{
 		Done:      rec.done,
 		Completed: rec.mapDone + rec.redDone,
@@ -515,5 +589,6 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 		Attempts:  attempts,
 		Counts:    counts,
 		Devices:   devices,
+		Outputs:   outputs,
 	}, nil
 }

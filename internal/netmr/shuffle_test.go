@@ -236,9 +236,7 @@ func TestShuffleStoreGCAfterJobDone(t *testing.T) {
 	for {
 		held := 0
 		for _, tt := range c.TTs {
-			tt.mu.Lock()
-			held += len(tt.shuffle)
-			tt.mu.Unlock()
+			held += len(tt.store.heldJobs())
 		}
 		if held == 0 {
 			return

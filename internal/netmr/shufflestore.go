@@ -1,0 +1,91 @@
+package netmr
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmr/internal/spill"
+)
+
+// shuffleStore is a TaskTracker's data-plane store: map-side
+// partitions and streamed task outputs, keyed by (job, map task,
+// partition), held in memory up to a configurable watermark and
+// spilled to disk-backed frames beyond it (optionally compressed).
+// FetchPartition serves from memory or spill transparently — a reducer
+// cannot tell where a partition lived.
+type shuffleStore struct {
+	mu    sync.Mutex
+	s     *spill.Store
+	byJob map[int64][]partKey // keys held per job, for GC
+}
+
+// newShuffleStore builds a store spilling under dir ("" selects the OS
+// temp dir) above memLimit bytes (negative: never spill), through
+// codec when non-nil.
+func newShuffleStore(dir string, memLimit int64, codec spill.Codec) *shuffleStore {
+	return &shuffleStore{
+		s:     spill.NewStore(dir, memLimit, codec),
+		byJob: make(map[int64][]partKey),
+	}
+}
+
+// shuffleKey names one payload.
+func shuffleKey(jobID int64, k partKey) string {
+	return fmt.Sprintf("%d/%d/%d", jobID, k.mapTask, k.part)
+}
+
+// put stores one payload. The key registration and the store write
+// happen under one lock so a concurrent purgeJob (a heartbeat GC
+// racing a speculative attempt of a finished job) can never interleave
+// between them and strand the payload outside the byJob index.
+func (st *shuffleStore) put(jobID int64, k partKey, payload []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.s.Put(shuffleKey(jobID, k), payload); err != nil {
+		return err
+	}
+	st.byJob[jobID] = append(st.byJob[jobID], k)
+	return nil
+}
+
+// get fetches one payload (from memory or spill).
+func (st *shuffleStore) get(jobID int64, k partKey) ([]byte, bool) {
+	data, err := st.s.Get(shuffleKey(jobID, k))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// purgeJob drops every payload a finished job left behind. Held under
+// the same lock as put (see there); deletes are cheap (map removal or
+// file unlink).
+func (st *shuffleStore) purgeJob(jobID int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, k := range st.byJob[jobID] {
+		st.s.Delete(shuffleKey(jobID, k))
+	}
+	delete(st.byJob, jobID)
+}
+
+// heldJobs lists jobs with payloads in the store.
+func (st *shuffleStore) heldJobs() []int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.byJob) == 0 {
+		return nil
+	}
+	held := make([]int64, 0, len(st.byJob))
+	for id := range st.byJob {
+		held = append(held, id)
+	}
+	return held
+}
+
+// spilledBytes reports the cumulative payload bytes this store sent to
+// disk.
+func (st *shuffleStore) spilledBytes() int64 { return st.s.SpilledBytes() }
+
+// close drops everything and removes the spill directory.
+func (st *shuffleStore) close() error { return st.s.Close() }

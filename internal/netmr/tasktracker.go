@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetmr/internal/rpcnet"
+	"hetmr/internal/spill"
 )
 
 // partKey names one map task's partition in a tracker's shuffle store.
@@ -14,6 +15,14 @@ type partKey struct {
 	mapTask int
 	part    int
 }
+
+// streamedMapKey is the store slot of a centralized map task's
+// streamed output (part -1 can never collide with a real partition).
+func streamedMapKey(task int) partKey { return partKey{mapTask: task, part: -1} }
+
+// streamedReduceKey is the store slot of a reduce task's streamed
+// output (map task -1 can never collide with a real map task).
+func streamedReduceKey(part int) partKey { return partKey{mapTask: -1, part: part} }
 
 // TaskTracker is the TCP worker daemon: it polls the JobTracker with
 // heartbeats, pulls block data from DataNodes over the network (the
@@ -50,13 +59,21 @@ type TaskTracker struct {
 	// JobTracker's device-affinity pass.
 	device *AccelDevice
 
+	// store is the tracker's shuffle/data-plane store: map-side
+	// partitions and streamed task outputs, spilled to disk above the
+	// configured watermark.
+	store *shuffleStore
+	// Spill configuration, set by options before start.
+	spillDir   string
+	spillMem   int64
+	spillCodec spill.Codec
+
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
 	localFetch  int64
 	remoteFetch int64
 	accelTasks  int64
-	shuffle     map[int64]map[partKey][]byte // jobID -> partition payloads
 
 	stop chan struct{} // graceful: drain unreported results first
 	dead chan struct{} // simulated node death: abandon everything
@@ -78,6 +95,20 @@ func WithTaskDelay(d time.Duration) TrackerOption {
 // offload to it, everything else keeps the host path.
 func WithAccelerator(dev *AccelDevice) TrackerOption {
 	return func(tt *TaskTracker) { tt.device = dev }
+}
+
+// WithShuffleSpill bounds the tracker's shuffle-store memory: stored
+// partitions and streamed outputs above memBytes spill to files under
+// dir ("" selects the OS temp dir), optionally compressed frame by
+// frame by codec. FetchPartition serves spilled payloads
+// transparently. A negative memBytes keeps everything in memory (the
+// historical behaviour, and the default).
+func WithShuffleSpill(dir string, memBytes int64, codec spill.Codec) TrackerOption {
+	return func(tt *TaskTracker) {
+		tt.spillDir = dir
+		tt.spillMem = memBytes
+		tt.spillCodec = codec
+	}
 }
 
 // DeviceKind reports the tracker's device kind (DeviceCell when an
@@ -129,7 +160,7 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 		heartbeat:     heartbeat,
 		LocalDataNode: localDataNode,
 		srv:           srv,
-		shuffle:       make(map[int64]map[partKey][]byte),
+		spillMem:      -1,
 		stop:          make(chan struct{}),
 		dead:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -137,6 +168,7 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 	for _, o := range opts {
 		o(tt)
 	}
+	tt.store = newShuffleStore(tt.spillDir, tt.spillMem, tt.spillCodec)
 	srv.Handle("FetchPartition", tt.handleFetchPartition)
 	go tt.loop()
 	return tt, nil
@@ -174,34 +206,25 @@ func (tt *TaskTracker) halt(ch chan struct{}) {
 	tt.mu.Unlock()
 	<-tt.done
 	tt.srv.Close()
+	tt.store.close()
 }
+
+// SpilledBytes reports the cumulative bytes the tracker's shuffle
+// store sent to disk — the proof the watermark actually bounded
+// memory.
+func (tt *TaskTracker) SpilledBytes() int64 { return tt.store.spilledBytes() }
 
 func (tt *TaskTracker) handleFetchPartition(body []byte) (any, error) {
 	var args FetchPartitionArgs
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	tt.mu.Lock()
-	data, ok := tt.shuffle[args.JobID][partKey{args.MapTask, args.Part}]
-	tt.mu.Unlock()
+	data, ok := tt.store.get(args.JobID, partKey{args.MapTask, args.Part})
 	if !ok {
 		return nil, fmt.Errorf("netmr: tracker %s holds no partition %d of job %d map %d",
 			tt.ID, args.Part, args.JobID, args.MapTask)
 	}
 	return FetchPartitionReply{Data: data}, nil
-}
-
-// heldJobs lists the jobs with shuffle data in the store. Callers hold
-// tt.mu.
-func (tt *TaskTracker) heldJobs() []int64 {
-	if len(tt.shuffle) == 0 {
-		return nil
-	}
-	held := make([]int64, 0, len(tt.shuffle))
-	for id := range tt.shuffle {
-		held = append(held, id)
-	}
-	return held
 }
 
 // heartbeatCallTimeout bounds one Heartbeat round-trip, so a hung
@@ -248,8 +271,8 @@ func (tt *TaskTracker) loop() {
 		reports := tt.completed
 		tt.completed = nil
 		free := tt.slots - tt.running
-		held := tt.heldJobs()
 		tt.mu.Unlock()
+		held := tt.store.heldJobs()
 		var reply HeartbeatReply
 		err := client.Call("Heartbeat", HeartbeatArgs{
 			TrackerID:     tt.ID,
@@ -270,10 +293,10 @@ func (tt *TaskTracker) loop() {
 			client = nil
 			continue
 		}
-		tt.mu.Lock()
 		for _, id := range reply.PurgeJobs {
-			delete(tt.shuffle, id)
+			tt.store.purgeJob(id)
 		}
+		tt.mu.Lock()
 		for range reply.Tasks {
 			tt.running++
 		}
@@ -382,16 +405,13 @@ func (tt *TaskTracker) runTask(task Task) {
 			tt.report(res)
 			return
 		}
-		tt.mu.Lock()
-		jobParts := tt.shuffle[task.JobID]
-		if jobParts == nil {
-			jobParts = make(map[partKey][]byte)
-			tt.shuffle[task.JobID] = jobParts
-		}
 		for p, payload := range parts {
-			jobParts[partKey{task.TaskID, p}] = payload
+			if err := tt.store.put(task.JobID, partKey{task.TaskID, p}, payload); err != nil {
+				res.Err = err.Error()
+				tt.report(res)
+				return
+			}
 		}
-		tt.mu.Unlock()
 		res.ShuffleAddr = tt.srv.Addr()
 		tt.report(res)
 		return
@@ -399,6 +419,19 @@ func (tt *TaskTracker) runTask(task Task) {
 	out, err := tt.mapTask(task, kern, data)
 	if err != nil {
 		res.Err = err.Error()
+		tt.report(res)
+		return
+	}
+	if task.StreamOutput {
+		// Streamed result path: the output parks here (spilling past
+		// the watermark) and only its location rides the heartbeat;
+		// the client fetches it straight from this store.
+		if err := tt.store.put(task.JobID, streamedMapKey(task.TaskID), out); err != nil {
+			res.Err = err.Error()
+			tt.report(res)
+			return
+		}
+		res.ShuffleAddr = tt.srv.Addr()
 		tt.report(res)
 		return
 	}
@@ -471,9 +504,7 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	pieces := make([][]byte, len(task.Inputs))
 	for i, ref := range task.Inputs {
 		if ref.Addr == own {
-			tt.mu.Lock()
-			data, ok := tt.shuffle[task.JobID][partKey{ref.MapTask, task.TaskID}]
-			tt.mu.Unlock()
+			data, ok := tt.store.get(task.JobID, partKey{ref.MapTask, task.TaskID})
 			if !ok {
 				res.Err = fmt.Sprintf("netmr: local partition %d of job %d map %d missing",
 					task.TaskID, task.JobID, ref.MapTask)
@@ -511,6 +542,18 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	out, err := kern.Merge(pieces)
 	if err != nil {
 		res.Err = err.Error()
+		tt.report(res)
+		return
+	}
+	if task.StreamOutput {
+		// The merged partition stays here too; the client pulls it in
+		// partition order once the job finishes.
+		if err := tt.store.put(task.JobID, streamedReduceKey(task.TaskID), out); err != nil {
+			res.Err = err.Error()
+			tt.report(res)
+			return
+		}
+		res.ShuffleAddr = own
 		tt.report(res)
 		return
 	}

@@ -165,6 +165,17 @@ type JobSpec struct {
 	// fallback elsewhere — bit-identical either way) or MapperJava
 	// (host path everywhere).
 	Mapper string
+	// StreamOutput keeps task output bytes on the worker trackers
+	// instead of shipping them to the JobTracker: each final-phase
+	// task (map task on the centralized path, reduce task on the
+	// shuffle path) parks its output in its tracker's shuffle store
+	// and reports only the location. StatusReply.Outputs lists the
+	// stored pieces in task order once the job is done; the client
+	// streams them straight to its sink and then Releases the job so
+	// trackers can free the space. The JobTracker never holds output
+	// bytes — the bounded-memory result path for outputs larger than
+	// any single process should buffer.
+	StreamOutput bool
 }
 
 // SubmitArgs submits a job.
@@ -201,11 +212,20 @@ type Task struct {
 	// the kernel's accelerated variant; trackers without one (or
 	// kernels without a variant) run the bit-identical host path.
 	Mapper string
+	// StreamOutput marks a final-phase task whose output stays in the
+	// executing tracker's shuffle store (reported by location, fetched
+	// by the client) instead of riding the heartbeat.
+	StreamOutput bool
 }
 
-// MapOutputRef locates one map task's shuffle output.
+// MapOutputRef locates one stored task output: a map task's shuffle
+// partition (reduce inputs) or a streamed final output piece
+// (StatusReply.Outputs). MapTask/Part are the FetchPartition
+// coordinates; streamed outputs use the sentinel conventions of
+// streamedMapKey/streamedReduceKey.
 type MapOutputRef struct {
 	MapTask int
+	Part    int
 	Addr    string // serving TaskTracker's shuffle-store address
 }
 
@@ -289,4 +309,19 @@ type StatusReply struct {
 	// shows how completions skew toward accelerated nodes on a
 	// heterogeneous cluster.
 	Devices map[string]string
+	// Outputs lists a StreamOutput job's stored result pieces in task
+	// order once Done: the client fetches each from its tracker's
+	// shuffle store and streams it to the sink. Empty for jobs whose
+	// Result travelled inline.
+	Outputs []MapOutputRef
 }
+
+// ReleaseArgs tells the JobTracker a StreamOutput job's results have
+// been consumed: trackers may free the stored output pieces on their
+// next heartbeat.
+type ReleaseArgs struct {
+	JobID int64
+}
+
+// ReleaseReply acknowledges the release.
+type ReleaseReply struct{}

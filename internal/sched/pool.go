@@ -241,7 +241,9 @@ func (p *pool) finish(w, t int, res any, err error, busy time.Duration) {
 		return
 	}
 	p.done[t] = true
-	p.results[t] = res
+	if !p.opts.DiscardResults {
+		p.results[t] = res
+	}
 	p.stats[w].Committed++
 	p.mu.Unlock()
 	if p.opts.OnCommit != nil {

@@ -82,6 +82,13 @@ type Options struct {
 	// live runner's shuffle) without double-insertion under
 	// speculation.
 	OnCommit func(t int, result any)
+	// DiscardResults makes the pool drop each committed result after
+	// OnCommit has consumed it, so Run's results slice never retains
+	// every task's payload — the bounded-memory contract for jobs
+	// whose commit hook persists the result itself (e.g. sorted runs
+	// spilled to disk). Run still returns a slice indexed like tasks;
+	// its entries are nil.
+	DiscardResults bool
 	// Affinity names the device kind this board's tasks prefer (e.g.
 	// netmr's "cell" for accelerated map tasks, "host" for reduce
 	// merges; "" means no preference). The board records it for the

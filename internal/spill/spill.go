@@ -1,0 +1,293 @@
+// Package spill is the bounded-memory payload store behind the
+// streaming data plane: a keyed byte store that keeps payloads in
+// memory up to a configurable watermark and spills the rest to files
+// under a temp directory, optionally compressed frame by frame. One
+// implementation backs the DFS block stores (internal/hdfs), the
+// tracker-side shuffle stores (internal/netmr) and the live runner's
+// sorted-run stores (internal/core), so every layer shares the same
+// watermark semantics and the same SpillBytes meter
+// (internal/metrics).
+package spill
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"hetmr/internal/metrics"
+)
+
+// NoSpill keeps every payload in memory — the historical behaviour of
+// the stores this package replaced. Any negative memLimit means the
+// same; this constant just names the convention. A memLimit of 0
+// spills every payload (a pure file store). There is deliberately no
+// "SpillAll" constant here: the engine layer exports one with a
+// different value for its own zero-value-friendly convention, and two
+// identically named constants with opposite meanings would be a trap.
+const NoSpill int64 = -1
+
+// entry is one stored payload: in memory, or spilled to a file.
+type entry struct {
+	mem  []byte
+	path string // spilled frame ("" while in memory)
+	size int64  // payload size, pre-compression
+}
+
+// Store is a keyed payload store with a memory watermark. It is safe
+// for concurrent use. Payloads returned by Get alias the store's
+// in-memory copy and must not be modified.
+type Store struct {
+	mu       sync.Mutex
+	baseDir  string // caller-supplied parent for the spill dir
+	dir      string // created lazily on first spill
+	memLimit int64
+	codec    Codec
+	entries  map[string]entry
+	memUse   int64
+	spilled  int64
+	seq      int
+	closed   bool
+}
+
+// NewStore builds a store spilling under a fresh directory inside
+// baseDir ("" selects os.TempDir()). memLimit is the in-memory
+// watermark in bytes: NoSpill (any negative value) never spills, zero
+// spills everything, a positive limit keeps payloads in memory until
+// adding one would exceed it. codec, when non-nil, compresses spilled
+// frames (in-memory payloads are never compressed).
+func NewStore(baseDir string, memLimit int64, codec Codec) *Store {
+	return &Store{
+		baseDir:  baseDir,
+		memLimit: memLimit,
+		codec:    codec,
+		entries:  make(map[string]entry),
+	}
+}
+
+// spillDir lazily creates the spill directory. Callers hold s.mu.
+func (s *Store) spillDir() (string, error) {
+	if s.dir != "" {
+		return s.dir, nil
+	}
+	base := s.baseDir
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "hetmr-spill-")
+	if err != nil {
+		return "", fmt.Errorf("spill: %w", err)
+	}
+	s.dir = dir
+	return dir, nil
+}
+
+// Put stores data under key, replacing any previous payload. The
+// store copies in-memory payloads, so the caller keeps ownership of
+// data.
+func (s *Store) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("spill: put %q on closed store", key)
+	}
+	s.dropLocked(key)
+	size := int64(len(data))
+	if s.memLimit < 0 || s.memUse+size <= s.memLimit {
+		s.entries[key] = entry{mem: append([]byte(nil), data...), size: size}
+		s.memUse += size
+		return nil
+	}
+	dir, err := s.spillDir()
+	if err != nil {
+		return err
+	}
+	s.seq++
+	path := fmt.Sprintf("%s%cf%06d", dir, os.PathSeparator, s.seq)
+	if err := s.writeFrame(path, data); err != nil {
+		return err
+	}
+	s.entries[key] = entry{path: path, size: size}
+	s.spilled += size
+	metrics.SpillBytes.Add(size)
+	return nil
+}
+
+// writeFrame writes one payload to path, through the codec when set.
+func (s *Store) writeFrame(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	var w io.Writer = f
+	var cw io.WriteCloser
+	if s.codec != nil {
+		cw = s.codec.NewWriter(f)
+		w = cw
+	}
+	if _, err := w.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("spill: write frame: %w", err)
+	}
+	if cw != nil {
+		if err := cw.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("spill: close frame: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	return nil
+}
+
+// Get returns the payload under key. In-memory payloads are returned
+// without copying (treat them as immutable); spilled payloads are read
+// back whole — O(payload) transient memory, freed once the caller
+// drops it.
+func (s *Store) Get(key string) ([]byte, error) {
+	r, err := s.Open(key)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if br, ok := r.(*memReader); ok {
+		return br.data, nil
+	}
+	return io.ReadAll(r)
+}
+
+// Has reports whether key is stored.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// memReader serves an in-memory payload; Get short-circuits it to
+// avoid a copy.
+type memReader struct {
+	bytes.Reader
+	data []byte
+}
+
+func (*memReader) Close() error { return nil }
+
+// Open returns a streaming reader over key's payload — the chunked
+// read path: a spilled payload streams from its file (through the
+// codec) without materializing.
+func (s *Store) Open(key string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	codec := s.codec
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("spill: no payload under %q", key)
+	}
+	if e.path == "" {
+		r := &memReader{data: e.mem}
+		r.Reset(e.mem)
+		return r, nil
+	}
+	f, err := os.Open(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	if codec == nil {
+		return f, nil
+	}
+	cr, err := codec.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spill: open frame: %w", err)
+	}
+	return &frameReader{ReadCloser: cr, file: f}, nil
+}
+
+// frameReader closes both the codec stream and the underlying file.
+type frameReader struct {
+	io.ReadCloser
+	file *os.File
+}
+
+func (r *frameReader) Close() error {
+	err := r.ReadCloser.Close()
+	if ferr := r.file.Close(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Size returns the payload size under key (pre-compression).
+func (s *Store) Size(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return 0, fmt.Errorf("spill: no payload under %q", key)
+	}
+	return e.size, nil
+}
+
+// Delete removes key's payload (and its spill file, if any). Deleting
+// an absent key is a no-op.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropLocked(key)
+}
+
+// dropLocked removes one entry. Callers hold s.mu.
+func (s *Store) dropLocked(key string) {
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	if e.path == "" {
+		s.memUse -= e.size
+	} else {
+		os.Remove(e.path)
+	}
+	delete(s.entries, key)
+}
+
+// MemBytes reports the bytes currently held in memory.
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memUse
+}
+
+// SpilledBytes reports the cumulative payload bytes spilled to disk
+// (pre-compression).
+func (s *Store) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled
+}
+
+// Len reports the number of stored payloads.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Close drops every payload and removes the spill directory. The
+// store rejects further Puts; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.entries = make(map[string]entry)
+	s.memUse = 0
+	if s.dir != "" {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}

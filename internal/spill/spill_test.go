@@ -1,0 +1,161 @@
+package spill
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func payload(n int, salt byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*31 + salt
+	}
+	return p
+}
+
+func TestMemoryOnlyNeverSpills(t *testing.T) {
+	s := NewStore(t.TempDir(), NoSpill, nil)
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Put(string(rune('a'+i)), payload(10_000, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SpilledBytes() != 0 {
+		t.Fatalf("spilled %d bytes with NoSpill", s.SpilledBytes())
+	}
+	if s.MemBytes() != 80_000 {
+		t.Fatalf("mem use %d, want 80000", s.MemBytes())
+	}
+}
+
+func TestWatermarkSpillsAboveLimit(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir, 25_000, nil)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(string(rune('a'+i)), payload(10_000, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MemBytes(); got > 25_000 {
+		t.Fatalf("mem use %d exceeds the 25000 watermark", got)
+	}
+	if got := s.SpilledBytes(); got != 30_000 {
+		t.Fatalf("spilled %d bytes, want 30000", got)
+	}
+	// Every payload reads back identically, spilled or not.
+	for i := 0; i < 5; i++ {
+		got, err := s.Get(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload(10_000, byte(i))) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+}
+
+func TestSpillAllAndStreamingOpen(t *testing.T) {
+	s := NewStore(t.TempDir(), 0, nil)
+	defer s.Close()
+	want := payload(50_000, 7)
+	if err := s.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemBytes() != 0 {
+		t.Fatalf("mem use %d with SpillAll", s.MemBytes())
+	}
+	r, err := s.Open("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("streamed payload differs")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := NewStore(t.TempDir(), 0, Flate())
+	defer s.Close()
+	// Compressible payload: the frame on disk must be smaller, the
+	// read-back identical.
+	want := bytes.Repeat([]byte("becerra cell spe "), 4_000)
+	if err := s.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("compressed payload did not round-trip")
+	}
+	var onDisk int64
+	filepath.Walk(s.dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return nil
+	})
+	if onDisk >= int64(len(want)) {
+		t.Fatalf("frame on disk %d >= payload %d: codec did not compress", onDisk, len(want))
+	}
+}
+
+func TestPutReplacesAndDeleteFrees(t *testing.T) {
+	s := NewStore(t.TempDir(), NoSpill, nil)
+	defer s.Close()
+	if err := s.Put("k", payload(1_000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", payload(500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MemBytes(); got != 500 {
+		t.Fatalf("mem use %d after replace, want 500", got)
+	}
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload(500, 2)) {
+		t.Fatal("replaced payload differs")
+	}
+	s.Delete("k")
+	if s.MemBytes() != 0 || s.Len() != 0 {
+		t.Fatal("delete did not free the entry")
+	}
+	if _, err := s.Get("k"); err == nil {
+		t.Fatal("Get after Delete succeeded")
+	}
+}
+
+func TestCloseRemovesSpillDir(t *testing.T) {
+	base := t.TempDir()
+	s := NewStore(base, 0, nil)
+	if err := s.Put("k", payload(1_000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	dir := s.dir
+	if dir == "" {
+		t.Fatal("no spill dir created")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survived Close", dir)
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+}
