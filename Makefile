@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json mem-smoke repro-quick fmt vet lint race ci
+.PHONY: build test bench bench-json mem-smoke repro-quick fmt vet lint race docs ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # parsed into the machine-readable perf artifact (name parameterized
 # like the CI lane's BENCH_ARTIFACT). The intermediate file (not a
 # pipe) keeps a benchmark failure fatal.
-BENCH_ARTIFACT ?= BENCH_PR5
+BENCH_ARTIFACT ?= BENCH_PR6
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_ARTIFACT).json < bench.out
@@ -55,4 +55,9 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt lint build race mem-smoke repro-quick bench
+# docs mirrors the CI docs lane: godoc coverage over the five core
+# packages plus the ARCHITECTURE.md link check.
+docs:
+	$(GO) run ./cmd/docscheck
+
+ci: fmt lint docs build race mem-smoke repro-quick bench

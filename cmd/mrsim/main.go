@@ -10,6 +10,12 @@
 //	mrsim -backend live -nodes 4 -workload wc -mb 4
 //	mrsim -backend net -nodes 4 -workload pi -samples 1e7
 //	mrsim -backend live -workload sort -input big.dat -output sorted.dat -spill-mem 33554432
+//
+// It can also run as a long-lived multi-tenant job service, or submit
+// against one:
+//
+//	mrsim -serve -nodes 4 -quotas alice=3,bob=1:2
+//	mrsim -nn 127.0.0.1:40001 -jt 127.0.0.1:40003 -tenant alice -workload pi -samples 1e7
 package main
 
 import (
@@ -40,7 +46,34 @@ func main() {
 	output := flag.String("output", "", "stream the job's output to this file through Job.Sink (sort and enc)")
 	spillMem := flag.Int64("spill-mem", 0, "data-plane spill watermark in bytes: 0 keeps everything in memory, -1 spills every payload (live and net)")
 	spillCompress := flag.Bool("spill-compress", false, "frame-compress spilled payloads")
+	serveMode := flag.Bool("serve", false, "run a long-lived multi-tenant job service instead of one job; print its addresses and block until interrupted")
+	quotas := flag.String("quotas", "", "per-tenant quotas for -serve: tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]],...")
+	slots := flag.Int("slots", 2, "task slots per worker (-serve)")
+	blockSize := flag.Int64("block-size", 64_000, "DFS block size in bytes (-serve and remote submission)")
+	nn := flag.String("nn", "", "NameNode address of a running job service (remote submission)")
+	jt := flag.String("jt", "", "JobTracker address of a running job service (remote submission)")
+	tenant := flag.String("tenant", "", "tenant to submit as against a running job service")
 	flag.Parse()
+
+	if *serveMode {
+		if err := serve(*nodes, *slots, *blockSize, *quotas, *spillMem, *spillCompress); err != nil {
+			fmt.Fprintln(os.Stderr, "mrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *nn != "" || *jt != "" {
+		if *nn == "" || *jt == "" {
+			fmt.Fprintln(os.Stderr, "mrsim: remote submission needs both -nn and -jt")
+			os.Exit(1)
+		}
+		err := runRemote(*nn, *jt, *tenant, *wl, *blockSize, *mb, int64(*samples), *maps, *jobTimeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	accel := *accelFraction
 	if accel == 0 {

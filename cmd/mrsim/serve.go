@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetmr/internal/engine"
+	"hetmr/internal/netmr"
+	"hetmr/internal/rpcnet"
+	"hetmr/internal/spill"
+)
+
+// serve boots a long-running multi-tenant job service and blocks until
+// interrupted: the printed NameNode/JobTracker addresses are what
+// client invocations (-nn/-jt) dial to submit jobs against the shared
+// fleet.
+func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, spillCompress bool) error {
+	quotas, err := parseQuotas(quotaSpec)
+	if err != nil {
+		return err
+	}
+	opts := []netmr.ClusterOption{netmr.WithQuotas(quotas)}
+	if spillMem != 0 {
+		mem := spillMem
+		if mem < 0 {
+			mem = 0 // spill everything
+		}
+		var codec spill.Codec
+		if spillCompress {
+			codec = spill.Flate()
+		}
+		opts = append(opts, netmr.WithSpill("", mem, codec))
+	}
+	svc, err := netmr.StartService(nodes, slots, blockSize, 20*time.Millisecond, opts...)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Printf("mrsim job service up: %d workers x %d slots, block size %d\n", nodes, slots, blockSize)
+	fmt.Printf("  namenode    %s\n", svc.NameNodeAddr())
+	fmt.Printf("  jobtracker  %s\n", svc.JobTrackerAddr())
+	for _, tenant := range sortedQuotaTenants(quotas) {
+		q := quotas[tenant]
+		fmt.Printf("  tenant %-12s weight=%g maxJobs=%d maxTrackers=%d spillBytes=%d\n",
+			tenant, q.Weight, q.MaxJobs, q.MaxTrackers, q.SpillBytes)
+	}
+	fmt.Println("submit with: mrsim -nn <addr> -jt <addr> -tenant <name> -workload ...")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nmrsim: shutting the service down")
+	return nil
+}
+
+// parseQuotas reads the -quotas syntax: a comma-separated list of
+// tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]] entries, e.g.
+// "alice=3,bob=1:2" (bob at weight 1, at most 2 concurrent jobs).
+func parseQuotas(spec string) (map[string]netmr.Quota, error) {
+	quotas := make(map[string]netmr.Quota)
+	if spec == "" {
+		return quotas, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("quota entry %q: want tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]]", entry)
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) > 4 {
+			return nil, fmt.Errorf("quota entry %q has %d fields, at most 4", entry, len(parts))
+		}
+		var q netmr.Quota
+		if w, err := strconv.ParseFloat(parts[0], 64); err != nil {
+			return nil, fmt.Errorf("quota entry %q: weight: %v", entry, err)
+		} else {
+			q.Weight = w
+		}
+		ints := []*int{nil, &q.MaxJobs, &q.MaxTrackers}
+		for i := 1; i < len(parts) && i < 3; i++ {
+			n, err := strconv.Atoi(parts[i])
+			if err != nil {
+				return nil, fmt.Errorf("quota entry %q: field %d: %v", entry, i, err)
+			}
+			*ints[i] = n
+		}
+		if len(parts) == 4 {
+			n, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("quota entry %q: spillBytes: %v", entry, err)
+			}
+			q.SpillBytes = n
+		}
+		quotas[name] = q
+	}
+	return quotas, nil
+}
+
+// sortedQuotaTenants orders tenant names for stable output.
+func sortedQuotaTenants(quotas map[string]netmr.Quota) []string {
+	names := make([]string, 0, len(quotas))
+	for name := range quotas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runRemote submits one workload to an already-running job service as
+// the given tenant, waits for it and prints the result — the client
+// half of -serve.
+func runRemote(nnAddr, jtAddr, tenant, wl string, blockSize int64, mb float64, samples int64, maps int, timeout time.Duration) error {
+	tc, err := netmr.NewTenantClient(nnAddr, jtAddr, blockSize, tenant)
+	if err != nil {
+		return err
+	}
+	if timeout == 0 {
+		timeout = engine.DefaultJobTimeout
+	}
+	inputBytes := int64(mb * float64(int64(1)<<20))
+	spec := netmr.JobSpec{Name: fmt.Sprintf("%s-%s", tenant, wl)}
+	switch wl {
+	case "pi":
+		spec.Kernel = "pi"
+		spec.Samples = samples
+		spec.NumTasks = maps
+	case "wc", "sort", "enc":
+		if wl == "sort" {
+			inputBytes -= inputBytes % 100 // whole records
+		}
+		path := fmt.Sprintf("/mrsim/%s-%d", wl, time.Now().UnixNano())
+		if _, err := tc.WriteFrom(path, engine.SyntheticReader(inputBytes), ""); err != nil {
+			return fmt.Errorf("staging %d input bytes: %w", inputBytes, err)
+		}
+		spec.Input = path
+		switch wl {
+		case "wc":
+			spec.Kernel = "wordcount"
+			spec.NumReducers = 3
+		case "sort":
+			spec.Kernel = "sort"
+			spec.NumReducers = 3
+		case "enc":
+			spec.Kernel = "aes-ctr"
+			args, err := rpcnet.Marshal(netmr.AESArgs{
+				Key: []byte("mrsim-aes-key-16"), IV: make([]byte, 16), BlockBytes: blockSize,
+			})
+			if err != nil {
+				return err
+			}
+			spec.Args = args
+		}
+	default:
+		return fmt.Errorf("unknown workload %q for remote submission (enc|pi|wc|sort)", wl)
+	}
+	start := time.Now()
+	id, err := tc.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tenant=%s job=%d workload=%s submitted to %s\n", tenant, id, wl, jtAddr)
+	raw, err := tc.Wait(id, timeout)
+	if err != nil {
+		return err
+	}
+	st, err := tc.Status(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  wall time       %v\n", time.Since(start))
+	fmt.Printf("  tasks           %d of %d completed\n", st.Completed, st.Total)
+	switch wl {
+	case "pi":
+		var pi netmr.PiResult
+		if err := rpcnet.Unmarshal(raw, &pi); err != nil {
+			return err
+		}
+		fmt.Printf("  pi              %.6f (%d of %d samples inside)\n", pi.Pi, pi.Inside, pi.Total)
+	case "wc":
+		var counts map[string]int64
+		if err := rpcnet.Unmarshal(raw, &counts); err != nil {
+			return err
+		}
+		fmt.Printf("  distinct words  %d\n", len(counts))
+	case "sort", "enc":
+		var out []byte
+		if err := rpcnet.Unmarshal(raw, &out); err != nil {
+			return err
+		}
+		fmt.Printf("  output          %d bytes\n", len(out))
+	}
+	return nil
+}

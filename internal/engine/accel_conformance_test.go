@@ -100,6 +100,9 @@ func TestNoSilentConfigDrop(t *testing.T) {
 		{"cellmr", Config{Mapper: "empty"}},
 		{"cellmr", Config{AccelFraction: 0.5}},
 		{"cellmr", Config{AccelFraction: NoAcceleration}},
+		{"live", Config{Quotas: map[string]Quota{"a": {MaxJobs: 1}}}},
+		{"sim", Config{Quotas: map[string]Quota{"a": {MaxJobs: 1}}}},
+		{"cellmr", Config{Mapper: "cell", Quotas: map[string]Quota{"a": {MaxJobs: 1}}}},
 	}
 	for _, tc := range unsupported {
 		r, err := New(tc.backend, tc.cfg)
@@ -119,6 +122,7 @@ func TestNoSilentConfigDrop(t *testing.T) {
 	}{
 		{"sim", Config{Mapper: "empty"}},
 		{"net", Config{Workers: 1, Mapper: "java", AccelFraction: 0.5}},
+		{"net", Config{Workers: 1, Quotas: map[string]Quota{"a": {Weight: 2, MaxJobs: 4}}}},
 		{"cellmr", Config{Mapper: "cell"}},
 	}
 	for _, tc := range supported {

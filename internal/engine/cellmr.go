@@ -37,6 +37,9 @@ func init() {
 		if cfg.AccelFraction != 1 {
 			return nil, fmt.Errorf("%w: accelerated fraction %g on cellmr — the single-node framework is fully accelerated", ErrUnsupported, cfg.AccelFraction)
 		}
+		if len(cfg.Quotas) > 0 {
+			return nil, fmt.Errorf("%w: per-tenant quotas only exist on the net backend's job service", ErrUnsupported)
+		}
 		fw, err := cellmr.New(cellbe.NewChip(0), perfmodel.SPEsPerCell, perfmodel.SPEBlockBytes)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// submitter is the optional Runner extension a multi-job backend
+// implements so Client.Submit runs natively: the job is admitted to
+// the backend's own scheduler and the handle's Kill/Status reach its
+// lifecycle RPCs. The net backend implements it; backends without a
+// job service fall back to Client's serialized-run emulation.
+type submitter interface {
+	Submit(job *Job) (*JobHandle, error)
+}
+
+// JobStatus is a point-in-time view of a submitted job's progress.
+type JobStatus struct {
+	// Done reports the job reached a terminal state (Err tells
+	// success from failure).
+	Done bool
+	// Completed and Total count finished and overall tasks.
+	Completed, Total int
+	// Err is the terminal error message ("" while running or on
+	// success).
+	Err string
+}
+
+// JobHandle is one submitted job: Wait collects its result exactly
+// once, Kill terminates it mid-flight, Status polls progress. Handles
+// are safe for concurrent use.
+type JobHandle struct {
+	once   sync.Once
+	res    *Result
+	err    error
+	wait   func() (*Result, error)
+	kill   func() error
+	status func() (JobStatus, error)
+}
+
+// newJobHandle builds a handle over backend-specific wait/kill/status
+// hooks (kill and status may be nil: the handle answers
+// ErrUnsupported).
+func newJobHandle(wait func() (*Result, error), kill func() error, status func() (JobStatus, error)) *JobHandle {
+	return &JobHandle{wait: wait, kill: kill, status: status}
+}
+
+// Wait blocks until the job completes and returns its result. Every
+// call returns the same outcome; the underlying collection runs once.
+func (h *JobHandle) Wait() (*Result, error) {
+	h.once.Do(func() { h.res, h.err = h.wait() })
+	return h.res, h.err
+}
+
+// Kill terminates the job mid-flight on backends with a job service; a
+// subsequent Wait returns the kill as the job's terminal error.
+// Backends without one answer ErrUnsupported.
+func (h *JobHandle) Kill() error {
+	if h.kill == nil {
+		return fmt.Errorf("%w: Kill needs a backend with a job service (net)", ErrUnsupported)
+	}
+	return h.kill()
+}
+
+// Status polls the job's live progress on backends with a job
+// service; backends without one answer ErrUnsupported.
+func (h *JobHandle) Status() (JobStatus, error) {
+	if h.status == nil {
+		return JobStatus{}, fmt.Errorf("%w: Status needs a backend with a job service (net)", ErrUnsupported)
+	}
+	return h.status()
+}
+
+// Client is the submit-many handle over one backend: Open once, submit
+// any number of jobs (concurrently on backends with a job service),
+// Close once. On the net backend every Submit lands in the shared
+// multi-tenant JobTracker and competes under its fair-share weights
+// and quotas; on the other backends Submit falls back to running jobs
+// one at a time in the background, preserving Run's semantics.
+type Client struct {
+	r Runner
+	// mu serializes fallback Submits: Runners are not goroutine-safe
+	// unless documented, so emulated submissions queue.
+	mu sync.Mutex
+}
+
+// Open builds the named backend and wraps it in a Client.
+func Open(backend string, cfg Config) (*Client, error) {
+	r, err := New(backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(r), nil
+}
+
+// NewClient wraps an already-built Runner. The Client assumes
+// ownership: its Close closes the runner.
+func NewClient(r Runner) *Client {
+	return &Client{r: r}
+}
+
+// Backend reports the wrapped backend's registered name.
+func (c *Client) Backend() string { return c.r.Backend() }
+
+// Runner exposes the wrapped runner for callers needing
+// backend-specific detail.
+func (c *Client) Runner() Runner { return c.r }
+
+// Submit starts one job and returns its handle without waiting. On a
+// backend with a job service the job is admitted to the shared
+// scheduler (a quota rejection surfaces here); elsewhere the job runs
+// in the background, serialized with other emulated submissions.
+func (c *Client) Submit(job *Job) (*JobHandle, error) {
+	if s, ok := c.r.(submitter); ok {
+		return s.Submit(job)
+	}
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		res, err = c.r.Run(job)
+	}()
+	return newJobHandle(func() (*Result, error) {
+		<-done
+		return res, err
+	}, nil, nil), nil
+}
+
+// Run is Submit followed by Wait — the one-shot convenience the
+// conformance suites use.
+func (c *Client) Run(job *Job) (*Result, error) {
+	h, err := c.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// Close tears the backend down.
+func (c *Client) Close() error { return c.r.Close() }

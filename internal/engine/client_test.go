@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hetmr/internal/netmr"
+)
+
+// The engine Client: Open once, submit many, Close — native on the
+// net backend's job service, emulated (serialized) elsewhere.
+
+func TestClientNetSubmitConcurrentTenants(t *testing.T) {
+	c, err := Open("net", Config{Workers: 2, Quotas: map[string]Quota{
+		"t1": {Weight: 1},
+		"t2": {Weight: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	job := func(tenant string) *Job {
+		return &Job{Kind: Pi, Samples: 200_000, Tasks: 8, Seed: 11, Tenant: tenant}
+	}
+	var handles []*JobHandle
+	for _, tenant := range []string{"t1", "t2", "t1"} {
+		h, err := c.Submit(job(tenant))
+		if err != nil {
+			t.Fatalf("submit as %s: %v", tenant, err)
+		}
+		handles = append(handles, h)
+	}
+	ref, err := c.Run(job("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("handle %d: %v", i, err)
+		}
+		if res.Inside != ref.Inside || res.Total != ref.Total {
+			t.Errorf("handle %d: %d/%d inside, want %d/%d (concurrent result diverged)",
+				i, res.Inside, res.Total, ref.Inside, ref.Total)
+		}
+		// Wait is idempotent: a second collection returns the same result.
+		again, err := h.Wait()
+		if err != nil || again != res {
+			t.Errorf("handle %d: second Wait = (%v, %v), want the first result back", i, again, err)
+		}
+	}
+}
+
+func TestClientNetKillAndQuota(t *testing.T) {
+	// Slow every task so the victim is reliably mid-flight when killed.
+	delays := []time.Duration{20 * time.Millisecond, 20 * time.Millisecond}
+	c, err := Open("net", Config{
+		Workers:     2,
+		FaultDelays: delays,
+		Quotas:      map[string]Quota{"capped": {MaxJobs: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.Submit(&Job{Kind: Pi, Samples: 100_000, Tasks: 20, Tenant: "capped"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine surfaces the runtime's typed admission rejection.
+	if _, err := c.Submit(&Job{Kind: Pi, Samples: 1000, Tenant: "capped"}); !errors.Is(err, netmr.ErrQuotaExceeded) {
+		t.Fatalf("submit at MaxJobs=1: error %v, want netmr.ErrQuotaExceeded", err)
+	}
+	if st, err := h.Status(); err != nil || st.Done {
+		t.Fatalf("status before kill = (%+v, %v), want a live job", st, err)
+	}
+	if err := h.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err == nil {
+		t.Error("killed job's Wait returned success, want killed error")
+	}
+	// The kill freed the tenant's job slot.
+	if _, err := c.Submit(&Job{Kind: Pi, Samples: 1000, Tenant: "capped"}); err != nil {
+		t.Fatalf("submit after kill: %v", err)
+	}
+}
+
+func TestClientFallbackSerializedSubmit(t *testing.T) {
+	c, err := Open("sim", Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h1, err := c.Submit(&Job{Kind: Pi, Samples: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Submit(&Job{Kind: Pi, Samples: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Inside != r2.Inside || r1.Total != r2.Total {
+		t.Errorf("identical jobs diverged: %d/%d vs %d/%d", r1.Inside, r1.Total, r2.Inside, r2.Total)
+	}
+	// No job service behind sim: lifecycle extras refuse honestly.
+	if err := h1.Kill(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("fallback Kill error %v, want ErrUnsupported", err)
+	}
+	if _, err := h1.Status(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("fallback Status error %v, want ErrUnsupported", err)
+	}
+}

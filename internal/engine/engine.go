@@ -9,6 +9,15 @@
 // hand-wiring a bespoke call path per backend, and a shared
 // conformance suite holds all backends to identical results for the
 // same job.
+//
+// Two call shapes exist. RunOnce (and Runner.Run) is the one-shot
+// path: boot a backend, run one job, tear it down. Client is the
+// service path: Open once, Submit many concurrent jobs — each tagged
+// with Job.Tenant and returning a JobHandle for Wait/Kill/Status —
+// then Close. On the net backend both shapes ride the same
+// multi-tenant job service (internal/netmr); other backends emulate
+// Submit by serializing jobs and refuse Kill/Status with
+// ErrUnsupported rather than pretending.
 package engine
 
 import (
@@ -83,6 +92,12 @@ type Job struct {
 	// Seed is the Pi base seed; task i draws from the domain
 	// MixSeed(Seed, i). 0 selects DefaultSeed.
 	Seed uint64
+	// Tenant names the submitting tenant on the multi-tenant net
+	// backend ("" selects the default tenant): jobs compete for
+	// trackers under the tenant's fair-share weight and quotas
+	// (Config.Quotas). Backends that run one job at a time have no
+	// scheduling contention to arbitrate and accept any tenant label.
+	Tenant string
 }
 
 // Validate checks the job is well-formed independent of backend.

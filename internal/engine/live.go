@@ -32,6 +32,9 @@ func init() {
 		if cfg.Mapper == "empty" {
 			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
 		}
+		if len(cfg.Quotas) > 0 {
+			return nil, fmt.Errorf("%w: per-tenant quotas only exist on the net backend's job service", ErrUnsupported)
+		}
 		opts := []core.LiveOption{
 			core.WithBlockSize(cfg.BlockSize),
 			core.WithMappersPerNode(cfg.MappersPerNode),

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -41,6 +40,18 @@ func init() {
 			netmr.WithMaxAttempts(cfg.MaxAttempts),
 			netmr.WithTrackerDelays(cfg.FaultDelays),
 			netmr.WithDeviceKinds(kinds),
+		}
+		if len(cfg.Quotas) > 0 {
+			quotas := make(map[string]netmr.Quota, len(cfg.Quotas))
+			for tenant, q := range cfg.Quotas {
+				quotas[tenant] = netmr.Quota{
+					Weight:      q.Weight,
+					MaxJobs:     q.MaxJobs,
+					MaxTrackers: q.MaxTrackers,
+					SpillBytes:  q.SpillBytes,
+				}
+			}
+			opts = append(opts, netmr.WithQuotas(quotas))
 		}
 		if cfg.SpillMemBytes != 0 {
 			opts = append(opts, netmr.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
@@ -110,15 +121,10 @@ func (r *netRunner) reducers() int {
 	return 1
 }
 
-// submitAndWait runs one job to completion under the configured
+// waitAndStatus blocks until job id completes under the configured
 // JobTimeout and fetches the scheduler's per-tracker completion counts
 // and device profile alongside the reduced result.
-func (r *netRunner) submitAndWait(spec netmr.JobSpec) (raw []byte, st netmr.StatusReply, err error) {
-	spec.Mapper = r.cfg.Mapper
-	id, err := r.clus.Client.Submit(spec)
-	if err != nil {
-		return nil, st, err
-	}
+func (r *netRunner) waitAndStatus(id int64) (raw []byte, st netmr.StatusReply, err error) {
 	raw, err = r.clus.Client.Wait(id, r.cfg.JobTimeout)
 	if err != nil {
 		return nil, st, err
@@ -143,45 +149,88 @@ func (r *netRunner) stageInput(job *Job) (string, error) {
 	return name, nil
 }
 
-// streamResult runs one byte-output job with its result streamed: the
-// output pieces stay in the worker trackers' stores, the client pulls
-// them straight into the sink, and the JobTracker never buffers a
-// byte of output.
-func (r *netRunner) streamResult(spec netmr.JobSpec, sink io.Writer) (int64, netmr.StatusReply, error) {
-	var st netmr.StatusReply
-	spec.Mapper = r.cfg.Mapper
-	spec.StreamOutput = true
-	id, err := r.clus.Client.Submit(spec)
-	if err != nil {
-		return 0, st, err
+// buildSpec validates and expands an engine job into its netmr job
+// spec, staging the dataset into the DFS for data kinds. Encrypt jobs
+// with a Sink stream their output (the pieces stay on the trackers
+// until the client pulls them).
+func (r *netRunner) buildSpec(job *Job) (netmr.JobSpec, error) {
+	spec := netmr.JobSpec{
+		Name:   job.title(),
+		Mapper: r.cfg.Mapper,
+		Tenant: job.Tenant,
 	}
-	n, err := r.clus.Client.WaitOutput(id, r.cfg.JobTimeout, sink, netmr.DecodeRawBytes)
-	if err != nil {
-		return n, st, err
+	switch job.Kind {
+	case Wordcount, Sort:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return spec, err
+		}
+		spec.Kernel = string(job.Kind)
+		spec.Input = input
+		spec.NumReducers = r.reducers()
+	case Encrypt:
+		input, err := r.stageInput(job)
+		if err != nil {
+			return spec, err
+		}
+		args, err := rpcnet.Marshal(netmr.AESArgs{
+			Key: job.Key, IV: job.iv(), BlockBytes: r.cfg.BlockSize,
+		})
+		if err != nil {
+			return spec, err
+		}
+		spec.Kernel = "aes-ctr"
+		spec.Input = input
+		spec.Args = args
+		spec.StreamOutput = job.Sink != nil
+	case Pi:
+		seed := job.Seed
+		if seed == 0 {
+			seed = DefaultSeed
+		}
+		spec.Kernel = "pi"
+		spec.Samples = job.Samples
+		spec.NumTasks = normalizeTasks(job.Tasks, r.cfg.Workers)
+		spec.Seed = seed
+	default:
+		return spec, fmt.Errorf("%w: %s on net", ErrUnsupported, job.Kind)
 	}
-	st, err = r.clus.Client.Status(id)
-	return n, st, err
+	return spec, nil
 }
 
-// Run implements Runner. It is safe for concurrent use: each call
-// stages its input under a distinct DFS path and the netmr client is
-// connectionless per call.
-func (r *netRunner) Run(job *Job) (*Result, error) {
+// netJob is one job submitted to the running cluster and not yet
+// collected.
+type netJob struct {
+	r       *netRunner
+	job     *Job
+	id      int64
+	started time.Time
+}
+
+// start validates, stages and submits one job, returning the handle to
+// collect it with.
+func (r *netRunner) start(job *Job) (*netJob, error) {
 	if err := r.cfg.validateJob(job); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	spec, err := r.buildSpec(job)
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.clus.Client.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &netJob{r: r, job: job, id: id, started: time.Now()}, nil
+}
+
+// wait blocks until the job completes and decodes its result by kind.
+func (nj *netJob) wait() (*Result, error) {
+	r, job := nj.r, nj.job
 	res := &Result{Backend: r.Backend()}
 	switch job.Kind {
 	case Wordcount:
-		input, err := r.stageInput(job)
-		if err != nil {
-			return nil, err
-		}
-		raw, st, err := r.submitAndWait(netmr.JobSpec{
-			Name: job.title(), Kernel: "wordcount", Input: input,
-			NumReducers: r.reducers(),
-		})
+		raw, st, err := r.waitAndStatus(nj.id)
 		if err != nil {
 			return nil, err
 		}
@@ -192,14 +241,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		res.Pairs = pairsFromCounts(counts)
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Sort:
-		input, err := r.stageInput(job)
-		if err != nil {
-			return nil, err
-		}
-		raw, st, err := r.submitAndWait(netmr.JobSpec{
-			Name: job.title(), Kernel: "sort", Input: input,
-			NumReducers: r.reducers(),
-		})
+		raw, st, err := r.waitAndStatus(nj.id)
 		if err != nil {
 			return nil, err
 		}
@@ -223,24 +265,15 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		}
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Encrypt:
-		input, err := r.stageInput(job)
-		if err != nil {
-			return nil, err
-		}
-		args, err := rpcnet.Marshal(netmr.AESArgs{
-			Key: job.Key, IV: job.iv(), BlockBytes: r.cfg.BlockSize,
-		})
-		if err != nil {
-			return nil, err
-		}
-		spec := netmr.JobSpec{
-			Name: job.title(), Kernel: "aes-ctr", Input: input, Args: args,
-		}
 		if job.Sink != nil {
 			// Fully streamed: ciphertext blocks park on the trackers
 			// (spilling past the watermark) and flow straight to the
 			// sink — the JobTracker and client never hold the output.
-			n, st, err := r.streamResult(spec, job.Sink)
+			n, err := r.clus.Client.WaitOutput(nj.id, r.cfg.JobTimeout, job.Sink, netmr.DecodeRawBytes)
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.clus.Client.Status(nj.id)
 			if err != nil {
 				return nil, err
 			}
@@ -248,7 +281,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 			res.TaskCounts, res.Devices = st.Counts, st.Devices
 			break
 		}
-		raw, st, err := r.submitAndWait(spec)
+		raw, st, err := r.waitAndStatus(nj.id)
 		if err != nil {
 			return nil, err
 		}
@@ -257,17 +290,7 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		}
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Pi:
-		seed := job.Seed
-		if seed == 0 {
-			seed = DefaultSeed
-		}
-		raw, st, err := r.submitAndWait(netmr.JobSpec{
-			Name:     job.title(),
-			Kernel:   "pi",
-			Samples:  job.Samples,
-			NumTasks: normalizeTasks(job.Tasks, r.cfg.Workers),
-			Seed:     seed,
-		})
+		raw, st, err := r.waitAndStatus(nj.id)
 		if err != nil {
 			return nil, err
 		}
@@ -277,9 +300,45 @@ func (r *netRunner) Run(job *Job) (*Result, error) {
 		}
 		res.Pi, res.Inside, res.Total = pi.Pi, pi.Inside, pi.Total
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
-	default:
-		return nil, fmt.Errorf("%w: %s on net", ErrUnsupported, job.Kind)
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(nj.started)
 	return res, nil
+}
+
+// Run implements Runner as submit-then-wait over the job service, so
+// the one-shot path and Client.Submit exercise the same machinery. It
+// is safe for concurrent use: each call stages its input under a
+// distinct DFS path and the netmr client is connectionless per call.
+func (r *netRunner) Run(job *Job) (*Result, error) {
+	nj, err := r.start(job)
+	if err != nil {
+		return nil, err
+	}
+	return nj.wait()
+}
+
+// Submit implements the Client's native submission hook: the job runs
+// on the cluster while the caller holds the handle, Kill reaches the
+// JobTracker's Kill RPC, and Status polls live progress.
+func (r *netRunner) Submit(job *Job) (*JobHandle, error) {
+	nj, err := r.start(job)
+	if err != nil {
+		return nil, err
+	}
+	return newJobHandle(
+		nj.wait,
+		func() error { return r.clus.Client.Kill(nj.id, job.Tenant) },
+		func() (JobStatus, error) {
+			st, err := r.clus.Client.Status(nj.id)
+			if err != nil {
+				return JobStatus{}, err
+			}
+			return JobStatus{
+				Done:      st.Done,
+				Completed: st.Completed,
+				Total:     st.Total,
+				Err:       st.Err,
+			}, nil
+		},
+	), nil
 }

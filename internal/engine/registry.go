@@ -112,6 +112,31 @@ type Config struct {
 	// Timeline requests a rendered task Gantt chart in Result.Sim
 	// (simulated backend).
 	Timeline bool
+	// Quotas installs per-tenant fair-share weights and admission
+	// limits on the net backend's JobTracker (see Quota). Only the net
+	// backend runs a multi-tenant service; the others reject a
+	// non-empty map with ErrUnsupported rather than silently running
+	// without enforcement.
+	Quotas map[string]Quota
+}
+
+// Quota bounds one tenant on the multi-tenant net backend. The zero
+// value means unlimited at fair-share weight 1; see netmr.Quota for
+// the enforcing layer.
+type Quota struct {
+	// Weight is the tenant's fair-share weight (0 or negative: 1).
+	// Grants across tenants track the weight ratio.
+	Weight float64
+	// MaxJobs caps the tenant's concurrent (non-terminal) jobs; a
+	// Submit beyond it fails with an error wrapping the runtime's
+	// quota sentinel. 0: unlimited.
+	MaxJobs int
+	// MaxTrackers caps how many distinct trackers may concurrently run
+	// the tenant's tasks. 0: unlimited.
+	MaxTrackers int
+	// SpillBytes caps the tenant's resident shuffle/spill bytes across
+	// the tracker fleet, enforced at job admission. 0: unlimited.
+	SpillBytes int64
 }
 
 // DefaultJobTimeout is the net backend's per-job deadline when

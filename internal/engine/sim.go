@@ -26,6 +26,9 @@ type simRunner struct {
 
 func init() {
 	Register("sim", func(cfg Config) (Runner, error) {
+		if len(cfg.Quotas) > 0 {
+			return nil, fmt.Errorf("%w: per-tenant quotas only exist on the net backend's job service", ErrUnsupported)
+		}
 		return &simRunner{cfg: cfg}, nil
 	})
 }

@@ -37,4 +37,11 @@ var (
 	// job keeps this near zero: outputs stay on the workers and only
 	// locations travel.
 	DataPlaneBytes Counter
+
+	// QuotaRejections counts job submissions refused by multi-tenant
+	// admission control (netmr.ErrQuotaExceeded).
+	QuotaRejections Counter
+
+	// JobsKilled counts jobs terminated mid-flight by a Kill RPC.
+	JobsKilled Counter
 )

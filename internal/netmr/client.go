@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -192,7 +193,8 @@ func (c *Client) ListFiles() ([]string, error) {
 	return list.Files, nil
 }
 
-// Submit sends a job and returns its ID.
+// Submit sends a job and returns its ID. An admission-control
+// rejection satisfies errors.Is(err, ErrQuotaExceeded).
 func (c *Client) Submit(spec JobSpec) (int64, error) {
 	jtc, err := rpcnet.Dial(c.jtAddr)
 	if err != nil {
@@ -201,9 +203,52 @@ func (c *Client) Submit(spec JobSpec) (int64, error) {
 	defer jtc.Close()
 	var reply SubmitReply
 	if err := jtc.Call("Submit", SubmitArgs{Spec: spec}, &reply); err != nil {
-		return 0, err
+		return 0, quotaErr(err)
 	}
 	return reply.JobID, nil
+}
+
+// quotaErr restores the typed ErrQuotaExceeded sentinel on an
+// admission rejection that crossed the RPC boundary as a string (gob
+// flattens handler errors into RemoteError messages). Other errors
+// pass through untouched.
+func quotaErr(err error) error {
+	var re *rpcnet.RemoteError
+	if errors.As(err, &re) && strings.Contains(re.Msg, ErrQuotaExceeded.Error()) {
+		// The remote message already leads with the sentinel text;
+		// strip it so rewrapping doesn't print it twice.
+		msg := strings.TrimPrefix(re.Msg, ErrQuotaExceeded.Error()+": ")
+		return fmt.Errorf("%w: %s", ErrQuotaExceeded, msg)
+	}
+	return err
+}
+
+// Kill terminates a job mid-flight (or releases a finished streamed
+// job's outputs). tenant, when non-empty, must match the job's tenant.
+// Trackers purge the job's shuffle and spill state on their next
+// heartbeats. Killing an already-finished job is not an error.
+func (c *Client) Kill(jobID int64, tenant string) error {
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return err
+	}
+	defer jtc.Close()
+	return jtc.Call("Kill", KillArgs{JobID: jobID, Tenant: tenant}, nil)
+}
+
+// ListJobs lists jobs known to the JobTracker in submission order —
+// every tenant's when tenant is empty, one tenant's otherwise.
+func (c *Client) ListJobs(tenant string) ([]JobInfo, error) {
+	jtc, err := rpcnet.Dial(c.jtAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer jtc.Close()
+	var reply ListJobsReply
+	if err := jtc.Call("ListJobs", ListJobsArgs{Tenant: tenant}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Jobs, nil
 }
 
 // waitCallTimeout caps a single Status round-trip inside Wait, so a
@@ -238,6 +283,15 @@ func (c *Client) waitDone(jobID int64, timeout time.Duration) (StatusReply, erro
 		return StatusReply{}, err
 	}
 	defer func() { jtc.Close() }()
+	// Poll with exponential backoff: short jobs still see a handful of
+	// quick polls, but a long-running job costs the JobTracker ~4
+	// Status calls per second instead of 50 — a multi-tenant service
+	// with many waiting clients would otherwise drown in polling.
+	const (
+		pollFloor = 5 * time.Millisecond
+		pollCeil  = 250 * time.Millisecond
+	)
+	poll := pollFloor
 	var last StatusReply
 	for {
 		remaining := time.Until(deadline)
@@ -278,7 +332,10 @@ func (c *Client) waitDone(jobID int64, timeout time.Duration) (StatusReply, erro
 		if status.Done {
 			return status, nil
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(poll)
+		if poll *= 2; poll > pollCeil {
+			poll = pollCeil
+		}
 	}
 }
 
@@ -408,6 +465,7 @@ type clusterConfig struct {
 	spillDir    string
 	spillMem    int64 // < 0: all in memory (default)
 	spillCodec  spill.Codec
+	quotas      map[string]Quota
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -455,6 +513,12 @@ func WithSpill(dir string, memBytes int64, codec spill.Codec) ClusterOption {
 	}
 }
 
+// WithQuotas installs per-tenant quotas and fair-share weights on the
+// JobTracker before any tracker heartbeats (see JobTracker.SetQuota).
+func WithQuotas(quotas map[string]Quota) ClusterOption {
+	return func(c *clusterConfig) { c.quotas = quotas }
+}
+
 // WithDeviceKinds sets each tracker's device profile by worker index:
 // DeviceCell equips the tracker with its own Cell accelerator
 // (NewCellDevice), anything else leaves it a general-purpose node. A
@@ -490,6 +554,9 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	jt.MaxAttempts = cfg.maxAttempts
 	if cfg.taskLease > 0 {
 		jt.TaskLease = cfg.taskLease
+	}
+	for tenant, q := range cfg.quotas {
+		jt.SetQuota(tenant, q)
 	}
 	c := &Cluster{NN: nn, JT: jt}
 	for i := 0; i < workers; i++ {

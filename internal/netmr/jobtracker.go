@@ -1,8 +1,10 @@
 package netmr
 
 import (
+	"errors"
 	"fmt"
 	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +14,13 @@ import (
 	"hetmr/internal/sched"
 )
 
+// ErrQuotaExceeded is the typed admission-control rejection: a Submit
+// that would push its tenant past a configured quota (concurrent jobs
+// or spill budget) fails with an error wrapping this sentinel, both at
+// the JobTracker handler and — rewrapped across the RPC boundary — at
+// Client.Submit.
+var ErrQuotaExceeded = errors.New("netmr: tenant quota exceeded")
+
 // jobRecord is one submitted job: its task specs plus the dynamic
 // scheduler's boards tracking leases, attempts and completions — one
 // board for the map phase, and on the distributed-shuffle path a
@@ -19,6 +28,7 @@ import (
 // every map partition is in place.
 type jobRecord struct {
 	id      int64
+	tenant  string
 	spec    JobSpec
 	kern    MapKernel
 	shuffle bool // distributed shuffle/reduce plane on
@@ -101,8 +111,29 @@ type JobTracker struct {
 	mu        sync.Mutex
 	nextJob   int64
 	jobs      map[int64]*jobRecord
-	devices   map[string]string // tracker ID -> device kind, from heartbeats
-	dataBytes int64             // task output bytes carried by heartbeats
+	tenants   map[string]*tenantState
+	fair      *sched.FairShare
+	devices   map[string]string          // tracker ID -> device kind, from heartbeats
+	held      map[string]map[int64]int64 // tracker ID -> job -> resident store bytes
+	dataBytes int64                      // task output bytes carried by heartbeats
+}
+
+// tenantState is one tenant's slice of the multi-tenant service: its
+// quota, its active (non-terminal) jobs in submission order, and a
+// cumulative grant counter for fair-share observability.
+type tenantState struct {
+	quota   Quota
+	jobs    []int64 // active job IDs, oldest first
+	granted int64   // cumulative task grants (incl. speculative)
+}
+
+// TenantStat is one tenant's scheduling and accounting view, as
+// reported by TenantStats.
+type TenantStat struct {
+	Weight     float64 // fair-share weight (>= 1 nominal unit)
+	ActiveJobs int     // jobs submitted and not yet terminal
+	Granted    int64   // cumulative task grants across all heartbeats
+	HeldBytes  int64   // resident shuffle/spill bytes across trackers
 }
 
 // StartJobTracker launches the JobTracker on addr.
@@ -116,13 +147,92 @@ func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
 		nnAddr:    nameNodeAddr,
 		TaskLease: 10 * time.Second,
 		jobs:      make(map[int64]*jobRecord),
+		tenants:   make(map[string]*tenantState),
+		fair:      sched.NewFairShare(),
 		devices:   make(map[string]string),
+		held:      make(map[string]map[int64]int64),
 	}
 	srv.Handle("Submit", jt.handleSubmit)
 	srv.Handle("Heartbeat", jt.handleHeartbeat)
 	srv.Handle("Status", jt.handleStatus)
 	srv.Handle("Release", jt.handleRelease)
+	srv.Handle("Kill", jt.handleKill)
+	srv.Handle("ListJobs", jt.handleListJobs)
 	return jt, nil
+}
+
+// SetQuota installs (or replaces) tenant's quota and fair-share
+// weight. Call any time; new limits apply to subsequent Submits and
+// grant passes. The zero Quota means unlimited at weight 1.
+func (jt *JobTracker) SetQuota(tenant string, q Quota) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	jt.tenant(tenant).quota = q
+	jt.fair.SetWeight(tenant, q.Weight)
+}
+
+// tenant returns tenant's state, creating it on first sight. Callers
+// hold jt.mu.
+func (jt *JobTracker) tenant(name string) *tenantState {
+	ts := jt.tenants[name]
+	if ts == nil {
+		ts = &tenantState{}
+		jt.tenants[name] = ts
+		jt.fair.SetWeight(name, 1)
+	}
+	return ts
+}
+
+// TenantStats reports every known tenant's scheduling and accounting
+// state — the observability hook the fair-share and quota tests (and a
+// service operator) read.
+func (jt *JobTracker) TenantStats() map[string]TenantStat {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	out := make(map[string]TenantStat, len(jt.tenants))
+	for name, ts := range jt.tenants {
+		out[name] = TenantStat{
+			Weight:     jt.fair.Weight(name),
+			ActiveJobs: len(ts.jobs),
+			Granted:    ts.granted,
+			HeldBytes:  jt.tenantHeldBytes(name),
+		}
+	}
+	return out
+}
+
+// tenantHeldBytes sums the resident store bytes trackers reported for
+// tenant's jobs — the figure a SpillBytes quota bounds. Callers hold
+// jt.mu.
+func (jt *JobTracker) tenantHeldBytes(name string) int64 {
+	var total int64
+	for _, byJob := range jt.held {
+		for id, n := range byJob {
+			if rec, ok := jt.jobs[id]; ok && rec.tenant == name {
+				total += n
+			}
+		}
+	}
+	return total
+}
+
+// terminate marks rec terminal and deregisters it from its tenant's
+// active list; an emptied tenant resets its fair-share deficit (the
+// DRR empty-queue rule). rec.failed / rec.result must already reflect
+// the outcome. Callers hold jt.mu.
+func (jt *JobTracker) terminate(rec *jobRecord) {
+	rec.done = true
+	ts := jt.tenants[rec.tenant]
+	if ts == nil {
+		return
+	}
+	ts.jobs = slices.DeleteFunc(ts.jobs, func(id int64) bool { return id == rec.id })
+	if len(ts.jobs) == 0 {
+		jt.fair.Idle(rec.tenant)
+	}
 }
 
 // Addr returns the JobTracker's RPC address.
@@ -180,8 +290,26 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	}
 	redOpts := opts
 	redOpts.Affinity = DeviceHost
+	tenant := args.Spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	// Admission control: a Submit that would push the tenant past its
+	// concurrent-job or spill-budget quota is rejected before any state
+	// is allocated, with an error wrapping ErrQuotaExceeded.
+	ts := jt.tenant(tenant)
+	if ts.quota.MaxJobs > 0 && len(ts.jobs) >= ts.quota.MaxJobs {
+		metrics.QuotaRejections.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q already runs %d of %d jobs",
+			ErrQuotaExceeded, tenant, len(ts.jobs), ts.quota.MaxJobs)
+	}
+	if held := jt.tenantHeldBytes(tenant); ts.quota.SpillBytes > 0 && held >= ts.quota.SpillBytes {
+		metrics.QuotaRejections.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q holds %d of %d spill-budget bytes",
+			ErrQuotaExceeded, tenant, held, ts.quota.SpillBytes)
+	}
 	mapBoard, err := sched.NewBoard(len(tasks), jt.TaskLease, mapOpts)
 	if err != nil {
 		return nil, err
@@ -190,6 +318,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	jt.nextJob++
 	rec := &jobRecord{
 		id:     id,
+		tenant: tenant,
 		spec:   args.Spec,
 		kern:   kern,
 		maps:   make([]Task, 0, len(tasks)),
@@ -239,6 +368,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		}
 	}
 	jt.jobs[id] = rec
+	ts.jobs = append(ts.jobs, id)
 	return SubmitReply{JobID: id}, nil
 }
 
@@ -305,6 +435,13 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		device = DeviceHost
 	}
 	jt.devices[args.TrackerID] = device
+	// Refresh the tracker's resident-bytes report; per-tenant sums of
+	// these feed SpillBytes quota checks at Submit.
+	if len(args.HeldBytes) > 0 {
+		jt.held[args.TrackerID] = args.HeldBytes
+	} else {
+		delete(jt.held, args.TrackerID)
+	}
 	// Record completions and failures. The boards keep the first
 	// finished attempt of each task and discard late duplicates
 	// (speculative or re-issued after a lease expiry); reported
@@ -329,79 +466,63 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		}
 		if outputs, ready := rec.phaseOutputsReady(); ready {
 			if rec.streamOut {
-				rec.done = true
+				jt.terminate(rec)
 				continue
 			}
 			rec.finalizing = true
 			go jt.finalize(rec, outputs)
 		}
 	}
-	// Hand out work, oldest jobs first, in three passes.
+	// Hand out work slot by slot under weighted deficit round-robin
+	// across tenants. Each free slot picks the eligible tenant with the
+	// largest fair-share deficit (credit accrues in proportion to
+	// configured weight), then serves that tenant's oldest job with
+	// work, preferring boards whose device affinity matches this
+	// tracker — an accelerated job's map tasks land on accelerated
+	// trackers while matching work remains, but a mismatched tracker
+	// still takes work before idling (host trackers fall back to
+	// accelerated tasks via the bit-identical host kernel). Within a
+	// board, data-local map tasks go first (a replica on the tracker's
+	// co-located DataNode — the paper's "tries to minimize the number
+	// of remote block accesses"); reduce tasks join the pool once every
+	// map partition is in place. A tenant with no grantable work drops
+	// out of the round and resets its deficit (the DRR empty-queue
+	// rule), so credit never accumulates while idle.
 	//
-	// Device-affinity pass: boards whose tasks prefer this tracker's
-	// device kind are served first — an accelerated job's map tasks
-	// land on accelerated trackers (and host jobs' on host trackers)
-	// while matching work remains. Within a board, data-local map
-	// tasks go first (a replica on the tracker's co-located DataNode —
-	// the paper's "tries to minimize the number of remote block
-	// accesses"), then any pending task; reduce tasks join the pool
-	// once every map partition is in place.
-	//
-	// Pending pass: remaining slots take any job's pending work —
-	// affinity orders grants, it never idles a mismatched tracker
-	// (host trackers fall back to accelerated tasks via the
-	// bit-identical host kernel rather than sit empty).
-	//
-	// Speculative pass: only when every job's pending work is
-	// exhausted do the remaining slots fill with duplicates of the
-	// longest-running in-flight tasks, again oldest job first —
-	// speculation is what idle capacity does, never what starves a
-	// younger job's real work.
+	// Only when every tenant's pending work is exhausted do the
+	// remaining slots fill with speculative duplicates of the
+	// longest-running in-flight tasks, again arbitrated by deficit —
+	// speculation is what idle capacity does, never what starves
+	// another tenant's real work.
 	var reply HeartbeatReply
 	now := time.Now()
-	eachJob := func(fn func(rec *jobRecord)) {
-		for id := int64(0); id < jt.nextJob && len(reply.Tasks) < args.FreeSlots; id++ {
-			if rec, ok := jt.jobs[id]; ok && !rec.done && !rec.finalizing {
-				fn(rec)
-			}
+	eligible := jt.eligibleTenants(args.TrackerID, now)
+	for len(reply.Tasks) < args.FreeSlots && len(eligible) > 0 {
+		name := jt.fair.Pick(eligible)
+		task, ok := jt.grantPending(name, device, args, now)
+		if !ok {
+			jt.fair.Idle(name)
+			eligible = slices.DeleteFunc(eligible, func(t string) bool { return t == name })
+			continue
 		}
+		jt.fair.Charge(name)
+		jt.tenants[name].granted++
+		reply.Tasks = append(reply.Tasks, task)
 	}
-	assignPending := func(rec *jobRecord, maps, reduces bool) {
-		if maps {
-			var local func(int) bool
-			if args.LocalDataNode != "" {
-				local = func(i int) bool {
-					return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
-				}
-			}
-			for _, i := range rec.mapBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, local) {
-				reply.Tasks = append(reply.Tasks, rec.maps[i])
-			}
+	eligible = jt.eligibleTenants(args.TrackerID, now)
+	for len(reply.Tasks) < args.FreeSlots && len(eligible) > 0 {
+		name := jt.fair.Pick(eligible)
+		task, ok := jt.grantSpeculative(name, args, now)
+		if !ok {
+			// No Idle here: a tenant may have pending work gated on
+			// map completion; speculation must not zero its credit.
+			eligible = slices.DeleteFunc(eligible, func(t string) bool { return t == name })
+			continue
 		}
-		if reduces && rec.shuffle && rec.mapDone == len(rec.maps) {
-			for _, p := range rec.redBoard.Assign(args.TrackerID, args.FreeSlots-len(reply.Tasks), now, nil) {
-				reply.Tasks = append(reply.Tasks, rec.reduceTask(p))
-			}
-		}
+		jt.fair.Charge(name)
+		jt.tenants[name].granted++
+		reply.Tasks = append(reply.Tasks, task)
 	}
-	eachJob(func(rec *jobRecord) { // device-affinity pass
-		assignPending(rec,
-			rec.mapBoard.Affinity() == device,
-			rec.redBoard != nil && rec.redBoard.Affinity() == device)
-	})
-	eachJob(func(rec *jobRecord) { // pending pass
-		assignPending(rec, true, true)
-	})
-	eachJob(func(rec *jobRecord) { // speculative pass
-		for _, i := range rec.mapBoard.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
-			reply.Tasks = append(reply.Tasks, rec.maps[i])
-		}
-		if rec.shuffle && rec.mapDone == len(rec.maps) {
-			for _, p := range rec.redBoard.Speculate(args.TrackerID, args.FreeSlots-len(reply.Tasks), now) {
-				reply.Tasks = append(reply.Tasks, rec.reduceTask(p))
-			}
-		}
-	})
 	// Shuffle-store GC: name the held jobs that finished, so trackers
 	// free their partitions. A streamed-output job's stores also hold
 	// its results — those survive until the client Releases the job
@@ -413,6 +534,116 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		}
 	}
 	return reply, nil
+}
+
+// eligibleTenants lists tenants the fair-share pass may serve on this
+// heartbeat, sorted for determinism: those with active jobs, excluding
+// any at its MaxTrackers cap unless trackerID already runs its work
+// (granting there adds no tracker to the tenant's footprint). Callers
+// hold jt.mu.
+func (jt *JobTracker) eligibleTenants(trackerID string, now time.Time) []string {
+	var out []string
+	for name, ts := range jt.tenants {
+		if len(ts.jobs) == 0 {
+			continue
+		}
+		if ts.quota.MaxTrackers > 0 {
+			live := jt.tenantLiveTrackers(ts, now)
+			if _, mine := live[trackerID]; len(live) >= ts.quota.MaxTrackers && !mine {
+				continue
+			}
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tenantLiveTrackers is the set of trackers holding live (unexpired)
+// attempts of ts's jobs, with attempt counts. Callers hold jt.mu.
+func (jt *JobTracker) tenantLiveTrackers(ts *tenantState, now time.Time) map[string]int {
+	out := make(map[string]int)
+	for _, id := range ts.jobs {
+		rec := jt.jobs[id]
+		if rec == nil {
+			continue
+		}
+		for w, n := range rec.mapBoard.LiveWorkers(now) {
+			out[w] += n
+		}
+		if rec.redBoard != nil {
+			for w, n := range rec.redBoard.LiveWorkers(now) {
+				out[w] += n
+			}
+		}
+	}
+	return out
+}
+
+// grantPending hands out one pending task from tenant's oldest job
+// with work: first from boards whose affinity matches this tracker's
+// device, then from any board. Callers hold jt.mu.
+func (jt *JobTracker) grantPending(tenant, device string, args HeartbeatArgs, now time.Time) (Task, bool) {
+	ts := jt.tenants[tenant]
+	for _, affinityOnly := range []bool{true, false} {
+		for _, id := range ts.jobs {
+			rec := jt.jobs[id]
+			if rec == nil || rec.done || rec.finalizing {
+				continue
+			}
+			if t, ok := jt.grantFromJob(rec, device, args, now, affinityOnly); ok {
+				return t, true
+			}
+		}
+	}
+	return Task{}, false
+}
+
+// grantFromJob tries to assign one of rec's pending tasks to the
+// heartbeating tracker, honouring data locality on the map board.
+// With affinityOnly set only boards matching the tracker's device are
+// considered. Callers hold jt.mu.
+func (jt *JobTracker) grantFromJob(rec *jobRecord, device string, args HeartbeatArgs, now time.Time, affinityOnly bool) (Task, bool) {
+	if !affinityOnly || rec.mapBoard.Affinity() == device {
+		var local func(int) bool
+		if args.LocalDataNode != "" {
+			local = func(i int) bool {
+				return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
+			}
+		}
+		if is := rec.mapBoard.Assign(args.TrackerID, 1, now, local); len(is) == 1 {
+			return rec.maps[is[0]], true
+		}
+	}
+	if rec.shuffle && rec.mapDone == len(rec.maps) &&
+		(!affinityOnly || rec.redBoard.Affinity() == device) {
+		if ps := rec.redBoard.Assign(args.TrackerID, 1, now, nil); len(ps) == 1 {
+			return rec.reduceTask(ps[0]), true
+		}
+	}
+	return Task{}, false
+}
+
+// grantSpeculative hands out one speculative duplicate of tenant's
+// longest-running in-flight task, oldest job first. Callers hold
+// jt.mu.
+func (jt *JobTracker) grantSpeculative(tenant string, args HeartbeatArgs, now time.Time) (Task, bool) {
+	ts := jt.tenants[tenant]
+	for _, id := range ts.jobs {
+		rec := jt.jobs[id]
+		if rec == nil || rec.done || rec.finalizing {
+			continue
+		}
+		if is := rec.mapBoard.Speculate(args.TrackerID, 1, now); len(is) == 1 {
+			return rec.maps[is[0]], true
+		}
+		if rec.shuffle && rec.mapDone == len(rec.maps) {
+			if ps := rec.redBoard.Speculate(args.TrackerID, 1, now); len(ps) == 1 {
+				return rec.reduceTask(ps[0]), true
+			}
+		}
+	}
+	return Task{}, false
 }
 
 // handleRelease marks a streamed-output job's results consumed:
@@ -430,6 +661,66 @@ func (jt *JobTracker) handleRelease(body []byte) (any, error) {
 	}
 	rec.released = true
 	return ReleaseReply{}, nil
+}
+
+// handleKill terminates a job mid-flight: the record turns terminal
+// with a killed error, in-flight attempts become late duplicates the
+// boards discard, and the next heartbeats purge the job's shuffle
+// stores, spill files and streamed outputs. Killing a finished job
+// just releases its streamed outputs. A non-empty KillArgs.Tenant must
+// match the job's tenant — one tenant cannot kill another's job.
+func (jt *JobTracker) handleKill(body []byte) (any, error) {
+	var args KillArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	rec, ok := jt.jobs[args.JobID]
+	if !ok {
+		return nil, fmt.Errorf("netmr: unknown job %d", args.JobID)
+	}
+	if args.Tenant != "" && rec.tenant != args.Tenant {
+		return nil, fmt.Errorf("netmr: job %d belongs to tenant %q", args.JobID, rec.tenant)
+	}
+	if rec.done {
+		rec.released = true
+		return KillReply{AlreadyDone: true}, nil
+	}
+	rec.failed = fmt.Sprintf("netmr: job %d killed", rec.id)
+	rec.released = true
+	jt.terminate(rec)
+	metrics.JobsKilled.Add(1)
+	return KillReply{}, nil
+}
+
+// handleListJobs lists jobs the tracker knows about — every tenant's,
+// or one tenant's when the filter is set — in submission order.
+func (jt *JobTracker) handleListJobs(body []byte) (any, error) {
+	var args ListJobsArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	var reply ListJobsReply
+	for id := int64(0); id < jt.nextJob; id++ {
+		rec, ok := jt.jobs[id]
+		if !ok || (args.Tenant != "" && rec.tenant != args.Tenant) {
+			continue
+		}
+		reply.Jobs = append(reply.Jobs, JobInfo{
+			ID:        rec.id,
+			Tenant:    rec.tenant,
+			Name:      rec.spec.Name,
+			Kernel:    rec.spec.Kernel,
+			Done:      rec.done,
+			Err:       rec.failed,
+			Completed: rec.mapDone + rec.redDone,
+			Total:     len(rec.maps) + len(rec.reduces),
+		})
+	}
+	return reply, nil
 }
 
 // recordResult folds one task report into the job. Callers hold jt.mu.
@@ -524,7 +815,7 @@ func (jt *JobTracker) failAttempt(rec *jobRecord, board *sched.Board, trackerID 
 	if exhausted {
 		rec.failed = fmt.Sprintf("netmr: %s task %d of job %d failed after max attempts: %s",
 			phase, res.TaskID, rec.id, res.Err)
-		rec.done = true
+		jt.terminate(rec)
 	}
 }
 
@@ -534,12 +825,15 @@ func (jt *JobTracker) finalize(rec *jobRecord, outputs [][]byte) {
 	result, err := rec.kern.Reduce(outputs)
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
+	if rec.done {
+		return // killed while finalizing: keep the terminal state
+	}
 	if err != nil {
 		rec.failed = fmt.Sprintf("netmr: reduce job %d: %v", rec.id, err)
 	} else {
 		rec.result = result
 	}
-	rec.done = true
+	jt.terminate(rec)
 }
 
 func (jt *JobTracker) handleStatus(body []byte) (any, error) {

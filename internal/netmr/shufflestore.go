@@ -12,11 +12,19 @@ import (
 // partition), held in memory up to a configurable watermark and
 // spilled to disk-backed frames beyond it (optionally compressed).
 // FetchPartition serves from memory or spill transparently — a reducer
-// cannot tell where a partition lived.
+// cannot tell where a partition lived. Every key is job-id-prefixed,
+// so concurrent tenants' jobs can never collide in one store and a
+// single job's state can be purged without touching its neighbours.
 type shuffleStore struct {
 	mu    sync.Mutex
 	s     *spill.Store
-	byJob map[int64][]partKey // keys held per job, for GC
+	byJob map[int64]*jobHold // per-job keys and bytes, for GC and quotas
+}
+
+// jobHold is one job's footprint in the store.
+type jobHold struct {
+	keys  []partKey
+	bytes int64
 }
 
 // newShuffleStore builds a store spilling under dir ("" selects the OS
@@ -25,11 +33,13 @@ type shuffleStore struct {
 func newShuffleStore(dir string, memLimit int64, codec spill.Codec) *shuffleStore {
 	return &shuffleStore{
 		s:     spill.NewStore(dir, memLimit, codec),
-		byJob: make(map[int64][]partKey),
+		byJob: make(map[int64]*jobHold),
 	}
 }
 
-// shuffleKey names one payload.
+// shuffleKey names one payload. The job ID prefix is the multi-tenant
+// namespace: two jobs' identical (map, part) coordinates map to
+// distinct store keys.
 func shuffleKey(jobID int64, k partKey) string {
 	return fmt.Sprintf("%d/%d/%d", jobID, k.mapTask, k.part)
 }
@@ -41,10 +51,25 @@ func shuffleKey(jobID int64, k partKey) string {
 func (st *shuffleStore) put(jobID int64, k partKey, payload []byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if err := st.s.Put(shuffleKey(jobID, k), payload); err != nil {
+	key := shuffleKey(jobID, k)
+	// A re-issued attempt landing on the same tracker replaces its
+	// earlier payload: account the superseded size away instead of
+	// double-counting it against the tenant's budget.
+	replaced, _ := st.s.Size(key)
+	if err := st.s.Put(key, payload); err != nil {
 		return err
 	}
-	st.byJob[jobID] = append(st.byJob[jobID], k)
+	hold := st.byJob[jobID]
+	if hold == nil {
+		hold = &jobHold{}
+		st.byJob[jobID] = hold
+	}
+	if replaced > 0 {
+		hold.bytes -= replaced
+	} else {
+		hold.keys = append(hold.keys, k)
+	}
+	hold.bytes += int64(len(payload))
 	return nil
 }
 
@@ -63,25 +88,48 @@ func (st *shuffleStore) get(jobID int64, k partKey) ([]byte, bool) {
 func (st *shuffleStore) purgeJob(jobID int64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for _, k := range st.byJob[jobID] {
+	hold := st.byJob[jobID]
+	if hold == nil {
+		return
+	}
+	for _, k := range hold.keys {
 		st.s.Delete(shuffleKey(jobID, k))
 	}
 	delete(st.byJob, jobID)
 }
 
-// heldJobs lists jobs with payloads in the store.
-func (st *shuffleStore) heldJobs() []int64 {
+// held lists jobs with payloads in the store and the resident bytes
+// behind each — the heartbeat's HeldJobs/HeldBytes pair, which feeds
+// both the JobTracker's GC protocol and its per-tenant spill-budget
+// accounting.
+func (st *shuffleStore) held() ([]int64, map[int64]int64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.byJob) == 0 {
-		return nil
+		return nil, nil
 	}
-	held := make([]int64, 0, len(st.byJob))
-	for id := range st.byJob {
-		held = append(held, id)
+	ids := make([]int64, 0, len(st.byJob))
+	bytes := make(map[int64]int64, len(st.byJob))
+	for id, hold := range st.byJob {
+		ids = append(ids, id)
+		bytes[id] = hold.bytes
 	}
-	return held
+	return ids, bytes
 }
+
+// jobBytes reports one job's resident bytes (0 when the store holds
+// nothing for it).
+func (st *shuffleStore) jobBytes(jobID int64) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if hold := st.byJob[jobID]; hold != nil {
+		return hold.bytes
+	}
+	return 0
+}
+
+// heldBytes reports the store's total resident payload bytes.
+func (st *shuffleStore) heldBytes() int64 { return st.s.HeldBytes() }
 
 // spilledBytes reports the cumulative payload bytes this store sent to
 // disk.

@@ -108,7 +108,8 @@ func TestStreamOutputEncrypt(t *testing.T) {
 	for {
 		held := 0
 		for _, tt := range c.TTs {
-			held += len(tt.store.heldJobs())
+			ids, _ := tt.store.held()
+			held += len(ids)
 		}
 		if held == 0 {
 			break

@@ -214,6 +214,16 @@ func (tt *TaskTracker) halt(ch chan struct{}) {
 // memory.
 func (tt *TaskTracker) SpilledBytes() int64 { return tt.store.spilledBytes() }
 
+// HeldBytes reports the resident payload bytes the tracker's store
+// holds right now, in memory or in spill frames — drops to zero once
+// every job's state is purged, which is how tests prove a kill
+// actually released a tenant's shuffle/spill footprint.
+func (tt *TaskTracker) HeldBytes() int64 { return tt.store.heldBytes() }
+
+// JobHeldBytes reports one job's resident bytes in the tracker's
+// store (0 after the job is purged).
+func (tt *TaskTracker) JobHeldBytes(jobID int64) int64 { return tt.store.jobBytes(jobID) }
+
 func (tt *TaskTracker) handleFetchPartition(body []byte) (any, error) {
 	var args FetchPartitionArgs
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
@@ -272,7 +282,7 @@ func (tt *TaskTracker) loop() {
 		tt.completed = nil
 		free := tt.slots - tt.running
 		tt.mu.Unlock()
-		held := tt.store.heldJobs()
+		held, heldBytes := tt.store.held()
 		var reply HeartbeatReply
 		err := client.Call("Heartbeat", HeartbeatArgs{
 			TrackerID:     tt.ID,
@@ -281,6 +291,7 @@ func (tt *TaskTracker) loop() {
 			FreeSlots:     free,
 			Completed:     reports,
 			HeldJobs:      held,
+			HeldBytes:     heldBytes,
 		}, &reply)
 		if err != nil {
 			// JobTracker gone or the call timed out (the connection

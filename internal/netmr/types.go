@@ -15,6 +15,16 @@
 // mapper trackers and merge them, and heartbeats carry only metadata —
 // partition locations, task failures and the final (small) reduce
 // outputs.
+//
+// The JobTracker is a long-running multi-tenant job service, not a
+// one-job driver: Submit/Status/Wait/Kill/ListJobs RPCs manage many
+// concurrent jobs, each with its own task boards and job-id-prefixed
+// shuffle namespace. Tenants carry quotas (Quota: fair-share weight,
+// job/tracker caps, a held-spill-bytes budget) enforced at admission
+// with the typed ErrQuotaExceeded, and free heartbeat slots are
+// granted across tenants by weighted deficit round-robin
+// (internal/sched's FairShare). Service wraps a cluster for service
+// lifetimes; TenantClient binds a Client to one tenant.
 package netmr
 
 // BlockInfo describes one stored block: its cluster-wide ID, size, the
@@ -138,10 +148,59 @@ type FetchPartitionReply struct {
 
 // --- JobTracker RPC messages ---
 
+// DefaultTenant is the tenant a job with an empty JobSpec.Tenant is
+// accounted to.
+const DefaultTenant = "default"
+
+// Quota is one tenant's admission-control and fair-share contract at
+// the JobTracker. The zero value is unlimited with weight 1, so
+// unconfigured tenants behave exactly as jobs did before tenancy
+// existed.
+type Quota struct {
+	// Weight is the tenant's fair-share weight: over any contended
+	// stretch the tenant receives task grants in proportion to it
+	// (weight 2 gets twice the fleet of weight 1). 0 selects 1.
+	Weight float64
+	// MaxJobs caps the tenant's concurrently running (unfinished)
+	// jobs; the excess submission is rejected with ErrQuotaExceeded.
+	// 0 is unlimited.
+	MaxJobs int
+	// MaxTrackers caps how many distinct TaskTrackers may hold the
+	// tenant's in-flight task attempts at once — the "max trackers
+	// granted" share of the fleet. 0 is unlimited.
+	MaxTrackers int
+	// SpillBytes caps the tenant's resident data-plane footprint:
+	// the shuffle partitions, spill frames and streamed outputs its
+	// jobs hold across every tracker store (as reported by heartbeat
+	// accounting). A submission while the tenant is over budget is
+	// rejected with ErrQuotaExceeded. 0 is unlimited.
+	SpillBytes int64
+}
+
+// JobInfo is one job's row in a ListJobs reply.
+type JobInfo struct {
+	ID     int64
+	Tenant string
+	Name   string
+	Kernel string
+	// Done and Err mirror StatusReply: Err is the terminal error of a
+	// failed or killed job, and Done is true whenever Err is set.
+	Done bool
+	Err  string
+	// Completed counts finished tasks across both phases; Total is
+	// map tasks plus reduce tasks.
+	Completed int
+	Total     int
+}
+
 // JobSpec describes a job: either a data job over Input (one map task
 // per block) or a compute job of NumTasks tasks sharing Samples.
 type JobSpec struct {
-	Name    string
+	Name string
+	// Tenant is the submitting tenant for fair-share scheduling,
+	// quota accounting and ListJobs filtering ("" means
+	// DefaultTenant).
+	Tenant  string
 	Kernel  string // registry name
 	Args    []byte // kernel-specific, gob-encoded
 	Input   string // DFS input file ("" for compute jobs)
@@ -270,6 +329,10 @@ type HeartbeatArgs struct {
 	// HeldJobs lists jobs whose shuffle partitions this tracker still
 	// stores; the reply's PurgeJobs names the ones safe to free.
 	HeldJobs []int64
+	// HeldBytes reports the resident payload bytes behind each entry
+	// of HeldJobs — the per-job store accounting the JobTracker sums
+	// into each tenant's spill-budget usage.
+	HeldBytes map[int64]int64
 }
 
 // HeartbeatReply assigns up to FreeSlots new tasks.
@@ -325,3 +388,30 @@ type ReleaseArgs struct {
 
 // ReleaseReply acknowledges the release.
 type ReleaseReply struct{}
+
+// KillArgs terminates a job: its unfinished work is abandoned, its
+// shuffle/spill/streamed-output state is freed on the trackers' next
+// heartbeats, and Status reports the kill as the job's terminal error.
+// A non-empty Tenant must match the job's tenant — one tenant cannot
+// kill another's job.
+type KillArgs struct {
+	JobID  int64
+	Tenant string
+}
+
+// KillReply acknowledges the kill. AlreadyDone reports that the job
+// had already reached a terminal state, so the kill changed nothing.
+type KillReply struct {
+	AlreadyDone bool
+}
+
+// ListJobsArgs asks for the job table, optionally filtered to one
+// tenant ("" lists every tenant's jobs).
+type ListJobsArgs struct {
+	Tenant string
+}
+
+// ListJobsReply returns the matching jobs in submission (ID) order.
+type ListJobsReply struct {
+	Jobs []JobInfo
+}

@@ -276,6 +276,24 @@ func (b *Board) Reopen(task int) {
 // rather than idling.
 func (b *Board) Affinity() string { return b.opts.Affinity }
 
+// LiveWorkers reports, per worker, how many attempts are in flight at
+// time now (leases that expired by now are dropped first, exactly as
+// Assign would). A multi-tenant master sums it across a tenant's
+// boards for the fair-share load view, and counts the distinct keys
+// against the tenant's tracker quota.
+func (b *Board) LiveWorkers(now time.Time) map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expire(now)
+	out := make(map[string]int)
+	for i := range b.tasks {
+		for _, a := range b.tasks[i].live {
+			out[a.worker]++
+		}
+	}
+	return out
+}
+
 // Done reports whether every task has completed.
 func (b *Board) Done() bool {
 	b.mu.Lock()

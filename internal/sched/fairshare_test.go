@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestFairShareWeightedGrants drives a saturated two-tenant arbiter and
+// checks grant counts converge to the weight ratio: the heart of the
+// multi-tenant JobTracker's grant pass, exercised without any boards.
+func TestFairShareWeightedGrants(t *testing.T) {
+	f := NewFairShare()
+	f.SetWeight("alice", 1)
+	f.SetWeight("bob", 3)
+	eligible := []string{"alice", "bob"}
+	grants := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		tenant := f.Pick(eligible)
+		if tenant == "" {
+			t.Fatalf("grant %d: no tenant picked from %v", i, eligible)
+		}
+		f.Charge(tenant)
+		grants[tenant]++
+	}
+	share := float64(grants["bob"]) / 4000
+	if math.Abs(share-0.75) > 0.01 {
+		t.Fatalf("bob (weight 3 of 4) got share %.3f of grants (%v), want ~0.75", share, grants)
+	}
+}
+
+// TestFairShareIdleReset proves a tenant cannot bank credit while idle:
+// after sitting out (Idle) it competes from zero, not from a hoard.
+func TestFairShareIdleReset(t *testing.T) {
+	f := NewFairShare()
+	f.SetWeight("alice", 1)
+	f.SetWeight("bob", 1)
+	// Alice alone for a long stretch: all grants hers.
+	for i := 0; i < 100; i++ {
+		if got := f.Pick([]string{"alice"}); got != "alice" {
+			t.Fatalf("solo pick %d: got %q", i, got)
+		}
+		f.Charge("alice")
+	}
+	f.Idle("bob") // bob had no work the whole time
+	// Bob wakes: from here the two must alternate ~evenly, not bob
+	// monopolizing to repay an idle-time hoard.
+	grants := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tenant := f.Pick([]string{"alice", "bob"})
+		f.Charge(tenant)
+		grants[tenant]++
+	}
+	if diff := grants["alice"] - grants["bob"]; diff < -20 || diff > 20 {
+		t.Fatalf("post-idle grants skewed: %v", grants)
+	}
+}
+
+// TestFairShareDeterministicTie pins the tie-break: equal weights and
+// credits serve the lexicographically smaller name first.
+func TestFairShareDeterministicTie(t *testing.T) {
+	f := NewFairShare()
+	if got := f.Pick([]string{"b", "a"}); got != "a" {
+		t.Fatalf("tie pick: got %q, want %q", got, "a")
+	}
+}
+
+// TestBoardLiveWorkers checks the live-attempt census the multi-tenant
+// master uses for tracker quotas: grants appear, completions disappear,
+// expired leases are dropped.
+func TestBoardLiveWorkers(t *testing.T) {
+	lease := time.Minute
+	b, err := NewBoard(3, lease, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	b.Assign("w1", 2, now, nil)
+	b.Assign("w2", 1, now, nil)
+	live := b.LiveWorkers(now)
+	if live["w1"] != 2 || live["w2"] != 1 {
+		t.Fatalf("live after grants: %v", live)
+	}
+	b.Complete(0, "w1")
+	if live := b.LiveWorkers(now); live["w1"] != 1 {
+		t.Fatalf("live after completion: %v", live)
+	}
+	if live := b.LiveWorkers(now.Add(2 * lease)); len(live) != 0 {
+		t.Fatalf("live after lease expiry: %v", live)
+	}
+}

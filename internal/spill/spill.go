@@ -46,6 +46,7 @@ type Store struct {
 	codec    Codec
 	entries  map[string]entry
 	memUse   int64
+	held     int64 // resident payload bytes, in memory or on disk
 	spilled  int64
 	seq      int
 	closed   bool
@@ -94,6 +95,7 @@ func (s *Store) Put(key string, data []byte) error {
 	}
 	s.dropLocked(key)
 	size := int64(len(data))
+	s.held += size
 	if s.memLimit < 0 || s.memUse+size <= s.memLimit {
 		s.entries[key] = entry{mem: append([]byte(nil), data...), size: size}
 		s.memUse += size
@@ -250,6 +252,7 @@ func (s *Store) dropLocked(key string) {
 	} else {
 		os.Remove(e.path)
 	}
+	s.held -= e.size
 	delete(s.entries, key)
 }
 
@@ -258,6 +261,16 @@ func (s *Store) MemBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.memUse
+}
+
+// HeldBytes reports the resident payload bytes the store currently
+// holds, in memory or in spill frames (sizes pre-compression) — the
+// live-footprint figure behind per-tenant spill budgets, where
+// SpilledBytes is a cumulative traffic meter.
+func (s *Store) HeldBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.held
 }
 
 // SpilledBytes reports the cumulative payload bytes spilled to disk
@@ -286,6 +299,7 @@ func (s *Store) Close() error {
 	s.closed = true
 	s.entries = make(map[string]entry)
 	s.memUse = 0
+	s.held = 0
 	if s.dir != "" {
 		return os.RemoveAll(s.dir)
 	}
