@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json mem-smoke repro-quick fmt vet lint race docs ci
+.PHONY: build test bench bench-json bench-gate bench-baseline fuzz-smoke mem-smoke repro-quick fmt vet lint race docs ci
 
 build:
 	$(GO) build ./...
@@ -18,15 +18,43 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json mirrors the CI benchmark lane: every benchmark once,
-# parsed into the machine-readable perf artifact (name parameterized
-# like the CI lane's BENCH_ARTIFACT). The intermediate file (not a
-# pipe) keeps a benchmark failure fatal.
-BENCH_ARTIFACT ?= BENCH_PR6
+# parsed into the machine-readable perf artifact. The name is derived
+# from HEAD like the CI lane derives it from the PR number — no stale
+# hardcoded artifact names. The intermediate file (not a pipe) keeps a
+# benchmark failure fatal.
+BENCH_ARTIFACT ?= BENCH_$(shell git rev-parse --short=12 HEAD 2>/dev/null || echo LOCAL)
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_ARTIFACT).json < bench.out
 	@rm -f bench.out
 	@echo "wrote $(BENCH_ARTIFACT).json"
+
+# bench-gate mirrors the CI regression gate: rerun the rpcnet wire
+# benchmarks at a real benchtime and fail on any >15% direction-aware
+# regression against the committed baseline.
+bench-gate:
+	$(GO) test -bench=. -benchtime=0.3s -count=5 -run='^$$' ./internal/rpcnet > gate.out
+	$(GO) run ./cmd/benchjson -o BENCH_GATE.json < gate.out
+	@rm -f gate.out
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -new BENCH_GATE.json -threshold 0.15
+	@rm -f BENCH_GATE.json
+
+# bench-baseline refreshes the committed gate baseline — run it (and
+# commit the result) when a PR legitimately moves the rpcnet numbers.
+bench-baseline:
+	$(GO) test -bench=. -benchtime=0.3s -count=5 -run='^$$' ./internal/rpcnet > gate.out
+	$(GO) run ./cmd/benchjson -o BENCH_BASELINE.json < gate.out
+	@rm -f gate.out
+	@echo "wrote BENCH_BASELINE.json"
+
+# fuzz-smoke mirrors the CI fuzz lane: short coverage-led mutation
+# over the rpcnet wire decoders and the snap codec.
+fuzz-smoke:
+	$(GO) test ./internal/rpcnet -run='^$$' -fuzz FuzzReadFrame -fuzztime 10s
+	$(GO) test ./internal/rpcnet -run='^$$' -fuzz FuzzReadHello -fuzztime 5s
+	$(GO) test ./internal/rpcnet -run='^$$' -fuzz FuzzServeConn -fuzztime 10s
+	$(GO) test ./internal/spill -run='^$$' -fuzz FuzzSnapRoundTrip -fuzztime 10s
+	$(GO) test ./internal/spill -run='^$$' -fuzz FuzzSnapDecode -fuzztime 10s
 
 # mem-smoke mirrors the CI bounded-memory lane: above-watermark
 # synthetic datasets streamed through the live and net backends under
@@ -55,9 +83,9 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-# docs mirrors the CI docs lane: godoc coverage over the five core
+# docs mirrors the CI docs lane: godoc coverage over the six core
 # packages plus the ARCHITECTURE.md link check.
 docs:
 	$(GO) run ./cmd/docscheck
 
-ci: fmt lint docs build race mem-smoke repro-quick bench
+ci: fmt lint docs build race mem-smoke repro-quick bench bench-gate

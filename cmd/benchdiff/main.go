@@ -1,0 +1,205 @@
+// benchdiff compares a fresh benchjson report against a committed
+// baseline and exits nonzero when any shared metric regressed past the
+// threshold — the CI bench lane's regression gate.
+//
+//	benchdiff -baseline BENCH_BASELINE.json -new BENCH_PR7.json -threshold 0.15
+//
+// Comparison is direction-aware per metric unit: throughput-style
+// units (MB/s, anything per second, speedup) regress when they drop,
+// cost-style units (ns/op, B/op, allocs/op) regress when they rise.
+// Benchmarks present on only one side are reported but never fail the
+// gate — new benchmarks land without a baseline and retired ones
+// leave — so the gate only ever compares like with like.
+//
+// Run the benchmarks with `-count N`: repeated entries collapse
+// best-of-N (min cost, max rate) before diffing, which filters the
+// scheduler-contention noise that single runs on shared CI runners
+// carry.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchmark mirrors one benchjson result entry.
+type Benchmark struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report mirrors the benchjson document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Delta is one metric compared across the two reports. Change is the
+// signed fractional move relative to the baseline; Regressed is true
+// when the move is in the metric's bad direction by more than the
+// threshold.
+type Delta struct {
+	Bench     string // pkg-qualified benchmark name
+	Unit      string // metric unit ("ns/op", "MB/s", ...)
+	Base, New float64
+	Change    float64
+	Regressed bool
+}
+
+// higherIsBetter classifies a metric unit's good direction: rates
+// (anything per second) and speedups go up, costs (time, bytes,
+// allocations per op) go down.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.Contains(unit, "speedup")
+}
+
+// key identifies a benchmark across reports. Procs is deliberately
+// excluded: the baseline machine and the CI runner may differ in
+// GOMAXPROCS, and the gate compares the benchmark, not the box.
+func key(b Benchmark) string {
+	if b.Pkg == "" {
+		return b.Name
+	}
+	return b.Pkg + "." + b.Name
+}
+
+// metrics flattens a benchmark into unit→value, folding ns/op in with
+// the extra metrics so one loop compares everything.
+func metrics(b Benchmark) map[string]float64 {
+	m := make(map[string]float64, len(b.Metrics)+1)
+	if b.NsPerOp > 0 {
+		m["ns/op"] = b.NsPerOp
+	}
+	for unit, v := range b.Metrics {
+		m[unit] = v
+	}
+	return m
+}
+
+// collapse folds a report into key → unit → value. Repeated entries
+// for one benchmark (a `go test -count N` run) merge best-of-N,
+// direction-aware: the minimum for cost metrics, the maximum for
+// rates. Best-of is the noise floor of the machine, which is what a
+// regression gate should compare — medians still wobble with
+// scheduler contention on shared runners.
+func collapse(r Report) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		k := key(b)
+		m := out[k]
+		if m == nil {
+			m = make(map[string]float64)
+			out[k] = m
+		}
+		for unit, v := range metrics(b) {
+			prev, seen := m[unit]
+			better := !seen || (higherIsBetter(unit) && v > prev) || (!higherIsBetter(unit) && v < prev)
+			if better {
+				m[unit] = v
+			}
+		}
+	}
+	return out
+}
+
+// Diff compares every metric shared by both reports (each collapsed
+// best-of-N first). It returns the per-metric deltas (sorted by
+// benchmark, then unit) plus the names of benchmarks found on only
+// one side.
+func Diff(base, fresh Report, threshold float64) (deltas []Delta, onlyBase, onlyNew []string) {
+	baseBy, freshBy := collapse(base), collapse(fresh)
+	for k, nm := range freshBy {
+		bm, ok := baseBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		for unit, bv := range bm {
+			nv, ok := nm[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			d := Delta{Bench: k, Unit: unit, Base: bv, New: nv, Change: (nv - bv) / bv}
+			if higherIsBetter(unit) {
+				d.Regressed = d.Change < -threshold
+			} else {
+				d.Regressed = d.Change > threshold
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	for k := range baseBy {
+		if _, ok := freshBy[k]; !ok {
+			onlyBase = append(onlyBase, k)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Bench != deltas[j].Bench {
+			return deltas[i].Bench < deltas[j].Bench
+		}
+		return deltas[i].Unit < deltas[j].Unit
+	})
+	sort.Strings(onlyBase)
+	sort.Strings(onlyNew)
+	return deltas, onlyBase, onlyNew
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_BASELINE.json", "committed benchjson baseline")
+	newPath := flag.String("new", "", "fresh benchjson report to gate")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression per metric (0.15 = 15%)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	deltas, onlyBase, onlyNew := Diff(base, fresh, *threshold)
+	regressed := 0
+	for _, d := range deltas {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+			regressed++
+		}
+		fmt.Printf("%s%-60s %-10s %12.2f -> %12.2f  %+6.1f%%\n",
+			mark, d.Bench, d.Unit, d.Base, d.New, 100*d.Change)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("  %-60s (new, no baseline)\n", k)
+	}
+	for _, k := range onlyBase {
+		fmt.Printf("  %-60s (baseline only, not run)\n", k)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past %.0f%%\n", regressed, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metric(s) within %.0f%% of baseline\n", len(deltas), 100**threshold)
+}

@@ -1,0 +1,119 @@
+package main
+
+import "testing"
+
+func bench(pkg, name string, ns float64, m map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, NsPerOp: ns, Metrics: m}
+}
+
+// TestSyntheticRegressionTripsGate is the gate's own acceptance test:
+// a fabricated 50% throughput drop and a fabricated 50% latency rise
+// must both register as regressions at a 15% threshold, while the
+// direction-correct improvements must not.
+func TestSyntheticRegressionTripsGate(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("hetmr/internal/rpcnet", "BenchmarkCallBlock64K", 1_000_000, map[string]float64{"MB/s": 300}),
+		bench("hetmr/internal/rpcnet", "BenchmarkCallSmall", 50_000, nil),
+	}}
+	fresh := Report{Benchmarks: []Benchmark{
+		bench("hetmr/internal/rpcnet", "BenchmarkCallBlock64K", 900_000, map[string]float64{"MB/s": 150}), // MB/s halved: regression
+		bench("hetmr/internal/rpcnet", "BenchmarkCallSmall", 75_000, nil),                                 // ns/op +50%: regression
+	}}
+	deltas, _, _ := Diff(base, fresh, 0.15)
+	regressed := map[string]bool{}
+	for _, d := range deltas {
+		if d.Regressed {
+			regressed[d.Bench+" "+d.Unit] = true
+		}
+	}
+	if !regressed["hetmr/internal/rpcnet.BenchmarkCallBlock64K MB/s"] {
+		t.Error("halved MB/s did not register as a regression")
+	}
+	if !regressed["hetmr/internal/rpcnet.BenchmarkCallSmall ns/op"] {
+		t.Error("+50% ns/op did not register as a regression")
+	}
+	// The block benchmark's ns/op *improved* (1ms -> 0.9ms); a
+	// direction-blind diff would flag it.
+	if regressed["hetmr/internal/rpcnet.BenchmarkCallBlock64K ns/op"] {
+		t.Error("improved ns/op flagged as a regression")
+	}
+}
+
+// TestImprovementsAndNoisePass pins the quiet path: moves inside the
+// threshold and moves in the good direction never trip the gate.
+func TestImprovementsAndNoisePass(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 100, map[string]float64{"MB/s": 100, "B/op": 512}),
+	}}
+	fresh := Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 110, map[string]float64{"MB/s": 95, "B/op": 256}), // +10% ns, -5% MB/s, halved allocs
+	}}
+	deltas, _, _ := Diff(base, fresh, 0.15)
+	for _, d := range deltas {
+		if d.Regressed {
+			t.Errorf("%s %s flagged at %.0f%% with a 15%% threshold", d.Bench, d.Unit, 100*d.Change)
+		}
+	}
+}
+
+// TestUnmatchedBenchmarksNeverFail pins that appearing or disappearing
+// benchmarks are reported, not gated.
+func TestUnmatchedBenchmarksNeverFail(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{bench("p", "BenchmarkOld", 100, nil)}}
+	fresh := Report{Benchmarks: []Benchmark{bench("p", "BenchmarkNew", 100, nil)}}
+	deltas, onlyBase, onlyNew := Diff(base, fresh, 0.15)
+	if len(deltas) != 0 {
+		t.Errorf("unmatched benchmarks produced %d deltas", len(deltas))
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "p.BenchmarkOld" {
+		t.Errorf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "p.BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+// TestBestOfNCollapse pins the -count N merge: repeated entries for
+// one benchmark keep the best value per metric, direction-aware, so
+// one noisy repetition cannot trip (or mask) the gate.
+func TestBestOfNCollapse(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 100, map[string]float64{"MB/s": 300}),
+	}}
+	fresh := Report{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkA", 250, map[string]float64{"MB/s": 120}), // contended repetition
+		bench("p", "BenchmarkA", 105, map[string]float64{"MB/s": 290}), // clean repetition
+		bench("p", "BenchmarkA", 180, map[string]float64{"MB/s": 200}),
+	}}
+	deltas, _, _ := Diff(base, fresh, 0.15)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Regressed {
+			t.Errorf("%s %s: best-of-N %v vs %v flagged as regression", d.Bench, d.Unit, d.New, d.Base)
+		}
+		switch d.Unit {
+		case "ns/op":
+			if d.New != 105 {
+				t.Errorf("ns/op collapsed to %v, want min 105", d.New)
+			}
+		case "MB/s":
+			if d.New != 290 {
+				t.Errorf("MB/s collapsed to %v, want max 290", d.New)
+			}
+		}
+	}
+}
+
+// TestDirectionTable pins the unit classifier itself.
+func TestDirectionTable(t *testing.T) {
+	for unit, higher := range map[string]bool{
+		"ns/op": false, "B/op": false, "allocs/op": false,
+		"MB/s": true, "ops/s": true, "speedup": true, "x-speedup": true,
+	} {
+		if got := higherIsBetter(unit); got != higher {
+			t.Errorf("higherIsBetter(%q) = %v, want %v", unit, got, higher)
+		}
+	}
+}

@@ -25,6 +25,7 @@ var corePackages = []string{
 	"internal/netmr",
 	"internal/spill",
 	"internal/hdfs",
+	"internal/rpcnet",
 }
 
 func main() {

@@ -46,6 +46,7 @@ func main() {
 	output := flag.String("output", "", "stream the job's output to this file through Job.Sink (sort and enc)")
 	spillMem := flag.Int64("spill-mem", 0, "data-plane spill watermark in bytes: 0 keeps everything in memory, -1 spills every payload (live and net)")
 	spillCompress := flag.Bool("spill-compress", false, "frame-compress spilled payloads")
+	codec := flag.String("codec", "", "data-plane compression codec (snap or flate): negotiated on the wire for net backends and remote submission, and used for -spill-compress frames")
 	serveMode := flag.Bool("serve", false, "run a long-lived multi-tenant job service instead of one job; print its addresses and block until interrupted")
 	quotas := flag.String("quotas", "", "per-tenant quotas for -serve: tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]],...")
 	slots := flag.Int("slots", 2, "task slots per worker (-serve)")
@@ -56,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *serveMode {
-		if err := serve(*nodes, *slots, *blockSize, *quotas, *spillMem, *spillCompress); err != nil {
+		if err := serve(*nodes, *slots, *blockSize, *quotas, *spillMem, *spillCompress, *codec); err != nil {
 			fmt.Fprintln(os.Stderr, "mrsim:", err)
 			os.Exit(1)
 		}
@@ -67,7 +68,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mrsim: remote submission needs both -nn and -jt")
 			os.Exit(1)
 		}
-		err := runRemote(*nn, *jt, *tenant, *wl, *blockSize, *mb, int64(*samples), *maps, *jobTimeout)
+		err := runRemote(*nn, *jt, *tenant, *wl, *blockSize, *mb, int64(*samples), *maps, *jobTimeout, *codec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrsim:", err)
 			os.Exit(1)
@@ -95,6 +96,7 @@ func main() {
 		Timeline:      *timeline,
 		SpillMemBytes: spill,
 		SpillCompress: *spillCompress,
+		Codec:         *codec,
 	}
 	if *speedHints {
 		// accel already follows the Config convention the shared

@@ -20,10 +20,15 @@ import (
 // interrupted: the printed NameNode/JobTracker addresses are what
 // client invocations (-nn/-jt) dial to submit jobs against the shared
 // fleet.
-func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, spillCompress bool) error {
+func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, spillCompress bool, codecName string) error {
 	quotas, err := parseQuotas(quotaSpec)
 	if err != nil {
 		return err
+	}
+	if codecName != "" {
+		if _, ok := spill.CodecByName(codecName); !ok {
+			return fmt.Errorf("unknown codec %q (have %v)", codecName, spill.CodecNames())
+		}
 	}
 	opts := []netmr.ClusterOption{netmr.WithQuotas(quotas)}
 	if spillMem != 0 {
@@ -34,8 +39,14 @@ func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, 
 		var codec spill.Codec
 		if spillCompress {
 			codec = spill.Flate()
+			if codecName != "" {
+				codec, _ = spill.CodecByName(codecName) // validated above
+			}
 		}
 		opts = append(opts, netmr.WithSpill("", mem, codec))
+	}
+	if codecName != "" {
+		opts = append(opts, netmr.WithWireCodec(codecName))
 	}
 	svc, err := netmr.StartService(nodes, slots, blockSize, 20*time.Millisecond, opts...)
 	if err != nil {
@@ -114,8 +125,12 @@ func sortedQuotaTenants(quotas map[string]netmr.Quota) []string {
 // runRemote submits one workload to an already-running job service as
 // the given tenant, waits for it and prints the result — the client
 // half of -serve.
-func runRemote(nnAddr, jtAddr, tenant, wl string, blockSize int64, mb float64, samples int64, maps int, timeout time.Duration) error {
-	tc, err := netmr.NewTenantClient(nnAddr, jtAddr, blockSize, tenant)
+func runRemote(nnAddr, jtAddr, tenant, wl string, blockSize int64, mb float64, samples int64, maps int, timeout time.Duration, codecName string) error {
+	var copts []netmr.ClientOption
+	if codecName != "" {
+		copts = append(copts, netmr.WithClientWireCodec(codecName))
+	}
+	tc, err := netmr.NewTenantClient(nnAddr, jtAddr, blockSize, tenant, copts...)
 	if err != nil {
 		return err
 	}

@@ -53,7 +53,12 @@ func conformanceJobs() []*Job {
 
 func runOn(t *testing.T, backend string, job *Job) (*Result, bool) {
 	t.Helper()
-	r, err := New(backend, conformanceConfig())
+	return runOnConfig(t, backend, conformanceConfig(), job)
+}
+
+func runOnConfig(t *testing.T, backend string, cfg Config, job *Job) (*Result, bool) {
+	t.Helper()
+	r, err := New(backend, cfg)
 	if err != nil {
 		t.Fatalf("%s: New: %v", backend, err)
 	}
@@ -88,6 +93,38 @@ func TestCrossBackendConformance(t *testing.T) {
 					continue
 				}
 				assertSameResult(t, job.Kind, required[0], ref, backend, res)
+			}
+		})
+	}
+}
+
+// TestCrossBackendConformanceWithCodec re-runs the conformance
+// contract with wire compression negotiated (Config.Codec) and pins
+// every backend's compressed-wire result against the same backend's
+// uncompressed run — the codec is a transport knob, never a semantic
+// one. On the net backend the codec actually rides the wire (DFS
+// blocks, shuffle fetches); on the others it must be inert.
+func TestCrossBackendConformanceWithCodec(t *testing.T) {
+	backends := []string{"live", "sim", "net", "cellmr"}
+	for _, job := range conformanceJobs() {
+		job := job
+		t.Run(string(job.Kind), func(t *testing.T) {
+			for _, backend := range backends {
+				plain, ok := runOn(t, backend, job)
+				if !ok {
+					continue
+				}
+				for _, codec := range []string{"snap", "flate"} {
+					cfg := conformanceConfig()
+					cfg.Codec = codec
+					compressed, ok := runOnConfig(t, backend, cfg, job)
+					if !ok {
+						t.Fatalf("%s: %s supported without codec but not with %q", backend, job.Kind, codec)
+					}
+					if err := SameResult(job.Kind, plain, compressed); err != nil {
+						t.Fatalf("%s: %s: codec %q changed the result: %v", backend, job.Kind, codec, err)
+					}
+				}
 			}
 		})
 	}

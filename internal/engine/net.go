@@ -56,6 +56,9 @@ func init() {
 		if cfg.SpillMemBytes != 0 {
 			opts = append(opts, netmr.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
 		}
+		if cfg.Codec != "" {
+			opts = append(opts, netmr.WithWireCodec(cfg.Codec))
+		}
 		clus, err := netmr.StartCluster(cfg.Workers, cfg.MappersPerNode,
 			cfg.BlockSize, 20*time.Millisecond, opts...)
 		if err != nil {
@@ -308,7 +311,8 @@ func (nj *netJob) wait() (*Result, error) {
 // Run implements Runner as submit-then-wait over the job service, so
 // the one-shot path and Client.Submit exercise the same machinery. It
 // is safe for concurrent use: each call stages its input under a
-// distinct DFS path and the netmr client is connectionless per call.
+// distinct DFS path, and the netmr client multiplexes concurrent
+// calls over its pooled connections.
 func (r *netRunner) Run(job *Job) (*Result, error) {
 	nj, err := r.start(job)
 	if err != nil {

@@ -106,9 +106,18 @@ type Config struct {
 	// the OS temp dir). Stores create and remove their own
 	// subdirectories.
 	SpillDir string
-	// SpillCompress frame-compresses spilled payloads (DEFLATE at
-	// fastest) — trade CPU for spill-disk footprint.
+	// SpillCompress frame-compresses spilled payloads — trade CPU for
+	// spill-disk footprint. The codec is Codec when set, DEFLATE at
+	// fastest otherwise.
 	SpillCompress bool
+	// Codec names the data-plane compression codec (spill.CodecByName:
+	// "snap" for the LZ4-style block codec, "flate" for DEFLATE; ""
+	// for none, the default). On the net backend a non-empty Codec is
+	// also negotiated as the rpcnet wire codec, so DFS block transfers
+	// and shuffle FetchPartition payloads are compressed per frame on
+	// the wire; results stay bit-identical with it on or off. With
+	// SpillCompress set it selects the spill frame codec too.
+	Codec string
 	// Timeline requests a rendered task Gantt chart in Result.Sim
 	// (simulated backend).
 	Timeline bool
@@ -193,6 +202,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxAttempts < 0 {
 		return c, fmt.Errorf("engine: negative attempt cap %d", c.MaxAttempts)
+	}
+	if c.Codec != "" {
+		if _, ok := spill.CodecByName(c.Codec); !ok {
+			return c, fmt.Errorf("engine: unknown codec %q (have %v)", c.Codec, spill.CodecNames())
+		}
 	}
 	if c.SpeedHints != nil && len(c.SpeedHints) != c.Workers {
 		return c, fmt.Errorf("engine: %d speed hints for %d workers", len(c.SpeedHints), c.Workers)
@@ -296,12 +310,18 @@ func (c Config) spillMem() int64 {
 	}
 }
 
-// spillCodec resolves the spill frame codec.
+// spillCodec resolves the spill frame codec: Codec when named,
+// DEFLATE otherwise. Callers run after withDefaults, so a non-empty
+// Codec is known to resolve.
 func (c Config) spillCodec() spill.Codec {
-	if c.SpillCompress {
-		return spill.Flate()
+	if !c.SpillCompress {
+		return nil
 	}
-	return nil
+	if c.Codec != "" {
+		codec, _ := spill.CodecByName(c.Codec)
+		return codec
+	}
+	return spill.Flate()
 }
 
 // validateJob checks a job against this backend configuration at the

@@ -44,4 +44,14 @@ var (
 
 	// JobsKilled counts jobs terminated mid-flight by a Kill RPC.
 	JobsKilled Counter
+
+	// WireBytesRaw counts rpcnet frame payload bytes before optional
+	// wire compression, send-side (requests and responses alike).
+	WireBytesRaw Counter
+
+	// WireBytesOnWire counts rpcnet frame payload bytes as actually
+	// sent — after compression when a frame was compressed, equal to
+	// the raw figure otherwise. WireBytesRaw−WireBytesOnWire is the
+	// traffic the negotiated codec saved.
+	WireBytesOnWire Counter
 )

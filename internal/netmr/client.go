@@ -16,20 +16,56 @@ import (
 
 // Client is the user-facing handle to a running netmr cluster: DFS
 // file I/O through the NameNode/DataNodes, job submission through the
-// JobTracker.
+// JobTracker. It keeps one pooled, multiplexed connection per daemon
+// (redialed transparently if it dies); Close releases them.
 type Client struct {
-	nnAddr    string
-	jtAddr    string
-	blockSize int64
+	nnAddr        string
+	jtAddr        string
+	blockSize     int64
+	wireCodecName string
+	wire          *connCache
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client) error
+
+// WithClientWireCodec makes every connection the client dials propose
+// the named wire codec (spill.CodecByName), so DFS block transfers
+// and output fetches are compressed on the wire when the server side
+// accepts.
+func WithClientWireCodec(name string) ClientOption {
+	return func(c *Client) error {
+		if name != "" {
+			if _, ok := spill.CodecByName(name); !ok {
+				return fmt.Errorf("netmr: unknown wire codec %q", name)
+			}
+		}
+		c.wireCodecName = name
+		return nil
+	}
 }
 
 // NewClient builds a client. blockSize governs how files are cut into
 // blocks on write.
-func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64) (*Client, error) {
+func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64, opts ...ClientOption) (*Client, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("netmr: block size must be positive, got %d", blockSize)
 	}
-	return &Client{nnAddr: nameNodeAddr, jtAddr: jobTrackerAddr, blockSize: blockSize}, nil
+	c := &Client{nnAddr: nameNodeAddr, jtAddr: jobTrackerAddr, blockSize: blockSize}
+	for _, o := range opts {
+		if err := o(c); err != nil {
+			return nil, err
+		}
+	}
+	c.wire = newConnCache(c.wireCodecName)
+	return c, nil
+}
+
+// Close releases the client's cached connections. The client must not
+// be used afterwards. Idempotent.
+func (c *Client) Close() error {
+	c.wire.close()
+	return nil
 }
 
 // WriteFile stores data under name, block by block. preferred, when
@@ -44,11 +80,10 @@ func (c *Client) WriteFile(name string, data []byte, preferred string) error {
 // ingesting a dataset far larger than RAM costs O(blockSize) memory.
 // It returns the bytes written.
 func (c *Client) WriteFrom(name string, r io.Reader, preferred string) (int64, error) {
-	nnc, err := rpcnet.Dial(c.nnAddr)
+	nnc, err := c.wire.get(c.nnAddr)
 	if err != nil {
 		return 0, err
 	}
-	defer nnc.Close()
 	buf := make([]byte, c.blockSize)
 	var total int64
 	first := true
@@ -90,14 +125,12 @@ func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, prefe
 	var stored []string
 	var lastErr error
 	for _, addr := range alloc.Block.ReplicaAddrs() {
-		dnc, err := rpcnet.Dial(addr)
+		dnc, err := c.wire.get(addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		dnc.SetCallTimeout(dataCallTimeout)
-		err = dnc.Call("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil)
-		dnc.Close()
+		err = dnc.CallTimeout("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil, dataCallTimeout)
 		if err != nil {
 			lastErr = err
 			continue
@@ -121,31 +154,23 @@ func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, prefe
 
 // ReadFile fetches name's full contents.
 func (c *Client) ReadFile(name string) ([]byte, error) {
-	nnc, err := rpcnet.Dial(c.nnAddr)
+	nnc, err := c.wire.get(c.nnAddr)
 	if err != nil {
 		return nil, err
 	}
-	defer nnc.Close()
 	var lookup LookupReply
 	if err := nnc.Call("Lookup", LookupArgs{File: name}, &lookup); err != nil {
 		return nil, err
 	}
 	var out []byte
 	for _, blk := range lookup.Blocks {
-		data, err := readBlock(blk)
+		data, _, err := readBlockFrom(c.wire, blk, blk.ReplicaAddrs())
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, data...)
 	}
 	return out, nil
-}
-
-// readBlock fetches one block, failing over along the replica list
-// when a DataNode is down.
-func readBlock(blk BlockInfo) ([]byte, error) {
-	data, _, err := readBlockFrom(blk, blk.ReplicaAddrs())
-	return data, err
 }
 
 // dataCallTimeout bounds one data-plane round-trip (a DFS block Get or
@@ -157,19 +182,19 @@ const dataCallTimeout = 30 * time.Second
 // readBlockFrom fetches one block from the first reachable address,
 // trying addrs in order and returning the address that served the read
 // for the caller's accounting — the one copy of the DFS read-failover
-// protocol, shared by the client and the TaskTrackers.
-func readBlockFrom(blk BlockInfo, addrs []string) ([]byte, string, error) {
+// protocol, shared by the client and the TaskTrackers. Connections
+// come from the caller's cache; a dead replica costs a failed call,
+// not a poisoned cache entry (the pooled client redials on reuse).
+func readBlockFrom(wire *connCache, blk BlockInfo, addrs []string) ([]byte, string, error) {
 	var lastErr error
 	for _, addr := range addrs {
-		dnc, err := rpcnet.Dial(addr)
+		dnc, err := wire.get(addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		dnc.SetCallTimeout(dataCallTimeout)
 		var get GetReply
-		err = dnc.Call("Get", GetArgs{ID: blk.ID}, &get)
-		dnc.Close()
+		err = dnc.CallTimeout("Get", GetArgs{ID: blk.ID}, &get, dataCallTimeout)
 		if err != nil {
 			lastErr = err
 			continue
@@ -181,11 +206,10 @@ func readBlockFrom(blk BlockInfo, addrs []string) ([]byte, string, error) {
 
 // ListFiles returns the namespace listing.
 func (c *Client) ListFiles() ([]string, error) {
-	nnc, err := rpcnet.Dial(c.nnAddr)
+	nnc, err := c.wire.get(c.nnAddr)
 	if err != nil {
 		return nil, err
 	}
-	defer nnc.Close()
 	var list ListReply
 	if err := nnc.Call("List", ListArgs{}, &list); err != nil {
 		return nil, err
@@ -196,11 +220,10 @@ func (c *Client) ListFiles() ([]string, error) {
 // Submit sends a job and returns its ID. An admission-control
 // rejection satisfies errors.Is(err, ErrQuotaExceeded).
 func (c *Client) Submit(spec JobSpec) (int64, error) {
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return 0, err
 	}
-	defer jtc.Close()
 	var reply SubmitReply
 	if err := jtc.Call("Submit", SubmitArgs{Spec: spec}, &reply); err != nil {
 		return 0, quotaErr(err)
@@ -228,22 +251,20 @@ func quotaErr(err error) error {
 // Trackers purge the job's shuffle and spill state on their next
 // heartbeats. Killing an already-finished job is not an error.
 func (c *Client) Kill(jobID int64, tenant string) error {
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return err
 	}
-	defer jtc.Close()
 	return jtc.Call("Kill", KillArgs{JobID: jobID, Tenant: tenant}, nil)
 }
 
 // ListJobs lists jobs known to the JobTracker in submission order —
 // every tenant's when tenant is empty, one tenant's otherwise.
 func (c *Client) ListJobs(tenant string) ([]JobInfo, error) {
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return nil, err
 	}
-	defer jtc.Close()
 	var reply ListJobsReply
 	if err := jtc.Call("ListJobs", ListJobsArgs{Tenant: tenant}, &reply); err != nil {
 		return nil, err
@@ -278,11 +299,10 @@ func (c *Client) Wait(jobID int64, timeout time.Duration) ([]byte, error) {
 // returns the job's terminal StatusReply.
 func (c *Client) waitDone(jobID int64, timeout time.Duration) (StatusReply, error) {
 	deadline := time.Now().Add(timeout)
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return StatusReply{}, err
 	}
-	defer func() { jtc.Close() }()
 	// Poll with exponential backoff: short jobs still see a handful of
 	// quick polls, but a long-running job costs the JobTracker ~4
 	// Status calls per second instead of 50 — a multi-tenant service
@@ -303,24 +323,18 @@ func (c *Client) waitDone(jobID int64, timeout time.Duration) (StatusReply, erro
 		if callTimeout > waitCallTimeout {
 			callTimeout = waitCallTimeout
 		}
-		jtc.SetCallTimeout(callTimeout)
 		var status StatusReply
-		if err := jtc.Call("Status", StatusArgs{JobID: jobID}, &status); err != nil {
+		if err := jtc.CallTimeout("Status", StatusArgs{JobID: jobID}, &status, callTimeout); err != nil {
 			if time.Now().After(deadline) {
 				return last, fmt.Errorf("netmr: job %d timed out (%d/%d tasks done): %v",
 					jobID, last.Completed, last.Total, err)
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				// The call hit its own deadline: the connection is
-				// unusable mid-frame, so redial and keep polling
-				// until the overall deadline decides.
-				jtc.Close()
-				fresh, err := rpcnet.Dial(c.jtAddr)
-				if err != nil {
-					return last, err // jtc stays closed; double Close is safe
-				}
-				jtc = fresh
+				// The call hit its own deadline. Unlike protocol v1 the
+				// connection survives — the late reply is dropped by
+				// request ID — so just keep polling until the overall
+				// deadline decides.
 				continue
 			}
 			return last, err
@@ -367,30 +381,19 @@ func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, dec
 	if len(st.Outputs) == 0 {
 		return 0, fmt.Errorf("netmr: job %d reported no streamed outputs (submit with StreamOutput for a data job)", jobID)
 	}
-	clients := make(map[string]*rpcnet.Client)
-	defer func() {
-		for _, cc := range clients {
-			cc.Close()
-		}
-	}()
 	var total int64
 	for _, ref := range st.Outputs {
 		if ref.Addr == "" {
 			return total, fmt.Errorf("netmr: job %d output piece (%d,%d) has no location", jobID, ref.MapTask, ref.Part)
 		}
-		cc, ok := clients[ref.Addr]
-		if !ok {
-			cc, err = rpcnet.Dial(ref.Addr)
-			if err != nil {
-				return total, fmt.Errorf("netmr: job %d output store %s: %w", jobID, ref.Addr, err)
-			}
-			cc.SetCallTimeout(dataCallTimeout)
-			clients[ref.Addr] = cc
+		cc, err := c.wire.get(ref.Addr)
+		if err != nil {
+			return total, fmt.Errorf("netmr: job %d output store %s: %w", jobID, ref.Addr, err)
 		}
 		var rep FetchPartitionReply
-		if err := cc.Call("FetchPartition", FetchPartitionArgs{
+		if err := cc.CallTimeout("FetchPartition", FetchPartitionArgs{
 			JobID: jobID, MapTask: ref.MapTask, Part: ref.Part,
-		}, &rep); err != nil {
+		}, &rep, dataCallTimeout); err != nil {
 			return total, fmt.Errorf("netmr: job %d fetch output (%d,%d) from %s: %w",
 				jobID, ref.MapTask, ref.Part, ref.Addr, err)
 		}
@@ -412,11 +415,10 @@ func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, dec
 // Release tells the JobTracker a streamed-output job's results have
 // been consumed, so trackers free the stored pieces.
 func (c *Client) Release(jobID int64) error {
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return err
 	}
-	defer jtc.Close()
 	return jtc.Call("Release", ReleaseArgs{JobID: jobID}, nil)
 }
 
@@ -424,11 +426,10 @@ func (c *Client) Release(jobID int64) error {
 // attempt total and per-tracker completion counts.
 func (c *Client) Status(jobID int64) (StatusReply, error) {
 	var status StatusReply
-	jtc, err := rpcnet.Dial(c.jtAddr)
+	jtc, err := c.wire.get(c.jtAddr)
 	if err != nil {
 		return status, err
 	}
-	defer jtc.Close()
 	err = jtc.Call("Status", StatusArgs{JobID: jobID}, &status)
 	return status, err
 }
@@ -466,6 +467,7 @@ type clusterConfig struct {
 	spillMem    int64 // < 0: all in memory (default)
 	spillCodec  spill.Codec
 	quotas      map[string]Quota
+	wireCodec   string
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -511,6 +513,16 @@ func WithSpill(dir string, memBytes int64, codec spill.Codec) ClusterOption {
 		c.spillMem = memBytes
 		c.spillCodec = codec
 	}
+}
+
+// WithWireCodec makes every data-plane connection in the cluster —
+// the client's DFS and output fetches, the trackers' block reads and
+// shuffle FetchPartition pulls — propose the named rpcnet wire codec
+// ("snap" or "flate"; "" disables, the default), so payloads are
+// compressed on the wire per frame. Purely a transport knob: stored
+// bytes and results are bit-identical with it on or off.
+func WithWireCodec(name string) ClusterOption {
+	return func(c *clusterConfig) { c.wireCodec = name }
 }
 
 // WithQuotas installs per-tenant quotas and fair-share weights on the
@@ -577,6 +589,9 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 		if i < len(cfg.delays) && cfg.delays[i] > 0 {
 			ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
 		}
+		if cfg.wireCodec != "" {
+			ttOpts = append(ttOpts, WithTrackerWireCodec(cfg.wireCodec))
+		}
 		if i < len(cfg.deviceKinds) && cfg.deviceKinds[i] == DeviceCell {
 			dev, err := NewCellDevice()
 			if err != nil {
@@ -592,7 +607,7 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 		}
 		c.TTs = append(c.TTs, tt)
 	}
-	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize)
+	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize, WithClientWireCodec(cfg.wireCodec))
 	if err != nil {
 		c.Shutdown()
 		return nil, err
@@ -622,5 +637,8 @@ func (c *Cluster) Shutdown() {
 	}
 	if c.NN != nil {
 		c.NN.Close()
+	}
+	if c.Client != nil {
+		c.Client.Close()
 	}
 }

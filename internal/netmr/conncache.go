@@ -1,0 +1,60 @@
+package netmr
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmr/internal/rpcnet"
+)
+
+// connCache keeps one pooled rpcnet client per remote address, so the
+// data plane reuses multiplexed connections instead of dialing per
+// call (protocol v1's pattern, which put a TCP handshake and a gob
+// envelope on every block). The rpcnet client self-heals — a dead
+// connection redials on the next call — so entries never need
+// eviction; an unreachable peer just keeps failing its calls.
+type connCache struct {
+	codec string // wire codec name proposed at dial ("" for none)
+
+	mu     sync.Mutex
+	conns  map[string]*rpcnet.Client
+	closed bool
+}
+
+func newConnCache(codec string) *connCache {
+	return &connCache{codec: codec, conns: make(map[string]*rpcnet.Client)}
+}
+
+// get returns the cached client for addr, dialing one on first use.
+func (cc *connCache) get(addr string) (*rpcnet.Client, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return nil, fmt.Errorf("netmr: connection cache closed")
+	}
+	if c, ok := cc.conns[addr]; ok {
+		return c, nil
+	}
+	var opts []rpcnet.Option
+	if cc.codec != "" {
+		opts = append(opts, rpcnet.WithCodec(cc.codec))
+	}
+	c, err := rpcnet.Dial(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cc.conns[addr] = c
+	return c, nil
+}
+
+// close tears down every cached client. Idempotent.
+func (cc *connCache) close() {
+	cc.mu.Lock()
+	conns := cc.conns
+	cc.conns = nil
+	cc.closed = true
+	cc.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

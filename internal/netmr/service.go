@@ -72,9 +72,10 @@ type TenantClient struct {
 }
 
 // NewTenantClient builds a tenant-bound client against a running
-// service's NameNode and JobTracker addresses.
-func NewTenantClient(nameNodeAddr, jobTrackerAddr string, blockSize int64, tenant string) (*TenantClient, error) {
-	c, err := NewClient(nameNodeAddr, jobTrackerAddr, blockSize)
+// service's NameNode and JobTracker addresses. Options (e.g.
+// WithClientWireCodec) pass through to the underlying Client.
+func NewTenantClient(nameNodeAddr, jobTrackerAddr string, blockSize int64, tenant string, opts ...ClientOption) (*TenantClient, error) {
+	c, err := NewClient(nameNodeAddr, jobTrackerAddr, blockSize, opts...)
 	if err != nil {
 		return nil, err
 	}

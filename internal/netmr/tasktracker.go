@@ -68,6 +68,13 @@ type TaskTracker struct {
 	spillMem   int64
 	spillCodec spill.Codec
 
+	// wireCodec is the rpcnet codec name this tracker proposes on its
+	// outgoing data-plane connections; immutable after start.
+	wireCodec string
+	// wire caches pooled connections to DataNodes and peer shuffle
+	// stores across tasks.
+	wire *connCache
+
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
@@ -109,6 +116,14 @@ func WithShuffleSpill(dir string, memBytes int64, codec spill.Codec) TrackerOpti
 		tt.spillMem = memBytes
 		tt.spillCodec = codec
 	}
+}
+
+// WithTrackerWireCodec makes the tracker's outgoing data-plane
+// connections — DFS block reads and shuffle fetches from peer
+// trackers — propose the named rpcnet wire codec (see
+// spill.CodecByName).
+func WithTrackerWireCodec(name string) TrackerOption {
+	return func(tt *TaskTracker) { tt.wireCodec = name }
 }
 
 // DeviceKind reports the tracker's device kind (DeviceCell when an
@@ -168,6 +183,13 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 	for _, o := range opts {
 		o(tt)
 	}
+	if tt.wireCodec != "" {
+		if _, ok := spill.CodecByName(tt.wireCodec); !ok {
+			srv.Close()
+			return nil, fmt.Errorf("netmr: tracker %q: unknown wire codec %q", id, tt.wireCodec)
+		}
+	}
+	tt.wire = newConnCache(tt.wireCodec)
 	tt.store = newShuffleStore(tt.spillDir, tt.spillMem, tt.spillCodec)
 	srv.Handle("FetchPartition", tt.handleFetchPartition)
 	go tt.loop()
@@ -207,6 +229,7 @@ func (tt *TaskTracker) halt(ch chan struct{}) {
 	<-tt.done
 	tt.srv.Close()
 	tt.store.close()
+	tt.wire.close()
 }
 
 // SpilledBytes reports the cumulative bytes the tracker's shuffle
@@ -243,9 +266,15 @@ func (tt *TaskTracker) handleFetchPartition(body []byte) (any, error) {
 const heartbeatCallTimeout = 5 * time.Second
 
 // dialJobTracker opens a heartbeat connection with the call timeout
-// applied, or nil when the JobTracker is unreachable right now.
+// applied, or nil when the JobTracker is unreachable right now. The
+// tracker's wire codec rides along: centralized-path heartbeats carry
+// task outputs, which compress like any data-plane payload.
 func (tt *TaskTracker) dialJobTracker() *rpcnet.Client {
-	client, err := rpcnet.Dial(tt.jtAddr)
+	var opts []rpcnet.Option
+	if tt.wireCodec != "" {
+		opts = append(opts, rpcnet.WithCodec(tt.wireCodec))
+	}
+	client, err := rpcnet.Dial(tt.jtAddr, opts...)
 	if err != nil {
 		return nil
 	}
@@ -506,12 +535,6 @@ func (tt *TaskTracker) partitionTask(task Task, kern MapKernel, data []byte) ([]
 // that died with it.
 func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	own := tt.srv.Addr()
-	clients := make(map[string]*rpcnet.Client)
-	defer func() {
-		for _, c := range clients {
-			c.Close()
-		}
-	}()
 	pieces := make([][]byte, len(task.Inputs))
 	for i, ref := range task.Inputs {
 		if ref.Addr == own {
@@ -526,23 +549,17 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 			pieces[i] = data
 			continue
 		}
-		c, ok := clients[ref.Addr]
-		if !ok {
-			var err error
-			c, err = rpcnet.Dial(ref.Addr)
-			if err != nil {
-				res.Err = err.Error()
-				res.BadAddr = ref.Addr
-				tt.report(res)
-				return
-			}
-			c.SetCallTimeout(dataCallTimeout)
-			clients[ref.Addr] = c
+		c, err := tt.wire.get(ref.Addr)
+		if err != nil {
+			res.Err = err.Error()
+			res.BadAddr = ref.Addr
+			tt.report(res)
+			return
 		}
 		var rep FetchPartitionReply
-		if err := c.Call("FetchPartition", FetchPartitionArgs{
+		if err := c.CallTimeout("FetchPartition", FetchPartitionArgs{
 			JobID: task.JobID, MapTask: ref.MapTask, Part: task.TaskID,
-		}, &rep); err != nil {
+		}, &rep, dataCallTimeout); err != nil {
 			res.Err = err.Error()
 			res.BadAddr = ref.Addr
 			tt.report(res)
@@ -589,7 +606,7 @@ func (tt *TaskTracker) fetchBlock(blk BlockInfo) ([]byte, error) {
 			ordered = append(ordered, addr)
 		}
 	}
-	data, served, err := readBlockFrom(blk, ordered)
+	data, served, err := readBlockFrom(tt.wire, blk, ordered)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,366 @@
+package rpcnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetmr/internal/spill"
+)
+
+// DefaultPoolSize is the number of multiplexed connections a Client
+// keeps per address unless WithPoolSize overrides it. Multiplexing
+// carries the concurrency; a second connection mainly keeps a huge
+// frame mid-write from head-of-line-blocking small control calls.
+const DefaultPoolSize = 2
+
+// Option configures a Client at Dial time.
+type Option func(*dialOptions)
+
+type dialOptions struct {
+	codecName string
+	poolSize  int
+}
+
+// WithCodec proposes a payload codec (a spill.CodecByName name, e.g.
+// "snap") in the connection hello. If the server accepts it, bodies
+// above a small threshold are compressed on the wire in both
+// directions. Dial fails on names CodecByName does not know.
+func WithCodec(name string) Option {
+	return func(o *dialOptions) { o.codecName = name }
+}
+
+// WithPoolSize sets how many multiplexed connections the Client
+// spreads calls over (minimum 1).
+func WithPoolSize(n int) Option {
+	return func(o *dialOptions) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	}
+}
+
+// Client is a pooled, multiplexed connection to one rpcnet server.
+// Calls from any number of goroutines share the pool's connections;
+// each in-flight call is matched to its response by request ID. A
+// call that times out abandons only its own reply — the connection
+// stays usable — and a connection that dies is redialed on the next
+// call that lands on it. Safe for concurrent use.
+type Client struct {
+	addr      string
+	codecName string
+	codec     spill.Codec
+	timeout   atomic.Int64 // default per-call timeout, ns
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	rr     uint64 // round-robin cursor over conns
+	closed bool
+}
+
+// clientConn is one multiplexed connection: a write side shared under
+// wmu and a readLoop that routes response frames to pending calls.
+type clientConn struct {
+	nc    net.Conn
+	codec spill.Codec // negotiated: non-nil once the server accepts
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	err     error // terminal; set once, conn is dead after
+
+	nextID     atomic.Uint64
+	compressOK atomic.Bool // server accepted our proposed codec
+}
+
+// callResult carries one response (or transport failure) from the
+// readLoop to the waiting call.
+type callResult struct {
+	errMsg     string        // remote handler error, if any
+	body       *bytes.Buffer // pooled; owned by the receiver
+	compressed bool
+	err        error // transport-level failure
+}
+
+// Dial connects to an rpcnet server. The returned Client is a
+// connection pool; see WithCodec and WithPoolSize. Dial establishes
+// the first connection eagerly so an unreachable address fails fast.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := dialOptions{poolSize: DefaultPoolSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var codec spill.Codec
+	if o.codecName != "" {
+		var ok bool
+		codec, ok = spill.CodecByName(o.codecName)
+		if !ok {
+			return nil, fmt.Errorf("rpcnet: unknown codec %q", o.codecName)
+		}
+	}
+	c := &Client{
+		addr:      addr,
+		codecName: o.codecName,
+		codec:     codec,
+		conns:     make([]*clientConn, o.poolSize),
+	}
+	cc, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.conns[0] = cc
+	return c, nil
+}
+
+// dialConn opens one connection: TCP dial, send our hello, and start
+// the readLoop (which consumes the server's hello first — the
+// exchange is asynchronous so dialing a mute server still returns).
+func (c *Client) dialConn() (*clientConn, error) {
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: dial %s: %w", c.addr, err)
+	}
+	if err := writeHello(nc, c.codecName); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("rpcnet: dial %s: hello: %w", c.addr, err)
+	}
+	cc := &clientConn{
+		nc:      nc,
+		codec:   c.codec,
+		pending: make(map[uint64]chan callResult),
+	}
+	go cc.readLoop(c.codecName)
+	return cc, nil
+}
+
+// readLoop owns the connection's read side: it consumes the server
+// hello, then routes every response frame to the pending call it
+// tags. Any read error kills the connection and fails all pending
+// calls.
+func (cc *clientConn) readLoop(proposed string) {
+	br := bufio.NewReaderSize(cc.nc, 64<<10)
+	accepted, err := readHello(br)
+	if err != nil {
+		cc.fail(fmt.Errorf("rpcnet: hello: %w", err))
+		return
+	}
+	if proposed != "" && accepted == proposed {
+		cc.compressOK.Store(true)
+	}
+	for {
+		fr, err := readFrame(br)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		if fr.flags&frameFlagResponse == 0 {
+			putBuf(fr.body)
+			cc.fail(errors.New("rpcnet: request frame on client connection"))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[fr.id]
+		delete(cc.pending, fr.id)
+		cc.mu.Unlock()
+		if !ok {
+			// Late reply to a call that timed out: discard by ID.
+			putBuf(fr.body)
+			continue
+		}
+		ch <- callResult{
+			errMsg:     fr.meta,
+			body:       fr.body,
+			compressed: fr.flags&frameFlagCompressed != 0,
+		}
+	}
+}
+
+// fail marks the connection dead and delivers err to every pending
+// call. Idempotent; the first error wins.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	pend := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+	cc.nc.Close()
+	for _, ch := range pend {
+		ch <- callResult{err: err}
+	}
+}
+
+// register parks a pending call; it fails if the connection already
+// died.
+func (cc *clientConn) register(id uint64, ch chan callResult) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	cc.pending[id] = ch
+	return nil
+}
+
+// deregister abandons a pending call (timeout path). The connection
+// stays healthy; a late reply is dropped by ID.
+func (cc *clientConn) deregister(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// dead reports whether the connection has hit a terminal error.
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// conn picks the next pool slot round-robin, redialing it if its
+// connection is missing or dead.
+func (c *Client) conn() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	i := int(c.rr % uint64(len(c.conns)))
+	c.rr++
+	if cc := c.conns[i]; cc != nil && !cc.dead() {
+		return cc, nil
+	}
+	cc, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.conns[i] = cc
+	return cc, nil
+}
+
+// SetCallTimeout bounds each subsequent call. Zero (the default)
+// means no timeout. Unlike protocol v1, a timed-out call does not
+// poison its connection: the reply, if it ever arrives, is discarded
+// by request ID and the connection keeps serving other calls.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.timeout.Store(int64(d))
+}
+
+// Call invokes method on the server, gob-encoding arg and decoding
+// the response into result (which may be nil to discard it). It
+// applies the client's default timeout (SetCallTimeout). Safe for
+// concurrent use; concurrent calls share the pool's connections.
+func (c *Client) Call(method string, arg, result any) error {
+	return c.CallTimeout(method, arg, result, time.Duration(c.timeout.Load()))
+}
+
+// CallTimeout is Call with an explicit per-call timeout (zero means
+// none), overriding the client default. On timeout the error wraps
+// os.ErrDeadlineExceeded, so it satisfies net.Error.Timeout().
+func (c *Client) CallTimeout(method string, arg, result any, timeout time.Duration) error {
+	bodyBuf := getBuf()
+	if err := marshalTo(bodyBuf, arg); err != nil {
+		putBuf(bodyBuf)
+		return err
+	}
+	defer putBuf(bodyBuf)
+
+	cc, err := c.conn()
+	if err != nil {
+		return err
+	}
+	id := cc.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	if err := cc.register(id, ch); err != nil {
+		// Lost a race with the readLoop failing the conn; one retry on
+		// a fresh connection.
+		if cc, err = c.conn(); err != nil {
+			return err
+		}
+		id = cc.nextID.Add(1)
+		if err := cc.register(id, ch); err != nil {
+			return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, err)
+		}
+	}
+
+	var codec spill.Codec
+	if cc.compressOK.Load() {
+		codec = cc.codec
+	}
+	if err := sendFrame(cc.nc, &cc.wmu, id, 0, method, bodyBuf.Bytes(), codec); err != nil {
+		cc.deregister(id)
+		cc.fail(err)
+		return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, err)
+	}
+
+	var timerCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerCh = timer.C
+	}
+	select {
+	case res := <-ch:
+		return c.finish(method, result, res)
+	case <-timerCh:
+		cc.deregister(id)
+		return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, os.ErrDeadlineExceeded)
+	}
+}
+
+// finish decodes one call's response.
+func (c *Client) finish(method string, result any, res callResult) error {
+	if res.err != nil {
+		return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, res.err)
+	}
+	defer putBuf(res.body)
+	if res.errMsg != "" {
+		return &RemoteError{Method: method, Addr: c.addr, Msg: res.errMsg}
+	}
+	body := res.body.Bytes()
+	if res.compressed {
+		if c.codec == nil {
+			return fmt.Errorf("rpcnet: call %s on %s: compressed response without negotiated codec", method, c.addr)
+		}
+		dec := getBuf()
+		defer putBuf(dec)
+		if err := decompressInto(c.codec, dec, body); err != nil {
+			return fmt.Errorf("rpcnet: call %s on %s: decompress: %w", method, c.addr, err)
+		}
+		body = dec.Bytes()
+	}
+	if result == nil {
+		return nil
+	}
+	return Unmarshal(body, result)
+}
+
+// Close tears down every pooled connection. In-flight calls fail.
+// Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cc := range conns {
+		if cc != nil {
+			cc.fail(ErrClientClosed)
+		}
+	}
+	return nil
+}

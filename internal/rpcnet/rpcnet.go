@@ -1,20 +1,30 @@
 // Package rpcnet is the wire layer of the TCP-backed distributed
-// runtime (internal/netmr): length-framed, gob-encoded request/response
-// messages over net.Conn, plus a tiny multiplexing server. Hadoop's
-// daemons talk Hadoop IPC over TCP; this is the equivalent substrate,
-// built only on net and encoding/gob.
+// runtime (internal/netmr). Hadoop's daemons talk Hadoop IPC over
+// TCP; this is the equivalent substrate, built only on net,
+// encoding/gob and the repo's own spill codecs.
+//
+// The protocol (v2) is a multiplexed, tagged-frame stream. One
+// connection carries any number of concurrent in-flight calls: every
+// request frame carries a caller-chosen request ID, the server
+// dispatches handlers concurrently per connection, and response
+// frames come back in completion order — the ID, not the arrival
+// order, matches a response to its call. A connection starts with a
+// tiny hello exchange that negotiates an optional payload codec
+// (spill.CodecByName); after it, either side may compress any frame's
+// body, flagged per frame. See ARCHITECTURE.md ("Wire protocol") for
+// the frame layout.
+//
+// Client is a connection pool over that protocol: calls fan out over
+// a few multiplexed connections, a call that times out leaves its
+// connection usable (the late response is discarded by ID), and a
+// connection that dies is redialed transparently on the next call.
 package rpcnet
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
 )
 
 // MaxFrame bounds a single message (a DFS block plus envelope must
@@ -24,27 +34,29 @@ const MaxFrame = 128 << 20
 // ErrFrameTooLarge is returned for frames above MaxFrame.
 var ErrFrameTooLarge = errors.New("rpcnet: frame exceeds maximum size")
 
-// Request is the envelope of every call: a method name and a
-// gob-encoded body.
-type Request struct {
-	Method string
-	Body   []byte
-}
+// ErrClientClosed is returned by calls on a Client after Close.
+var ErrClientClosed = errors.New("rpcnet: client closed")
 
-// Response is the envelope of every reply: an error string (empty on
-// success) and a gob-encoded body.
-type Response struct {
-	Err  string
-	Body []byte
-}
+// errMalformedFrame reports a frame whose header lies about its own
+// shape (length below the fixed minimum, meta running past the end).
+var errMalformedFrame = errors.New("rpcnet: malformed frame")
 
 // Marshal gob-encodes v.
 func Marshal(v any) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("rpcnet: encode: %w", err)
+	if err := marshalTo(&buf, v); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// marshalTo gob-encodes v into buf — the pooled-buffer encode path
+// Call and the server dispatcher use.
+func marshalTo(buf *bytes.Buffer, v any) error {
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return fmt.Errorf("rpcnet: encode: %w", err)
+	}
+	return nil
 }
 
 // Unmarshal gob-decodes data into v (a pointer).
@@ -55,223 +67,12 @@ func Unmarshal(data []byte, v any) error {
 	return nil
 }
 
-// writeFrame sends one length-prefixed gob value.
-func writeFrame(conn net.Conn, v any) error {
-	payload, err := Marshal(v)
-	if err != nil {
-		return err
-	}
-	if len(payload) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = conn.Write(payload)
-	return err
-}
-
-// readFrame receives one length-prefixed gob value into v.
-func readFrame(conn net.Conn, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(conn, payload); err != nil {
-		return err
-	}
-	return Unmarshal(payload, v)
-}
-
 // Handler serves one method: it decodes its argument from req, does
-// the work, and returns a gob-encodable result.
+// the work, and returns a gob-encodable result. Handlers run
+// concurrently — across connections and across the calls multiplexed
+// on one connection — and must be safe for that. The body slice is
+// only valid until the handler returns.
 type Handler func(body []byte) (any, error)
-
-// Server is a minimal RPC server: one TCP listener, one goroutine per
-// connection, methods dispatched by name.
-type Server struct {
-	ln       net.Listener
-	mu       sync.Mutex
-	handlers map[string]Handler
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
-}
-
-// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port).
-func NewServer(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rpcnet: listen: %w", err)
-	}
-	s := &Server{
-		ln:       ln,
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the server's listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Handle registers a method handler. Registration after Close is a
-// no-op; re-registering a name replaces the handler.
-func (s *Server) Handle(method string, h Handler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.handlers[method] = h
-}
-
-func (s *Server) lookup(method string) (Handler, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, ok := s.handlers[method]
-	return h, ok
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-// serveConn handles sequential requests on one connection until EOF.
-func (s *Server) serveConn(conn net.Conn) {
-	for {
-		var req Request
-		if err := readFrame(conn, &req); err != nil {
-			return // EOF or broken peer
-		}
-		var resp Response
-		h, ok := s.lookup(req.Method)
-		if !ok {
-			resp.Err = fmt.Sprintf("rpcnet: unknown method %q", req.Method)
-		} else if result, err := h(req.Body); err != nil {
-			resp.Err = err.Error()
-		} else if body, err := Marshal(result); err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Body = body
-		}
-		if err := writeFrame(conn, &resp); err != nil {
-			return
-		}
-	}
-}
-
-// Close stops the listener, severs live connections and waits for
-// connection goroutines to drain. Clients with in-flight calls get a
-// connection error, not a hang.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-// Client is a single-connection RPC client. Calls are serialized per
-// client; create several clients for concurrency.
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	addr    string
-	timeout time.Duration
-}
-
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rpcnet: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn, addr: addr}, nil
-}
-
-// SetCallTimeout bounds each subsequent Call's full round-trip: the
-// connection deadline is set d into the future for the call and
-// cleared afterwards. Zero restores the unbounded default. A call that
-// hits the deadline returns a net timeout error
-// (errors.Is(err, os.ErrDeadlineExceeded)) and leaves the connection
-// unusable — a frame may be half-transferred — so redial to continue.
-func (c *Client) SetCallTimeout(d time.Duration) {
-	c.mu.Lock()
-	c.timeout = d
-	c.mu.Unlock()
-}
-
-// Call invokes method with arg, decoding the reply into result (a
-// pointer, or nil to discard).
-func (c *Client) Call(method string, arg, result any) error {
-	body, err := Marshal(arg)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := writeFrame(c.conn, &Request{Method: method, Body: body}); err != nil {
-		return fmt.Errorf("rpcnet: call %s on %s: %w", method, c.addr, err)
-	}
-	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return fmt.Errorf("rpcnet: reply %s from %s: %w", method, c.addr, err)
-	}
-	if resp.Err != "" {
-		return &RemoteError{Method: method, Addr: c.addr, Msg: resp.Err}
-	}
-	if result == nil {
-		return nil
-	}
-	return Unmarshal(resp.Body, result)
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
 
 // RemoteError is an error reported by the remote handler.
 type RemoteError struct {

@@ -1,8 +1,11 @@
 package rpcnet
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
-func benchServer(b *testing.B) (*Server, *Client) {
+func benchServer(b *testing.B, opts ...Option) (*Server, *Client) {
 	b.Helper()
 	s, err := NewServer("127.0.0.1:0")
 	if err != nil {
@@ -15,7 +18,7 @@ func benchServer(b *testing.B) (*Server, *Client) {
 		}
 		return blob, nil
 	})
-	c, err := Dial(s.Addr())
+	c, err := Dial(s.Addr(), opts...)
 	if err != nil {
 		s.Close()
 		b.Fatal(err)
@@ -43,6 +46,56 @@ func BenchmarkCallSmall(b *testing.B) {
 func BenchmarkCallBlock64K(b *testing.B) {
 	_, c := benchServer(b)
 	blob := make([]byte, 64<<10)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out []byte
+		if err := c.Call("echo", blob, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallSmallConcurrent measures small-call latency with many
+// callers multiplexed on one pooled client — the win the tagged-frame
+// protocol exists for (v1 serialized every call behind one lock).
+func BenchmarkCallSmallConcurrent(b *testing.B) {
+	_, c := benchServer(b)
+	arg := []byte("ping")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var out []byte
+			if err := c.Call("echo", arg, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCallBlock64KConcurrent measures aggregate block throughput
+// with concurrent callers sharing the pool.
+func BenchmarkCallBlock64KConcurrent(b *testing.B) {
+	_, c := benchServer(b)
+	blob := make([]byte, 64<<10)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var out []byte
+			if err := c.Call("echo", blob, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCallBlock64KSnap measures the block path with the snap
+// codec negotiated and a compressible payload — what shuffle fetches
+// of text-like intermediate data see.
+func BenchmarkCallBlock64KSnap(b *testing.B) {
+	_, c := benchServer(b, WithCodec("snap"))
+	blob := bytes.Repeat([]byte("hetmr shuffle partition payload "), (64<<10)/32)
 	b.SetBytes(int64(len(blob)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

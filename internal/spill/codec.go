@@ -19,6 +19,24 @@ type Codec interface {
 	NewReader(r io.Reader) (io.ReadCloser, error)
 }
 
+// CodecByName resolves a built-in codec by its Name: "flate"
+// (DEFLATE, better ratio, more CPU) or "snap" (the LZ4-style block
+// codec, fastest). It is the negotiation table the rpcnet wire layer
+// and the engine's Config.Codec knob share, so a codec name means the
+// same codec on every layer. Unknown names report false.
+func CodecByName(name string) (Codec, bool) {
+	switch name {
+	case "flate":
+		return Flate(), true
+	case "snap":
+		return Snap(), true
+	}
+	return nil, false
+}
+
+// CodecNames lists the built-in codec names CodecByName resolves.
+func CodecNames() []string { return []string{"flate", "snap"} }
+
 // Flate returns the built-in codec: DEFLATE at the fastest setting,
 // the stdlib stand-in for a snappy-style frame codec (fast, modest
 // ratio, streaming).

@@ -1,0 +1,406 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Snap returns the fast block codec: an LZ4-style byte-oriented LZ77
+// compressor (greedy hash-table match finder, token/literal/offset
+// sequences) framed in self-describing blocks. It trades ratio for
+// speed — the snappy/lz4 point in the design space — and is the codec
+// the wire layer negotiates for shuffle and DFS block transfers, where
+// DEFLATE's bit-level entropy coding would cost more CPU than the
+// bytes it saves. Like every Codec it round-trips exactly.
+func Snap() Codec { return snapCodec{} }
+
+type snapCodec struct{}
+
+func (snapCodec) Name() string { return "snap" }
+
+func (snapCodec) NewWriter(w io.Writer) io.WriteCloser {
+	return &snapWriter{w: w, buf: make([]byte, 0, snapMaxBlock)}
+}
+
+func (snapCodec) NewReader(r io.Reader) (io.ReadCloser, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &snapReader{r: br}, nil
+}
+
+const (
+	// snapMaxBlock is the uncompressed block size the writer cuts the
+	// stream into; the reader enforces it as the decode bound, so a
+	// corrupt header can never demand a huge allocation.
+	snapMaxBlock = 64 << 10
+	// snapMinMatch is the shortest back-reference worth encoding.
+	snapMinMatch  = 4
+	snapTableBits = 13
+	snapTableSize = 1 << snapTableBits
+	// Block tags.
+	snapTagRaw        = 0
+	snapTagCompressed = 1
+)
+
+// snapTablePool recycles the match-finder hash tables (32 KB each)
+// across blocks and goroutines.
+var snapTablePool = sync.Pool{
+	New: func() any { return new([snapTableSize]int32) },
+}
+
+func snapHash(v uint32) uint32 {
+	// Multiplicative hash over the next four bytes (Knuth's constant),
+	// folded to the table width.
+	return (v * 2654435761) >> (32 - snapTableBits)
+}
+
+func snapLoad32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// snapCompressBlock compresses one block (len(src) ≤ snapMaxBlock)
+// into dst, returning nil when the result would not be smaller than
+// the input — the caller stores such blocks raw.
+func snapCompressBlock(dst, src []byte) []byte {
+	if len(src) < snapMinMatch+4 {
+		return nil
+	}
+	table := snapTablePool.Get().(*[snapTableSize]int32)
+	defer snapTablePool.Put(table)
+	for i := range table {
+		table[i] = -1
+	}
+	dst = dst[:0]
+	limit := len(src) // emitted output must stay under this to win
+	// sLimit leaves room to load 4 bytes at every probe.
+	sLimit := len(src) - 4
+	lit := 0 // start of the pending literal run
+	s := 0
+	for s <= sLimit {
+		h := snapHash(snapLoad32(src, s))
+		cand := int(table[h])
+		table[h] = int32(s)
+		if cand < 0 || s-cand > 65535 || snapLoad32(src, cand) != snapLoad32(src, s) {
+			s++
+			continue
+		}
+		// Extend the match forward.
+		matchLen := snapMinMatch
+		for s+matchLen < len(src) && src[cand+matchLen] == src[s+matchLen] {
+			matchLen++
+		}
+		var ok bool
+		dst, ok = snapEmit(dst, src[lit:s], s-cand, matchLen, limit)
+		if !ok {
+			return nil
+		}
+		s += matchLen
+		lit = s
+	}
+	// Tail literals: a final literal-only sequence (no offset follows).
+	litLen := len(src) - lit
+	need := 1 + litLen + litLen/255
+	if len(dst)+need >= limit {
+		return nil
+	}
+	dst = snapPutToken(dst, litLen, 0)
+	dst = append(dst, src[lit:]...)
+	return dst
+}
+
+// snapPutToken appends one token byte plus any length-extension bytes.
+// matchExtra is matchLen-snapMinMatch, or 0 for the final sequence.
+func snapPutToken(dst []byte, litLen, matchExtra int) []byte {
+	tok := byte(0)
+	if litLen >= 15 {
+		tok = 15 << 4
+	} else {
+		tok = byte(litLen) << 4
+	}
+	if matchExtra >= 15 {
+		tok |= 15
+	} else {
+		tok |= byte(matchExtra)
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = snapPutExt(dst, litLen-15)
+	}
+	return dst
+}
+
+// snapPutExt appends an LZ4-style length extension: 255-valued bytes
+// plus a final remainder byte.
+func snapPutExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// snapEmit appends one literals+match sequence, reporting false when
+// the output would no longer beat storing the block raw.
+func snapEmit(dst, literals []byte, offset, matchLen, limit int) ([]byte, bool) {
+	litLen := len(literals)
+	matchExtra := matchLen - snapMinMatch
+	need := 1 + litLen + litLen/255 + 2 + matchExtra/255 + 1
+	if len(dst)+need >= limit {
+		return dst, false
+	}
+	dst = snapPutToken(dst, litLen, matchExtra)
+	dst = append(dst, literals...)
+	var off [2]byte
+	binary.LittleEndian.PutUint16(off[:], uint16(offset))
+	dst = append(dst, off[0], off[1])
+	if matchExtra >= 15 {
+		dst = snapPutExt(dst, matchExtra-15)
+	}
+	return dst, true
+}
+
+// snapDecompressBlock decodes one compressed block into a fresh
+// buffer of exactly rawLen bytes. Every read and copy is
+// bounds-checked: corrupt input yields an error, never a panic or an
+// allocation beyond rawLen (which the caller has already capped at
+// snapMaxBlock).
+func snapDecompressBlock(src []byte, rawLen int) ([]byte, error) {
+	dst := make([]byte, rawLen)
+	d, s := 0, 0
+	for s < len(src) {
+		tok := src[s]
+		s++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, s, err = snapReadExt(src, s, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if litLen > len(src)-s || litLen > rawLen-d {
+			return nil, errSnapCorrupt
+		}
+		copy(dst[d:], src[s:s+litLen])
+		d += litLen
+		s += litLen
+		if s == len(src) {
+			// Final literal-only sequence.
+			if d != rawLen {
+				return nil, errSnapCorrupt
+			}
+			return dst, nil
+		}
+		if len(src)-s < 2 {
+			return nil, errSnapCorrupt
+		}
+		offset := int(binary.LittleEndian.Uint16(src[s:]))
+		s += 2
+		if offset == 0 || offset > d {
+			return nil, errSnapCorrupt
+		}
+		matchLen := int(tok&15) + snapMinMatch
+		if tok&15 == 15 {
+			var ext int
+			var err error
+			ext, s, err = snapReadExt(src, s, 0)
+			if err != nil {
+				return nil, err
+			}
+			matchLen += ext
+		}
+		if matchLen > rawLen-d {
+			return nil, errSnapCorrupt
+		}
+		// Byte-wise copy: matches may overlap their own output.
+		for i := 0; i < matchLen; i++ {
+			dst[d] = dst[d-offset]
+			d++
+		}
+	}
+	if d != rawLen {
+		return nil, errSnapCorrupt
+	}
+	return dst, nil
+}
+
+// snapReadExt reads an LZ4-style length extension starting at src[s].
+func snapReadExt(src []byte, s, base int) (int, int, error) {
+	n := base
+	for {
+		if s >= len(src) {
+			return 0, s, errSnapCorrupt
+		}
+		b := src[s]
+		s++
+		n += int(b)
+		if n > snapMaxBlock {
+			return 0, s, errSnapCorrupt
+		}
+		if b != 255 {
+			return n, s, nil
+		}
+	}
+}
+
+var errSnapCorrupt = fmt.Errorf("spill: snap: corrupt block")
+
+// snapWriter cuts the stream into blocks, compressing each unless it
+// is incompressible (then stored raw). Block header: one tag byte,
+// uvarint raw length, and — for compressed blocks — a uvarint
+// compressed length.
+type snapWriter struct {
+	w       io.Writer
+	buf     []byte
+	scratch []byte
+	err     error
+	closed  bool
+}
+
+// Write implements io.Writer.
+func (sw *snapWriter) Write(p []byte) (int, error) {
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	if sw.closed {
+		return 0, io.ErrClosedPipe
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := snapMaxBlock - len(sw.buf)
+		if room == 0 {
+			if sw.err = sw.flushBlock(); sw.err != nil {
+				return total - len(p), sw.err
+			}
+			continue
+		}
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		sw.buf = append(sw.buf, p[:n]...)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// flushBlock emits the buffered block.
+func (sw *snapWriter) flushBlock() error {
+	if len(sw.buf) == 0 {
+		return nil
+	}
+	if cap(sw.scratch) < len(sw.buf) {
+		sw.scratch = make([]byte, 0, snapMaxBlock)
+	}
+	comp := snapCompressBlock(sw.scratch[:0], sw.buf)
+	var hdr [1 + 2*binary.MaxVarintLen32]byte
+	n := 0
+	if comp == nil {
+		hdr[0] = snapTagRaw
+		n = 1 + binary.PutUvarint(hdr[1:], uint64(len(sw.buf)))
+		if _, err := sw.w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := sw.w.Write(sw.buf); err != nil {
+			return err
+		}
+	} else {
+		hdr[0] = snapTagCompressed
+		n = 1 + binary.PutUvarint(hdr[1:], uint64(len(sw.buf)))
+		n += binary.PutUvarint(hdr[n:], uint64(len(comp)))
+		if _, err := sw.w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := sw.w.Write(comp); err != nil {
+			return err
+		}
+	}
+	sw.buf = sw.buf[:0]
+	return nil
+}
+
+// Close flushes the final partial block without closing the
+// underlying writer. Close is idempotent.
+func (sw *snapWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	sw.err = sw.flushBlock()
+	return sw.err
+}
+
+// snapReader decodes the block stream.
+type snapReader struct {
+	r     *bufio.Reader
+	block []byte
+	pos   int
+	err   error
+}
+
+// Read implements io.Reader.
+func (sr *snapReader) Read(p []byte) (int, error) {
+	for sr.pos == len(sr.block) {
+		if sr.err != nil {
+			return 0, sr.err
+		}
+		if err := sr.readBlock(); err != nil {
+			sr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, sr.block[sr.pos:])
+	sr.pos += n
+	return n, nil
+}
+
+// readBlock loads and decodes the next block.
+func (sr *snapReader) readBlock() error {
+	tag, err := sr.r.ReadByte()
+	if err != nil {
+		return err // io.EOF: clean end between blocks
+	}
+	rawLen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return errSnapCorrupt
+	}
+	if rawLen == 0 || rawLen > snapMaxBlock {
+		return errSnapCorrupt
+	}
+	switch tag {
+	case snapTagRaw:
+		block := make([]byte, rawLen)
+		if _, err := io.ReadFull(sr.r, block); err != nil {
+			return errSnapCorrupt
+		}
+		sr.block, sr.pos = block, 0
+	case snapTagCompressed:
+		compLen, err := binary.ReadUvarint(sr.r)
+		if err != nil || compLen == 0 || compLen > rawLen+rawLen/255+16 {
+			return errSnapCorrupt
+		}
+		comp := make([]byte, compLen)
+		if _, err := io.ReadFull(sr.r, comp); err != nil {
+			return errSnapCorrupt
+		}
+		block, err := snapDecompressBlock(comp, int(rawLen))
+		if err != nil {
+			return err
+		}
+		sr.block, sr.pos = block, 0
+	default:
+		return errSnapCorrupt
+	}
+	return nil
+}
+
+// Close implements io.Closer.
+func (sr *snapReader) Close() error { return nil }

@@ -1,0 +1,172 @@
+package spill
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip compresses data through c and decompresses it back.
+func roundTrip(t *testing.T, c Codec, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := c.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	r, err := c.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return out
+}
+
+func TestSnapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]byte{
+		"empty":       nil,
+		"tiny":        []byte("ab"),
+		"word":        []byte("the quick brown fox jumps over the lazy dog"),
+		"zeros":       make([]byte, 200_000),
+		"block-edge":  bytes.Repeat([]byte("x"), snapMaxBlock),
+		"block-edge1": bytes.Repeat([]byte("y"), snapMaxBlock+1),
+	}
+	// Highly compressible text spanning several blocks.
+	cases["text"] = bytes.Repeat([]byte("hetmr wire layer shuffle partition "), 8000)
+	// Incompressible random data spanning several blocks.
+	random := make([]byte, 3*snapMaxBlock+17)
+	rng.Read(random)
+	cases["random"] = random
+	// Mixed: runs of pattern and runs of noise.
+	mixed := append(append([]byte{}, cases["text"][:70000]...), random[:70000]...)
+	cases["mixed"] = mixed
+	for name, data := range cases {
+		out := roundTrip(t, Snap(), data)
+		if !bytes.Equal(out, data) {
+			t.Errorf("%s: round trip corrupted %d bytes -> %d bytes", name, len(data), len(out))
+		}
+	}
+}
+
+func TestSnapCompresses(t *testing.T) {
+	data := bytes.Repeat([]byte("shuffle partition payload "), 10000)
+	var buf bytes.Buffer
+	w := Snap().NewWriter(&buf)
+	w.Write(data)
+	w.Close()
+	if buf.Len() >= len(data)/2 {
+		t.Errorf("snap compressed %d bytes to only %d", len(data), buf.Len())
+	}
+}
+
+func TestSnapWriterChunkedWrites(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 40000) // >4 blocks
+	var buf bytes.Buffer
+	w := Snap().NewWriter(&buf)
+	for off := 0; off < len(data); off += 1000 {
+		end := off + 1000
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := w.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	r, _ := Snap().NewReader(&buf)
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("chunked round trip corrupted data")
+	}
+}
+
+func TestSnapDecodeGarbage(t *testing.T) {
+	// Corrupt streams must error, never panic.
+	streams := [][]byte{
+		{snapTagCompressed, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		{snapTagCompressed, 10, 5, 0xf0, 1, 2},
+		{snapTagRaw, 200, 1, 2, 3},
+		{99, 4, 1, 2, 3, 4},
+		{snapTagCompressed, 4, 3, 0x01, 0xaa, 0x00}, // offset 0
+	}
+	for i, s := range streams {
+		r, _ := Snap().NewReader(bytes.NewReader(s))
+		if _, err := io.ReadAll(r); err == nil {
+			t.Errorf("stream %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for _, name := range CodecNames() {
+		c, ok := CodecByName(name)
+		if !ok {
+			t.Fatalf("CodecByName(%q) not found", name)
+		}
+		if c.Name() != name {
+			t.Errorf("codec %q reports name %q", name, c.Name())
+		}
+		data := bytes.Repeat([]byte("payload "), 512)
+		if out := roundTrip(t, c, data); !bytes.Equal(out, data) {
+			t.Errorf("codec %q corrupted data", name)
+		}
+	}
+	if _, ok := CodecByName("nope"); ok {
+		t.Error("unknown codec resolved")
+	}
+}
+
+// FuzzSnapRoundTrip: any input must compress and decompress back to
+// itself.
+func FuzzSnapRoundTrip(f *testing.F) {
+	f.Add([]byte("hello hello hello hello"))
+	f.Add(make([]byte, 70000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var buf bytes.Buffer
+		w := Snap().NewWriter(&buf)
+		w.Write(data)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := Snap().NewReader(bytes.NewReader(buf.Bytes()))
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzSnapDecode: arbitrary input to the decoder must error or decode
+// cleanly — never panic, never produce unbounded output.
+func FuzzSnapDecode(f *testing.F) {
+	f.Add([]byte{snapTagCompressed, 8, 4, 0x11, 0xaa, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, _ := Snap().NewReader(bytes.NewReader(data))
+		n, _ := io.Copy(io.Discard, r)
+		// Output is bounded by the block framing: each block decodes
+		// to at most snapMaxBlock bytes, and blocks consume input.
+		if n > int64(len(data))*int64(snapMaxBlock) {
+			t.Fatalf("decoded %d bytes from %d input bytes", n, len(data))
+		}
+	})
+}
