@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-gate bench-baseline fuzz-smoke mem-smoke repro-quick fmt vet lint race docs ci
+.PHONY: build test bench bench-json bench-gate bench-baseline fuzz-smoke mem-smoke repro-quick fmt vet lint hetlint race docs ci
 
 build:
 	$(GO) build ./...
@@ -76,12 +76,18 @@ vet:
 
 # lint mirrors the CI lint lane; staticcheck is skipped gracefully
 # when not installed (CI installs honnef.co/go/tools pinned).
-lint: vet
+lint: vet hetlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# hetlint runs the project-invariant analyzer suite (lockheldcall,
+# gobreg, configdrop, mustclose) over the whole module. It mirrors the
+# CI lint-custom lane and needs nothing beyond the Go toolchain.
+hetlint:
+	$(GO) run ./cmd/hetlint ./...
 
 # docs mirrors the CI docs lane: godoc coverage over the six core
 # packages plus the ARCHITECTURE.md link check.

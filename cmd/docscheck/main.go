@@ -26,6 +26,8 @@ var corePackages = []string{
 	"internal/spill",
 	"internal/hdfs",
 	"internal/rpcnet",
+	"internal/analysis",
+	"internal/testutil",
 }
 
 func main() {

@@ -134,6 +134,7 @@ func runRemote(nnAddr, jtAddr, tenant, wl string, blockSize int64, mb float64, s
 	if err != nil {
 		return err
 	}
+	defer tc.Close()
 	if timeout == 0 {
 		timeout = engine.DefaultJobTimeout
 	}

@@ -38,6 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer clus.Close()
 	fmt.Println("\nlive cluster, host path vs SPE-offloaded path:")
 	for _, samples := range []int64{10_000, 1_000_000, 100_000_000} {
 		hostPi, _, err := clus.EstimatePi(samples, false, 2009)

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Program is a whole type-checked view of the code under analysis: the
+// module's (or a fixture tree's) packages with full syntax and type
+// information, plus every transitively imported standard-library
+// package type-checked from GOROOT source. Nothing is downloaded — the
+// loader is how hetlint runs without golang.org/x/tools in go.mod.
+type Program struct {
+	// Fset maps positions for every parsed file.
+	Fset *token.FileSet
+	// Packages are the analyzed (module-local) packages in dependency
+	// order: a package's module imports precede it.
+	Packages []*Package
+	// Module is the module path ("hetmr"), or "" in fixture mode.
+	Module string
+	// Root is the directory Module (or the fixture tree) lives in.
+	Root string
+
+	loader *loader
+}
+
+// Package is one analyzed package: parsed files (with comments, for
+// directive handling) and full type-checking facts.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the package's parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds Types, Defs, Uses and Selections for Files.
+	Info *types.Info
+}
+
+// IsLocal reports whether p is one of the analyzed (module-local or
+// fixture) packages, as opposed to a GOROOT dependency.
+func (prog *Program) IsLocal(p *types.Package) bool {
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg == p {
+			return true
+		}
+	}
+	return false
+}
+
+// loader resolves and type-checks packages from source. Module-local
+// (or fixture-local) packages get full syntax+Info and are recorded as
+// Packages; GOROOT dependencies are type-checked lean.
+type loader struct {
+	fset   *token.FileSet
+	ctx    build.Context
+	module string // module path, "" in fixture mode
+	root   string // module root dir, or fixture src root
+
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+	local   []*Package // analyzed packages in completion (dependency) order
+}
+
+// LoadModule type-checks the module rooted at dir (located via go.mod)
+// and returns a Program over the packages named by rel — module-root-
+// relative directories such as "internal/rpcnet", or "./..." to load
+// every package in the module. Test files are not loaded; hetlint
+// checks production code.
+func LoadModule(dir string, rel ...string) (*Program, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(module, root)
+	var paths []string
+	for _, r := range rel {
+		if r == "./..." || r == "..." {
+			all, err := modulePackages(l.ctx, root)
+			if err != nil {
+				return nil, err
+			}
+			for _, rel := range all {
+				if rel == "." {
+					paths = append(paths, module)
+				} else {
+					paths = append(paths, module+"/"+rel)
+				}
+			}
+			continue
+		}
+		r = strings.TrimPrefix(filepath.ToSlash(filepath.Clean(r)), "./")
+		if r == "." || r == "" {
+			paths = append(paths, module)
+		} else {
+			paths = append(paths, module+"/"+r)
+		}
+	}
+	return l.program(paths)
+}
+
+// LoadFixture type-checks a GOPATH-style fixture tree (analysistest's
+// testdata/src layout): every import path resolves against srcRoot
+// first, then GOROOT. All fixture packages are analyzed packages.
+func LoadFixture(srcRoot string, pkgPaths ...string) (*Program, error) {
+	l := newLoader("", srcRoot)
+	return l.program(pkgPaths)
+}
+
+func newLoader(module, root string) *loader {
+	ctx := build.Default
+	// Cgo files would need a C toolchain pass; the module has none and
+	// GOROOT packages all have pure-Go fallbacks.
+	ctx.CgoEnabled = false
+	return &loader{
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		module:  module,
+		root:    root,
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+}
+
+func (l *loader) program(paths []string) (*Program, error) {
+	for _, p := range paths {
+		if _, err := l.Import(p); err != nil {
+			return nil, err
+		}
+	}
+	return &Program{
+		Fset:     l.fset,
+		Packages: l.local,
+		Module:   l.module,
+		Root:     l.root,
+		loader:   l,
+	}, nil
+}
+
+// Import implements types.Importer. Resolution order: module/fixture
+// root, then GOROOT/src, then GOROOT/src/vendor (the stdlib's vendored
+// golang.org/x dependencies).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, isLocal := l.resolve(path)
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	mode := parser.SkipObjectResolution
+	if isLocal {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if isLocal {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	if isLocal {
+		l.local = append(l.local, &Package{
+			Path:  path,
+			Dir:   dir,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+		})
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory and reports
+// whether the package is local (analyzed with full Info).
+func (l *loader) resolve(path string) (dir string, isLocal bool) {
+	if l.module != "" {
+		if path == l.module {
+			return l.root, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+			return filepath.Join(l.root, filepath.FromSlash(rest)), true
+		}
+	} else {
+		// Fixture mode: anything present under the src root is local.
+		d := filepath.Join(l.root, filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, true
+		}
+	}
+	d := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	if _, err := os.Stat(d); err != nil {
+		d = filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path))
+	}
+	return d, false
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// modulePackages lists every buildable package directory under root as
+// module-relative import suffixes, skipping testdata, vendor and
+// hidden directories.
+func modulePackages(ctx build.Context, root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := ctx.ImportDir(path, 0); err != nil {
+			return nil // no buildable Go files here
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	for i, rel := range out {
+		if rel == "." {
+			out[i] = "."
+			continue
+		}
+		out[i] = filepath.ToSlash(rel)
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MustClose reports values obtained from module constructors (package-
+// level functions named New*/Start*/Open*/Dial* whose first result has
+// a Close/Stop/Shutdown method) that are never closed, or that can
+// leak on an early return path. This is the PR-5/PR-7 bug class:
+// rpcnet clients, spill stores and trackers that wedge goroutines or
+// file descriptors when an error path forgets the cleanup.
+//
+// A value that escapes — passed to a function, stored in a struct or
+// map, returned, sent on a channel, captured by a function literal —
+// is assumed to transfer ownership and is not tracked further. The
+// error-check immediately guarding the constructor
+// (`v, err := Dial(…); if err != nil { return … }`) is exempt, since
+// the resource is nil on that path.
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc:  "report constructor results with a Close/Stop method that are discarded, never closed, or leak on early returns",
+	Run:  runMustClose,
+}
+
+// closeFamily are the method names that count as releasing a resource.
+// Unexported variants cover same-package call sites.
+var closeFamily = map[string]bool{
+	"Close": true, "Stop": true, "Shutdown": true, "Kill": true, "Release": true,
+	"close": true, "stop": true, "shutdown": true, "halt": true,
+}
+
+func runMustClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mustCloseFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// mustCloseFunc checks one function body (and, recursively, each
+// function literal as its own scope).
+func mustCloseFunc(pass *Pass, body *ast.BlockStmt) {
+	// Collect constructor call sites belonging to this scope —
+	// statements directly in this body, not inside a nested FuncLit
+	// (those are their own scope with their own control flow).
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if method, ok := constructorCall(pass, call); ok {
+					pass.Reportf(call.Pos(), "result of %s is discarded; it must be kept and %s()d", callLabel(call), method)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if method, ok := constructorCall(pass, call); ok {
+						checkAcquisition(pass, body, n, call, method)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, lit := range lits {
+		mustCloseFunc(pass, lit.Body)
+	}
+}
+
+// constructorCall reports whether call invokes a module constructor
+// whose first result must be closed, returning the close method name.
+func constructorCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || !pass.Prog.IsLocal(f.Pkg()) {
+		return "", false
+	}
+	if recvTypeName(f) != "" {
+		return "", false
+	}
+	name := f.Name()
+	if !strings.HasPrefix(name, "New") && !strings.HasPrefix(name, "Start") &&
+		!strings.HasPrefix(name, "Open") && !strings.HasPrefix(name, "Dial") {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	return closerMethod(sig.Results().At(0).Type())
+}
+
+// closerMethod returns the close-family method in t's method set, if
+// any. Only exported names qualify here: a type whose only cleanup is
+// unexported can't be closed by other packages, so its constructor
+// shouldn't create cross-package obligations.
+func closerMethod(t types.Type) (string, bool) {
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for _, name := range []string{"Close", "Stop", "Shutdown", "Kill"} {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// use is one classified occurrence of the tracked resource variable.
+type use struct {
+	pos  token.Pos
+	kind useKind
+}
+
+type useKind int
+
+const (
+	useNeutral useKind = iota
+	useClose
+	useEscape
+)
+
+// checkAcquisition tracks one `v, err := NewX(…)`-style acquisition
+// through the rest of its scope.
+func checkAcquisition(pass *Pass, body *ast.BlockStmt, assign *ast.AssignStmt, call *ast.CallExpr, method string) {
+	ident, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return // stored into a field/index: escapes immediately
+	}
+	if ident.Name == "_" {
+		pass.Reportf(call.Pos(), "result of %s is assigned to _; it must be kept and %s()d", callLabel(call), method)
+		return
+	}
+	obj := pass.TypesInfo.Defs[ident]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[ident]
+	}
+	if obj == nil {
+		return
+	}
+	// The error variable of the same assignment, for exempting the
+	// immediate `if err != nil { return }` guard.
+	var errObj types.Object
+	if len(assign.Lhs) > 1 {
+		if errIdent, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident); ok && errIdent.Name != "_" {
+			errObj = pass.TypesInfo.Defs[errIdent]
+			if errObj == nil {
+				errObj = pass.TypesInfo.Uses[errIdent]
+			}
+		}
+	}
+
+	uses := collectUses(pass, body, obj, assign.End())
+	firstClose := token.Pos(-1)
+	escaped := false
+	for _, u := range uses {
+		switch u.kind {
+		case useEscape:
+			escaped = true
+		case useClose:
+			if firstClose == token.Pos(-1) || u.pos < firstClose {
+				firstClose = u.pos
+			}
+		}
+	}
+	if escaped {
+		return // ownership transferred; the new owner is responsible
+	}
+	if firstClose == token.Pos(-1) {
+		pass.Reportf(call.Pos(), "%s returned by %s is never closed in this function and does not escape; call %s (or defer it)", ident.Name, callLabel(call), method)
+		return
+	}
+	// Returns reached after acquisition but before the first close are
+	// leak paths — unless guarded by the acquisition's own error check
+	// (the resource is nil there).
+	for _, ret := range earlyReturns(pass, body, assign.End(), firstClose, errObj) {
+		pass.Reportf(ret, "%s created at line %d may leak: this return path exits before %s.%s is reached",
+			ident.Name, pass.Fset.Position(call.Pos()).Line, ident.Name, method)
+	}
+}
+
+// collectUses classifies every occurrence of obj after pos within
+// body. Uses inside function literals count as closes when they are
+// deferred close-family calls, and as escapes otherwise (the literal
+// may outlive the scope).
+func collectUses(pass *Pass, body *ast.BlockStmt, obj types.Object, after token.Pos) []use {
+	var out []use
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() < after || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		out = append(out, classifyUse(id, stack))
+		return true
+	})
+	return out
+}
+
+// classifyUse decides what one occurrence of the resource variable
+// means for the leak analysis, from its ancestor chain.
+func classifyUse(id *ast.Ident, stack []ast.Node) use {
+	u := use{pos: id.Pos(), kind: useNeutral}
+	inFuncLit := false
+	for _, n := range stack[:len(stack)-1] {
+		if _, ok := n.(*ast.FuncLit); ok {
+			inFuncLit = true
+		}
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == id {
+			// v.Method — a close call if it's invoked and in the
+			// family; a method-value escape if not invoked.
+			if len(stack) >= 3 {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+					if closeFamily[p.Sel.Name] {
+						u.kind = useClose
+						return u
+					}
+					return u // ordinary method call: neutral
+				}
+			}
+			u.kind = useEscape
+			return u
+		}
+	case *ast.CallExpr:
+		if p.Fun != id { // v passed as an argument
+			u.kind = useEscape
+			return u
+		}
+	case *ast.ReturnStmt:
+		u.kind = useEscape // ownership handed to the caller
+		return u
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if r == id {
+				u.kind = useEscape // stored somewhere else
+				return u
+			}
+		}
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		u.kind = useEscape
+		return u
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			u.kind = useEscape
+			return u
+		}
+	}
+	if inFuncLit {
+		// Captured by a literal that isn't a deferred close: the
+		// goroutine/callback may own it now.
+		u.kind = useEscape
+	}
+	return u
+}
+
+// earlyReturns finds return statements positioned between the
+// acquisition and the first close that are not exempted by the
+// acquisition's error guard and so leak the resource.
+func earlyReturns(pass *Pass, body *ast.BlockStmt, after, firstClose token.Pos, errObj types.Object) []token.Pos {
+	var out []token.Pos
+	var ifConds []ast.Expr
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // separate scope
+		case *ast.IfStmt:
+			walkNullable(n.Init, walk)
+			ifConds = append(ifConds, n.Cond)
+			ast.Inspect(n.Body, inspectAdapter(walk))
+			ifConds = ifConds[:len(ifConds)-1]
+			// The else branch runs when the guard is false — the
+			// error-check exemption must not extend to it.
+			if n.Else != nil {
+				ast.Inspect(n.Else, inspectAdapter(walk))
+			}
+			return
+		case *ast.ReturnStmt:
+			// A close inside the return expression itself
+			// (`return r.Close()`) covers this path.
+			closesHere := firstClose >= n.Pos() && firstClose < n.End()
+			if n.Pos() > after && n.Pos() < firstClose && !closesHere && !errGuarded(pass, ifConds, errObj) {
+				out = append(out, n.Pos())
+			}
+		}
+	}
+	ast.Inspect(body, inspectAdapter(walk))
+	return out
+}
+
+// inspectAdapter lets a stop-aware recursive walker plug into
+// ast.Inspect: the walker handles If/Return/FuncLit itself (returning
+// false for subtrees it walked manually).
+func inspectAdapter(walk func(ast.Node)) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.IfStmt:
+			walk(n)
+			return false
+		case *ast.ReturnStmt:
+			walk(n)
+			return true
+		}
+		return true
+	}
+}
+
+func walkNullable(n ast.Node, walk func(ast.Node)) {
+	if n != nil {
+		ast.Inspect(n, inspectAdapter(walk))
+	}
+}
+
+// errGuarded reports whether any enclosing if-condition references the
+// acquisition's error variable — the `if err != nil { return … }`
+// idiom, where the resource is nil and there is nothing to close.
+func errGuarded(pass *Pass, conds []ast.Expr, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	for _, c := range conds {
+		found := false
+		ast.Inspect(c, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// callLabel renders a constructor call for diagnostics.
+func callLabel(call *ast.CallExpr) string {
+	return exprString(ast.Unparen(call.Fun))
+}

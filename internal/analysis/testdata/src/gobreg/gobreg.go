@@ -1,0 +1,58 @@
+// Package gobreg is the positive fixture for the gobreg analyzer: no
+// gob.Register call exists here, so the interface-typed component must
+// be reported, along with the structural encodability violations.
+package gobreg
+
+import "rpcnet"
+
+// Good is a cleanly encodable message.
+type Good struct {
+	A int
+	B string
+}
+
+// HasFunc smuggles a func through an exported field.
+type HasFunc struct {
+	F func()
+}
+
+// HasChan smuggles a channel through a nested exported field.
+type HasChan struct {
+	Inner struct {
+		C chan int
+	}
+}
+
+// NoExported has fields, none of them visible to gob.
+type NoExported struct {
+	x int
+}
+
+// HasIface carries an interface-typed component that would need a
+// gob.Register somewhere in the program.
+type HasIface struct {
+	V any
+}
+
+var c *rpcnet.Client
+
+func bad() {
+	c.Call("m", HasFunc{}, &Good{})  // want `not gob-encodable: gob cannot encode funcs`
+	c.Call("m", &HasChan{}, &Good{}) // want `gob cannot encode channels`
+	c.Call("m", Good{}, Good{})      // want `reply has non-pointer type`
+	rpcnet.Marshal(NoExported{})     // want `struct has no exported fields`
+	rpcnet.Unmarshal(nil, Good{})    // want `non-pointer`
+	c.Call("m", HasIface{}, nil)     // want `no gob\.Register call in the program`
+}
+
+func good() {
+	c.Call("m", Good{}, &Good{})
+	c.Call("m", &Good{}, nil)
+	rpcnet.Marshal(&Good{})
+	var g Good
+	rpcnet.Unmarshal(nil, &g)
+}
+
+func suppressed() {
+	rpcnet.Marshal(HasFunc{}) //hetlint:ignore gobreg fixture: proves the directive works
+}

@@ -1,0 +1,41 @@
+// Package gobregok is the negative fixture for gobreg's program-wide
+// Finish pass: the interface-typed component is fine here because a
+// gob.Register call provides a concrete implementation. It is a
+// separate fixture program from package gobreg — registrations are
+// resolved program-wide, so one Register would satisfy every
+// obligation loaded alongside it.
+package gobregok
+
+import (
+	"encoding/gob"
+
+	"rpcnet"
+)
+
+// Payload is the interface carried on the wire.
+type Payload interface {
+	P()
+}
+
+// Impl is the registered concrete implementation.
+type Impl struct {
+	N int
+}
+
+// P implements Payload.
+func (Impl) P() {}
+
+// Msg is the wire message with an interface-typed component.
+type Msg struct {
+	V Payload
+}
+
+func init() {
+	gob.Register(Impl{})
+}
+
+var c *rpcnet.Client
+
+func ok() {
+	c.Call("m", Msg{}, &Msg{}) // clean: Impl is registered
+}

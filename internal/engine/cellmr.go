@@ -26,7 +26,28 @@ type cellmrRunner struct {
 }
 
 func init() {
+	// The type comment above spells out why the cluster-level knobs
+	// are inert on a single-node framework; the directives make each
+	// acknowledged drop checkable instead of prose.
+	//hetlint:configdrop-ok cellmr Config.Workers single node: the chip is the whole cluster
+	//hetlint:configdrop-ok cellmr Config.MappersPerNode SPE count is fixed by the hardware model (perfmodel.SPEsPerCell)
+	//hetlint:configdrop-ok cellmr Config.Reducers RunStream has no reduce phase; only Encrypt is accepted
+	//hetlint:configdrop-ok cellmr Config.Speculative no second node to speculate on
+	//hetlint:configdrop-ok cellmr Config.MaxAttempts intra-chip blocks are retried by the framework, not re-scheduled
+	//hetlint:configdrop-ok cellmr Config.SpeedHints SPEs are homogeneous by construction
+	//hetlint:configdrop-ok cellmr Config.FaultDelays live-cluster fault injection; the chip model has no tracker to delay
+	//hetlint:configdrop-ok cellmr Config.JobTimeout synchronous single-node run; nothing remote to abandon
+	//hetlint:configdrop-ok cellmr Config.SpillMemBytes the PPE staging buffer is the framework's whole memory model
+	//hetlint:configdrop-ok cellmr Config.SpillDir no spill layer on the single-node framework
+	//hetlint:configdrop-ok cellmr Config.SpillCompress no spill layer on the single-node framework
+	//hetlint:configdrop-ok cellmr Config.Codec no wire layer inside one chip
+	//hetlint:configdrop-ok cellmr Job.Name job names label tracker/DFS state, which the framework does not keep
+	//hetlint:configdrop-ok cellmr Job.Seed Seed shards Pi sampling; cellmr accepts only Encrypt
+	//hetlint:configdrop-ok cellmr Job.Tenant tenancy is the net job service's concept; Quotas are already rejected below
 	Register("cellmr", func(cfg Config) (Runner, error) {
+		if cfg.Timeline {
+			return nil, fmt.Errorf("%w: Timeline is rendered from the simulated JobTracker's task log and only exists on the sim backend", ErrUnsupported)
+		}
 		// The framework IS the accelerated path: a config asking for
 		// the host mapper or a partially-accelerated cluster cannot be
 		// honoured here, and silently running the fully-accelerated

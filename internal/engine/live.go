@@ -28,9 +28,19 @@ type liveRunner struct {
 }
 
 func init() {
+	// The fairness knobs below only exist on the net backend's job
+	// service; the in-process cluster runs one caller's job at a time.
+	//hetlint:configdrop-ok live Job.Tenant tenancy is the net job service's concept; Quotas are already rejected above the same line
+	//
+	// JobTimeout bounds the net backend's remote wait; a live Run is a
+	// synchronous in-process call with nothing to abandon.
+	//hetlint:configdrop-ok live Config.JobTimeout live runs synchronously in-process; the knob bounds the net backend's remote wait
 	Register("live", func(cfg Config) (Runner, error) {
 		if cfg.Mapper == "empty" {
 			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
+		}
+		if cfg.Timeline {
+			return nil, fmt.Errorf("%w: Timeline is rendered from the simulated JobTracker's task log and only exists on the sim backend", ErrUnsupported)
 		}
 		if len(cfg.Quotas) > 0 {
 			return nil, fmt.Errorf("%w: per-tenant quotas only exist on the net backend's job service", ErrUnsupported)

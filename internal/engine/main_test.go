@@ -1,0 +1,14 @@
+package engine
+
+import (
+	"testing"
+
+	"hetmr/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — backend
+// runners spun up through the registry must release their clusters and
+// connections when closed.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -31,6 +31,9 @@ func init() {
 		if cfg.Mapper == "empty" {
 			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)
 		}
+		if cfg.Timeline {
+			return nil, fmt.Errorf("%w: Timeline is rendered from the simulated JobTracker's task log and only exists on the sim backend", ErrUnsupported)
+		}
 		kinds, err := netDeviceKinds(cfg)
 		if err != nil {
 			return nil, err

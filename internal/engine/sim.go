@@ -25,6 +25,22 @@ type simRunner struct {
 }
 
 func init() {
+	// The simulator models the architecture's timing, not its data
+	// plane or its fault injection — these knobs configure machinery
+	// that has no counterpart in the model. Each is acknowledged
+	// rather than rejected: the conformance suite runs one Config
+	// across every backend, and the model's own calibrated defaults
+	// (perfmodel) stand in for what the knob would tune.
+	//hetlint:configdrop-ok sim Config.Reducers the model's reduce phase uses calibrated ReduceSlots; Reducers shapes real shuffle output on functional backends
+	//hetlint:configdrop-ok sim Config.MaxAttempts the simulated JobTracker re-runs lost tasks per its TrackerExpiry/speculation model
+	//hetlint:configdrop-ok sim Config.SpeedHints heterogeneity comes from the calibrated perfmodel, not per-node hints
+	//hetlint:configdrop-ok sim Config.FaultDelays fault injection on the model goes through KillNode-style hooks, not live-cluster task delays
+	//hetlint:configdrop-ok sim Config.JobTimeout simulated virtual time completes in wall-milliseconds; there is no remote wait to bound
+	//hetlint:configdrop-ok sim Config.SpillMemBytes the timing model has no real data plane to spill
+	//hetlint:configdrop-ok sim Config.SpillDir the timing model has no real data plane to spill
+	//hetlint:configdrop-ok sim Config.SpillCompress the timing model has no real data plane to spill
+	//hetlint:configdrop-ok sim Config.Codec no real wire layer; rpc cost is modelled, not paid
+	//hetlint:configdrop-ok sim Job.Tenant tenancy is the net job service's concept; Quotas are already rejected below
 	Register("sim", func(cfg Config) (Runner, error) {
 		if len(cfg.Quotas) > 0 {
 			return nil, fmt.Errorf("%w: per-tenant quotas only exist on the net backend's job service", ErrUnsupported)

@@ -177,6 +177,7 @@ func RunDistributedJob(nWorkers int, cfg hadoop.Config,
 	job.Splits = splits
 	handle, err := rt.Submit(job)
 	if err != nil {
+		rt.Shutdown()
 		return SimRun{}, err
 	}
 	var result *hadoop.JobResult

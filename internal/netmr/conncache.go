@@ -26,15 +26,21 @@ func newConnCache(codec string) *connCache {
 }
 
 // get returns the cached client for addr, dialing one on first use.
+// The dial happens outside cc.mu: one unreachable peer must not block
+// the whole data plane's cache behind its TCP handshake (hetlint:
+// lockheldcall).
 func (cc *connCache) get(addr string) (*rpcnet.Client, error) {
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
 	if cc.closed {
+		cc.mu.Unlock()
 		return nil, fmt.Errorf("netmr: connection cache closed")
 	}
 	if c, ok := cc.conns[addr]; ok {
+		cc.mu.Unlock()
 		return c, nil
 	}
+	cc.mu.Unlock()
+
 	var opts []rpcnet.Option
 	if cc.codec != "" {
 		opts = append(opts, rpcnet.WithCodec(cc.codec))
@@ -43,7 +49,21 @@ func (cc *connCache) get(addr string) (*rpcnet.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("netmr: connection cache closed")
+	}
+	if cur, ok := cc.conns[addr]; ok {
+		// Lost the dial race: keep the cached winner, retire ours.
+		cc.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
 	cc.conns[addr] = c
+	cc.mu.Unlock()
 	return c, nil
 }
 

@@ -211,6 +211,7 @@ func TestWaitHonoursDeadlineAgainstHungJobTracker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer client.Close()
 	start := time.Now()
 	_, err = client.Wait(0, 300*time.Millisecond)
 	elapsed := time.Since(start)

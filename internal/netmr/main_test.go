@@ -1,0 +1,14 @@
+package netmr
+
+import (
+	"testing"
+
+	"hetmr/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — tracker
+// heartbeat loops, shuffle fetchers and cached connections must all
+// stop with their cluster.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

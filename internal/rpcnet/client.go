@@ -228,23 +228,43 @@ func (cc *clientConn) dead() bool {
 }
 
 // conn picks the next pool slot round-robin, redialing it if its
-// connection is missing or dead.
+// connection is missing or dead. The dial itself happens outside c.mu
+// — an unreachable server must stall only the calls that need the new
+// connection, not every goroutine touching the pool (hetlint:
+// lockheldcall).
 func (c *Client) conn() (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
 	i := int(c.rr % uint64(len(c.conns)))
 	c.rr++
 	if cc := c.conns[i]; cc != nil && !cc.dead() {
+		c.mu.Unlock()
 		return cc, nil
 	}
+	c.mu.Unlock()
+
 	cc, err := c.dialConn()
 	if err != nil {
 		return nil, err
 	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cc.fail(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if cur := c.conns[i]; cur != nil && !cur.dead() {
+		// Lost the redial race: keep the winner, retire ours.
+		c.mu.Unlock()
+		cc.fail(errors.New("rpcnet: duplicate connection discarded"))
+		return cur, nil
+	}
 	c.conns[i] = cc
+	c.mu.Unlock()
 	return cc, nil
 }
 

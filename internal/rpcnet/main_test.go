@@ -1,0 +1,14 @@
+package rpcnet
+
+import (
+	"testing"
+
+	"hetmr/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// readLoops, dispatch workers and pool dials must all wind down when
+// their Client/Server closes.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}

@@ -1,0 +1,93 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakedGoroutinesDetects proves the checker sees a deliberately
+// stranded goroutine and that the goroutine disappears from the report
+// once released.
+func TestLeakedGoroutinesDetects(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	found := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, g := range leakedGoroutines(defaultIgnores) {
+			if strings.Contains(g, "TestLeakedGoroutinesDetects") {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !found {
+		t.Fatal("stranded goroutine not reported by leakedGoroutines")
+	}
+
+	close(release)
+	for time.Now().Before(deadline) {
+		still := false
+		for _, g := range leakedGoroutines(defaultIgnores) {
+			if strings.Contains(g, "TestLeakedGoroutinesDetects") {
+				still = true
+			}
+		}
+		if !still {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("released goroutine still reported after 5s")
+}
+
+// TestLeakedGoroutinesIgnores proves extra ignore substrings exempt a
+// matching goroutine.
+func TestLeakedGoroutinesIgnores(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go sentinelDaemon(started, release)
+	<-started
+	defer close(release)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		seen := false
+		for _, g := range leakedGoroutines(defaultIgnores) {
+			if strings.Contains(g, "sentinelDaemon") {
+				seen = true
+			}
+		}
+		if seen {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ignores := append(append([]string(nil), defaultIgnores...), "sentinelDaemon")
+	for _, g := range leakedGoroutines(ignores) {
+		if strings.Contains(g, "sentinelDaemon") {
+			t.Fatal("ignored goroutine still reported")
+		}
+	}
+}
+
+func sentinelDaemon(started, release chan struct{}) {
+	close(started)
+	<-release
+}
+
+// TestMain dogfoods the checker on its own package.
+func TestMain(m *testing.M) {
+	VerifyTestMain(m)
+}
