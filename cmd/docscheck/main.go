@@ -28,6 +28,7 @@ var corePackages = []string{
 	"internal/rpcnet",
 	"internal/analysis",
 	"internal/testutil",
+	"internal/topo",
 }
 
 func main() {

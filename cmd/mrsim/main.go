@@ -48,16 +48,28 @@ func main() {
 	spillCompress := flag.Bool("spill-compress", false, "frame-compress spilled payloads")
 	codec := flag.String("codec", "", "data-plane compression codec (snap or flate): negotiated on the wire for net backends and remote submission, and used for -spill-compress frames")
 	serveMode := flag.Bool("serve", false, "run a long-lived multi-tenant job service instead of one job; print its addresses and block until interrupted")
-	quotas := flag.String("quotas", "", "per-tenant quotas for -serve: tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]],...")
+	quotas := flag.String("quotas", "", "per-tenant quotas for -serve: tenant=weight[:maxJobs[:maxTrackers[:spillBytes[:maxQueued]]]],...")
 	slots := flag.Int("slots", 2, "task slots per worker (-serve)")
 	blockSize := flag.Int64("block-size", 64_000, "DFS block size in bytes (-serve and remote submission)")
-	nn := flag.String("nn", "", "NameNode address of a running job service (remote submission)")
-	jt := flag.String("jt", "", "JobTracker address of a running job service (remote submission)")
+	nn := flag.String("nn", "", "NameNode address of a running job service (remote submission and admin)")
+	jt := flag.String("jt", "", "JobTracker address of a running job service (remote submission and admin)")
 	tenant := flag.String("tenant", "", "tenant to submit as against a running job service")
+	racks := flag.Int("racks", 0, "spread workers over this many racks (net, live and -serve); 0 or 1 = flat topology")
+	listNodes := flag.Bool("list-nodes", false, "admin: print a running service's tracker and datanode membership (-nn/-jt)")
+	decommTracker := flag.String("decommission-tracker", "", "admin: drain the named TaskTracker on a running service (-jt)")
+	decommDN := flag.String("decommission-dn", "", "admin: re-replicate and retire the DataNode at this address on a running service (-nn)")
 	flag.Parse()
 
 	if *serveMode {
-		if err := serve(*nodes, *slots, *blockSize, *quotas, *spillMem, *spillCompress, *codec); err != nil {
+		if err := serve(*nodes, *slots, *blockSize, *quotas, *spillMem, *spillCompress, *codec, *racks); err != nil {
+			fmt.Fprintln(os.Stderr, "mrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *listNodes || *decommTracker != "" || *decommDN != "" {
+		err := runAdmin(*nn, *jt, *blockSize, *listNodes, *decommTracker, *decommDN)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrsim:", err)
 			os.Exit(1)
 		}
@@ -97,6 +109,7 @@ func main() {
 		SpillMemBytes: spill,
 		SpillCompress: *spillCompress,
 		Codec:         *codec,
+		Racks:         *racks,
 	}
 	if *speedHints {
 		// accel already follows the Config convention the shared

@@ -20,7 +20,7 @@ import (
 // interrupted: the printed NameNode/JobTracker addresses are what
 // client invocations (-nn/-jt) dial to submit jobs against the shared
 // fleet.
-func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, spillCompress bool, codecName string) error {
+func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, spillCompress bool, codecName string, racks int) error {
 	quotas, err := parseQuotas(quotaSpec)
 	if err != nil {
 		return err
@@ -48,6 +48,9 @@ func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, 
 	if codecName != "" {
 		opts = append(opts, netmr.WithWireCodec(codecName))
 	}
+	if racks >= 2 {
+		opts = append(opts, netmr.WithRacks(racks))
+	}
 	svc, err := netmr.StartService(nodes, slots, blockSize, 20*time.Millisecond, opts...)
 	if err != nil {
 		return err
@@ -70,8 +73,9 @@ func serve(nodes, slots int, blockSize int64, quotaSpec string, spillMem int64, 
 }
 
 // parseQuotas reads the -quotas syntax: a comma-separated list of
-// tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]] entries, e.g.
-// "alice=3,bob=1:2" (bob at weight 1, at most 2 concurrent jobs).
+// tenant=weight[:maxJobs[:maxTrackers[:spillBytes[:maxQueued]]]]
+// entries, e.g. "alice=3,bob=1:2" (bob at weight 1, at most 2
+// concurrent jobs).
 func parseQuotas(spec string) (map[string]netmr.Quota, error) {
 	quotas := make(map[string]netmr.Quota)
 	if spec == "" {
@@ -80,11 +84,11 @@ func parseQuotas(spec string) (map[string]netmr.Quota, error) {
 	for _, entry := range strings.Split(spec, ",") {
 		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "=")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("quota entry %q: want tenant=weight[:maxJobs[:maxTrackers[:spillBytes]]]", entry)
+			return nil, fmt.Errorf("quota entry %q: want tenant=weight[:maxJobs[:maxTrackers[:spillBytes[:maxQueued]]]]", entry)
 		}
 		parts := strings.Split(rest, ":")
-		if len(parts) > 4 {
-			return nil, fmt.Errorf("quota entry %q has %d fields, at most 4", entry, len(parts))
+		if len(parts) > 5 {
+			return nil, fmt.Errorf("quota entry %q has %d fields, at most 5", entry, len(parts))
 		}
 		var q netmr.Quota
 		if w, err := strconv.ParseFloat(parts[0], 64); err != nil {
@@ -92,24 +96,71 @@ func parseQuotas(spec string) (map[string]netmr.Quota, error) {
 		} else {
 			q.Weight = w
 		}
-		ints := []*int{nil, &q.MaxJobs, &q.MaxTrackers}
-		for i := 1; i < len(parts) && i < 3; i++ {
+		ints := []*int{nil, &q.MaxJobs, &q.MaxTrackers, nil, &q.MaxQueued}
+		for i := 1; i < len(parts); i++ {
+			if i == 3 {
+				n, err := strconv.ParseInt(parts[3], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("quota entry %q: spillBytes: %v", entry, err)
+				}
+				q.SpillBytes = n
+				continue
+			}
 			n, err := strconv.Atoi(parts[i])
 			if err != nil {
 				return nil, fmt.Errorf("quota entry %q: field %d: %v", entry, i, err)
 			}
 			*ints[i] = n
 		}
-		if len(parts) == 4 {
-			n, err := strconv.ParseInt(parts[3], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("quota entry %q: spillBytes: %v", entry, err)
-			}
-			q.SpillBytes = n
-		}
 		quotas[name] = q
 	}
 	return quotas, nil
+}
+
+// runAdmin executes the cluster-membership admin verbs against a
+// running job service: list the membership view, drain a tracker, or
+// re-replicate and retire a DataNode.
+func runAdmin(nnAddr, jtAddr string, blockSize int64, list bool, decommTracker, decommDN string) error {
+	if nnAddr == "" || jtAddr == "" {
+		return fmt.Errorf("admin commands need both -nn and -jt")
+	}
+	c, err := netmr.NewClient(nnAddr, jtAddr, blockSize)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if decommTracker != "" {
+		if err := c.DecommissionTracker(decommTracker); err != nil {
+			return err
+		}
+		fmt.Printf("tracker %s draining: no new work; it exits once in-flight tasks and held shuffle state clear\n", decommTracker)
+	}
+	if decommDN != "" {
+		if err := c.DecommissionDataNode(decommDN); err != nil {
+			return err
+		}
+		fmt.Printf("datanode %s decommissioned: blocks re-replicated and node dropped from placement\n", decommDN)
+		fmt.Println("stop the daemon to finish retirement — left running, it rejoins as an empty member on its next heartbeat")
+	}
+	if list {
+		trackers, err := c.ListTrackers()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trackers (%d):\n", len(trackers))
+		for _, t := range trackers {
+			fmt.Printf("  %-16s rack=%-8s device=%-5s state=%s\n", t.ID, t.Rack, t.Device, t.State)
+		}
+		nodes, err := c.ListDataNodes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("datanodes (%d):\n", len(nodes))
+		for _, d := range nodes {
+			fmt.Printf("  %-22s rack=%-8s blocks=%-5d state=%s\n", d.Addr, d.Rack, d.Blocks, d.State)
+		}
+	}
+	return nil
 }
 
 // sortedQuotaTenants orders tenant names for stable output.

@@ -29,6 +29,7 @@ import (
 	"hetmr/internal/sched"
 	"hetmr/internal/spill"
 	"hetmr/internal/spurt"
+	"hetmr/internal/topo"
 )
 
 // LiveNode is one worker of the live (functional) cluster: a name the
@@ -82,6 +83,7 @@ type liveConfig struct {
 	spillDir       string
 	spillMem       int64 // < 0: unbounded memory, no spilling
 	spillCodec     spill.Codec
+	racks          int
 }
 
 // WithBlockSize sets the DFS block size (default 64 MB).
@@ -101,6 +103,11 @@ func WithAcceleratedNodes(n int) LiveOption { return func(c *liveConfig) { c.acc
 // WithSPEBlockBytes sets the accelerator block size (default 4 KB as
 // in the paper's distributed experiments).
 func WithSPEBlockBytes(b int) LiveOption { return func(c *liveConfig) { c.speBlock = b } }
+
+// WithRacks spreads the nodes round-robin over n named racks
+// (topo.RackName); the DFS then spreads block replicas across racks on
+// write and repair. n < 2 keeps the flat default topology.
+func WithRacks(n int) LiveOption { return func(c *liveConfig) { c.racks = n } }
 
 // WithScheduling configures the dynamic scheduler (speculative
 // execution, per-task attempt caps) for every job the cluster runs.
@@ -206,7 +213,11 @@ func NewLiveCluster(n int, opts ...LiveOption) (*LiveCluster, error) {
 	}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("node%03d", i)
-		if _, err := nn.RegisterDataNode(name); err != nil {
+		rack := topo.DefaultRack
+		if cfg.racks >= 2 {
+			rack = topo.RackName(i % cfg.racks)
+		}
+		if _, err := nn.RegisterDataNodeAt(name, rack); err != nil {
 			return nil, err
 		}
 		node := &LiveNode{Name: name, Blade: cellbe.NewBlade()}

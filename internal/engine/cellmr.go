@@ -41,6 +41,7 @@ func init() {
 	//hetlint:configdrop-ok cellmr Config.SpillDir no spill layer on the single-node framework
 	//hetlint:configdrop-ok cellmr Config.SpillCompress no spill layer on the single-node framework
 	//hetlint:configdrop-ok cellmr Config.Codec no wire layer inside one chip
+	//hetlint:configdrop-ok cellmr Config.Racks single node: there is no second rack
 	//hetlint:configdrop-ok cellmr Job.Name job names label tracker/DFS state, which the framework does not keep
 	//hetlint:configdrop-ok cellmr Job.Seed Seed shards Pi sampling; cellmr accepts only Encrypt
 	//hetlint:configdrop-ok cellmr Job.Tenant tenancy is the net job service's concept; Quotas are already rejected below
@@ -101,7 +102,7 @@ func (r *cellmrRunner) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 	out := make([]byte, len(input))
-	ctr := kernels.CTRBlockFunc(cipher, job.iv())
+	ctr := kernels.CTRBlockFuncFast(cipher, job.iv())
 	if err := r.fw.RunStream(ctr, input, out); err != nil {
 		return nil, err
 	}

@@ -202,6 +202,16 @@ type Result struct {
 	// completions skew toward accelerated nodes. Nil elsewhere.
 	Devices map[string]string
 
+	// LocalReads/RackReads/RemoteReads count DFS block fetches by
+	// locality tier over the job's span on the net backend: served by
+	// the tracker's co-located DataNode, by a same-rack DataNode, or
+	// across racks. Cluster-wide counter deltas — concurrent jobs'
+	// fetches land in whichever result collects first. Zero elsewhere
+	// (the sim backend's modelled locality lives in Sim).
+	LocalReads  int64
+	RackReads   int64
+	RemoteReads int64
+
 	Sim *SimStats
 }
 

@@ -55,6 +55,7 @@ func init() {
 			}),
 			core.WithSpeedHints(cfg.SpeedHints),
 			core.WithTaskDelays(cfg.FaultDelays),
+			core.WithRacks(cfg.Racks),
 		}
 		if cfg.SpillMemBytes != 0 {
 			opts = append(opts, core.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
@@ -186,7 +187,7 @@ func (r *liveRunner) Run(job *Job) (*Result, error) {
 			Output: output,
 			Kernel: spurt.KernelFunc{
 				KernelName: "aes-ctr",
-				Fn:         kernels.CTRBlockFunc(cipher, job.iv()),
+				Fn:         kernels.CTRBlockFuncFast(cipher, job.iv()),
 			},
 			Accelerated: r.cfg.Mapper != "java",
 		}); err != nil {

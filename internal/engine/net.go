@@ -52,9 +52,13 @@ func init() {
 					MaxJobs:     q.MaxJobs,
 					MaxTrackers: q.MaxTrackers,
 					SpillBytes:  q.SpillBytes,
+					MaxQueued:   q.MaxQueued,
 				}
 			}
 			opts = append(opts, netmr.WithQuotas(quotas))
+		}
+		if cfg.Racks >= 2 {
+			opts = append(opts, netmr.WithRacks(cfg.Racks))
 		}
 		if cfg.SpillMemBytes != 0 {
 			opts = append(opts, netmr.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
@@ -211,6 +215,9 @@ type netJob struct {
 	job     *Job
 	id      int64
 	started time.Time
+	// Fetch-locality counter snapshot at submission; wait() reports
+	// the delta as the job's read-locality split.
+	local0, rack0, remote0 int64
 }
 
 // start validates, stages and submits one job, returning the handle to
@@ -223,11 +230,13 @@ func (r *netRunner) start(job *Job) (*netJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	l0, rk0, rm0 := r.clus.FetchTotals()
 	id, err := r.clus.Client.Submit(spec)
 	if err != nil {
 		return nil, err
 	}
-	return &netJob{r: r, job: job, id: id, started: time.Now()}, nil
+	return &netJob{r: r, job: job, id: id, started: time.Now(),
+		local0: l0, rack0: rk0, remote0: rm0}, nil
 }
 
 // wait blocks until the job completes and decodes its result by kind.
@@ -307,6 +316,10 @@ func (nj *netJob) wait() (*Result, error) {
 		res.Pi, res.Inside, res.Total = pi.Pi, pi.Inside, pi.Total
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	}
+	l1, rk1, rm1 := r.clus.FetchTotals()
+	res.LocalReads = l1 - nj.local0
+	res.RackReads = rk1 - nj.rack0
+	res.RemoteReads = rm1 - nj.remote0
 	res.Elapsed = time.Since(nj.started)
 	return res, nil
 }

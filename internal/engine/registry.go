@@ -127,6 +127,12 @@ type Config struct {
 	// non-empty map with ErrUnsupported rather than silently running
 	// without enforcement.
 	Quotas map[string]Quota
+	// Racks spreads the workers round-robin over that many named racks
+	// on the functional cluster backends (net and live): block replicas
+	// then spread across racks on write and repair, and the net
+	// scheduler prefers rack-local over remote grants. 0 or 1 keeps the
+	// flat single-rack topology (the default); negative is an error.
+	Racks int
 }
 
 // Quota bounds one tenant on the multi-tenant net backend. The zero
@@ -146,6 +152,11 @@ type Quota struct {
 	// SpillBytes caps the tenant's resident shuffle/spill bytes across
 	// the tracker fleet, enforced at job admission. 0: unlimited.
 	SpillBytes int64
+	// MaxQueued lets that many over-quota Submits wait in line instead
+	// of being rejected: queued jobs start automatically as running
+	// jobs finish or spill budget frees. 0 keeps the historical
+	// immediate rejection.
+	MaxQueued int
 }
 
 // DefaultJobTimeout is the net backend's per-job deadline when
@@ -202,6 +213,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxAttempts < 0 {
 		return c, fmt.Errorf("engine: negative attempt cap %d", c.MaxAttempts)
+	}
+	if c.Racks < 0 {
+		return c, fmt.Errorf("engine: negative rack count %d", c.Racks)
 	}
 	if c.Codec != "" {
 		if _, ok := spill.CodecByName(c.Codec); !ok {

@@ -21,6 +21,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"hetmr/internal/topo"
 )
 
 // Errors returned by the file system.
@@ -43,6 +45,7 @@ type BlockID int64
 // BlockStore holds once.
 type DataNode struct {
 	Name   string
+	Rack   string            // topology assignment (topo.DefaultRack when flat)
 	blocks map[BlockID]int64 // replica sizes
 	used   int64
 	alive  bool
@@ -141,14 +144,25 @@ func (nn *NameNode) BlockSize() int64 { return nn.blockSize }
 // Replication returns the configured replication factor.
 func (nn *NameNode) Replication() int { return nn.replication }
 
-// RegisterDataNode adds a datanode to the cluster.
+// RegisterDataNode adds a datanode to the cluster on the flat default
+// rack.
 func (nn *NameNode) RegisterDataNode(name string) (*DataNode, error) {
+	return nn.RegisterDataNodeAt(name, topo.DefaultRack)
+}
+
+// RegisterDataNodeAt adds a datanode on the named rack ("" reads as
+// topo.DefaultRack). Placement and repair spread replicas across
+// racks, so losing one rack cannot take every copy of a block.
+func (nn *NameNode) RegisterDataNodeAt(name, rack string) (*DataNode, error) {
+	if rack == "" {
+		rack = topo.DefaultRack
+	}
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
 	if _, ok := nn.nodes[name]; ok {
 		return nil, fmt.Errorf("hdfs: datanode %q already registered", name)
 	}
-	d := &DataNode{Name: name, blocks: make(map[BlockID]int64), alive: true}
+	d := &DataNode{Name: name, Rack: rack, blocks: make(map[BlockID]int64), alive: true}
 	nn.nodes[name] = d
 	nn.nodeOrder = append(nn.nodeOrder, name)
 	return d, nil
@@ -181,8 +195,11 @@ func (nn *NameNode) liveNodes() []*DataNode {
 }
 
 // place chooses replica hosts for a new block: the preferred node
-// first (HDFS writes the first replica on the writer's node), then the
-// least-loaded other nodes.
+// first (HDFS writes the first replica on the writer's node), then
+// rack-spread over the rest — each further replica prefers the
+// least-loaded node on a rack no earlier replica covers, falling back
+// to least-loaded anywhere once every rack is covered. On a flat
+// topology this degenerates to the historical least-loaded order.
 func (nn *NameNode) place(preferred string) ([]*DataNode, error) {
 	live := nn.liveNodes()
 	if len(live) == 0 {
@@ -194,22 +211,44 @@ func (nn *NameNode) place(preferred string) ([]*DataNode, error) {
 			chosen = append(chosen, d)
 		}
 	}
-	for _, d := range live {
-		if len(chosen) >= nn.replication {
-			break
-		}
-		already := false
-		for _, c := range chosen {
-			if c == d {
-				already = true
+	chosen = nn.spreadOver(live, chosen, nn.replication)
+	return chosen, nil
+}
+
+// spreadOver extends chosen up to want replicas from candidates
+// (least-loaded first), preferring nodes on racks chosen doesn't cover
+// yet. Callers hold nn.mu.
+func (nn *NameNode) spreadOver(candidates, chosen []*DataNode, want int) []*DataNode {
+	covered := make(map[string]bool, len(chosen))
+	taken := make(map[*DataNode]bool, len(chosen))
+	for _, c := range chosen {
+		covered[c.Rack] = true
+		taken[c] = true
+	}
+	for len(chosen) < want {
+		var pick *DataNode
+		for _, d := range candidates {
+			if !taken[d] && !covered[d.Rack] {
+				pick = d
 				break
 			}
 		}
-		if !already {
-			chosen = append(chosen, d)
+		if pick == nil {
+			for _, d := range candidates {
+				if !taken[d] {
+					pick = d
+					break
+				}
+			}
 		}
+		if pick == nil {
+			break
+		}
+		chosen = append(chosen, pick)
+		covered[pick.Rack] = true
+		taken[pick] = true
 	}
-	return chosen, nil
+	return chosen
 }
 
 // addSyntheticBlock registers a metadata-only block (no payload, no
@@ -646,7 +685,8 @@ func (nn *NameNode) KillDataNode(name string) error {
 		return fmt.Errorf("%w: %s", ErrNodeDead, name)
 	}
 	d.alive = false
-	// Re-replicate under-replicated blocks from surviving replicas.
+	// Re-replicate under-replicated blocks from surviving replicas,
+	// spreading the repairs back across racks.
 	for id, hosts := range nn.locations {
 		var liveHosts []*DataNode
 		for _, h := range hosts {
@@ -657,23 +697,96 @@ func (nn *NameNode) KillDataNode(name string) error {
 		if len(liveHosts) == 0 || len(liveHosts) >= nn.replication {
 			continue
 		}
-		size := liveHosts[0].blocks[id]
-		for _, cand := range nn.liveNodes() {
-			if len(liveHosts) >= nn.replication {
-				break
-			}
-			if _, has := cand.blocks[id]; has {
-				continue
-			}
-			cand.blocks[id] = size
-			cand.used += size
-			liveHosts = append(liveHosts, cand)
+		nn.repairBlock(id, liveHosts)
+	}
+	return nil
+}
+
+// repairBlock extends a degraded block's replica set back toward the
+// replication target, preferring uncovered racks, and rewrites its
+// location record. Replicas share one stored payload, so the repair is
+// a metadata move. Callers hold nn.mu.
+func (nn *NameNode) repairBlock(id BlockID, liveHosts []*DataNode) {
+	size := liveHosts[0].blocks[id]
+	var candidates []*DataNode
+	for _, cand := range nn.liveNodes() {
+		if _, has := cand.blocks[id]; !has {
+			candidates = append(candidates, cand)
 		}
-		var names []string
-		for _, h := range liveHosts {
-			names = append(names, h.Name)
+	}
+	grown := nn.spreadOver(candidates, liveHosts, nn.replication)
+	for _, h := range grown[len(liveHosts):] {
+		h.blocks[id] = size
+		h.used += size
+	}
+	names := make([]string, 0, len(grown))
+	for _, h := range grown {
+		names = append(names, h.Name)
+	}
+	nn.locations[id] = names
+}
+
+// DecommissionDataNode retires a node gracefully: every replica it
+// holds is first re-homed onto the remaining live nodes (rack-spread;
+// a metadata move, since replicas share one stored payload), then the
+// node leaves the cluster entirely. Unlike KillDataNode, no block
+// loses availability — with no other node to hold a copy the
+// decommission is refused.
+func (nn *NameNode) DecommissionDataNode(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	d, ok := nn.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if !d.alive {
+		return fmt.Errorf("%w: %s", ErrNodeDead, name)
+	}
+	// Out of placement while the drain runs.
+	d.alive = false
+	for id := range d.blocks {
+		var liveHosts []*DataNode
+		for _, h := range nn.locations[id] {
+			if n := nn.nodes[h]; n.alive {
+				liveHosts = append(liveHosts, n)
+			}
 		}
-		nn.locations[id] = names
+		if len(liveHosts) == 0 {
+			// This node holds the only copy: it must land somewhere
+			// before the node may leave.
+			var candidates []*DataNode
+			for _, cand := range nn.liveNodes() {
+				if _, has := cand.blocks[id]; !has {
+					candidates = append(candidates, cand)
+				}
+			}
+			if len(candidates) == 0 {
+				d.alive = true
+				return fmt.Errorf("%w: decommission %s would lose block %d", ErrNoDataNodes, name, id)
+			}
+			t := candidates[0]
+			size := d.blocks[id]
+			t.blocks[id] = size
+			t.used += size
+			liveHosts = append(liveHosts, t)
+		}
+		if len(liveHosts) < nn.replication {
+			nn.repairBlock(id, liveHosts)
+		} else {
+			names := make([]string, 0, len(liveHosts))
+			for _, h := range liveHosts {
+				names = append(names, h.Name)
+			}
+			nn.locations[id] = names
+		}
+		d.used -= d.blocks[id]
+	}
+	delete(nn.nodes, name)
+	for i, n := range nn.nodeOrder {
+		if n == name {
+			nn.nodeOrder = append(nn.nodeOrder[:i], nn.nodeOrder[i+1:]...)
+			break
+		}
 	}
 	return nil
 }

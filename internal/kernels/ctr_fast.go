@@ -1,0 +1,80 @@
+package kernels
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// The hand-rolled SIMD XOR path (CTRStreamSIMD) loses to the standard
+// library's AES-CTR by ~7x on hosts with hardware AES support —
+// BENCH_PR2 measured 77 MB/s against 542 MB/s on the same machine —
+// because the bottleneck is keystream generation, not the XOR, and
+// crypto/aes pipelines AES-NI across counter blocks. This file routes
+// the production encryption paths through the stdlib while keeping the
+// table-based CTRStream as the reference implementation (and the SPE
+// model's "device" kernel shape). Output is bit-identical across all
+// three: CTR is fully determined by key, IV and offset.
+
+// stdBlock rebuilds a crypto/aes block cipher from an expanded Cipher.
+// AES-128 key expansion keeps the raw key as the first four round-key
+// words, so no extra key retention is needed.
+func stdBlock(c *Cipher) cipher.Block {
+	var key [aesKeySize]byte
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint32(key[4*i:], c.rk[i])
+	}
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		// The key is 16 bytes by construction; unreachable.
+		panic(err)
+	}
+	return blk
+}
+
+// CTRStreamFast is CTRStream on the standard library's AES-CTR:
+// bit-identical output, hardware AES where the platform provides it.
+// Seeking works the same way as the reference path — start the counter
+// at IV+offset/16 and discard the unaligned phase bytes.
+func CTRStreamFast(c *Cipher, iv []byte, offset int64, dst, src []byte) {
+	if len(iv) != aesBlockSize {
+		panic("kernels: CTR IV must be 16 bytes")
+	}
+	if len(dst) != len(src) {
+		panic("kernels: CTR dst/src length mismatch")
+	}
+	if offset < 0 {
+		panic("kernels: negative CTR offset")
+	}
+	if len(src) == 0 {
+		return
+	}
+	ctrStreamStd(stdBlock(c), iv, offset, dst, src)
+}
+
+// ctrStreamStd runs the seeked stdlib CTR transform over one range.
+func ctrStreamStd(blk cipher.Block, iv []byte, offset int64, dst, src []byte) {
+	var ctr [aesBlockSize]byte
+	counterBlock(&ctr, iv, uint64(offset/aesBlockSize))
+	stream := cipher.NewCTR(blk, ctr[:])
+	if phase := int(offset % aesBlockSize); phase > 0 {
+		var discard [aesBlockSize]byte
+		stream.XORKeyStream(discard[:phase], discard[:phase])
+	}
+	stream.XORKeyStream(dst, src)
+}
+
+// CTRBlockFuncFast is the stdlib-CTR counterpart of CTRBlockFunc: the
+// block cipher is built once and shared — safe concurrently, its state
+// is the read-only key schedule; each call seeks its own CTR stream.
+func CTRBlockFuncFast(c *Cipher, iv []byte) func(block []byte, offset int64) error {
+	blk := stdBlock(c)
+	ivCopy := append([]byte(nil), iv...)
+	return func(block []byte, offset int64) error {
+		if offset < 0 {
+			panic("kernels: negative CTR offset")
+		}
+		ctrStreamStd(blk, ivCopy, offset, block, block)
+		return nil
+	}
+}

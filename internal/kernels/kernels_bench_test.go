@@ -48,6 +48,26 @@ func BenchmarkCTRStreamSIMD4K(b *testing.B) {
 	}
 }
 
+func BenchmarkCTRStreamFast4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CTRStreamFast(c, iv, 0, buf, buf)
+	}
+}
+
+func BenchmarkCTRBlockFuncFast4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	fn := CTRBlockFuncFast(c, make([]byte, 16))
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		fn(buf, 0)
+	}
+}
+
 func BenchmarkCTRStreamStdlib4K(b *testing.B) {
 	c, _ := aes.NewCipher(make([]byte, 16))
 	iv := make([]byte, 16)

@@ -121,11 +121,11 @@ func (d *AccelDevice) CountInside(seed uint64, samples int64) (int64, error) {
 // blocking.
 func (d *AccelDevice) CTRStream(c *kernels.Cipher, iv []byte, base int64, data []byte) ([]byte, error) {
 	out := make([]byte, len(data))
+	ctr := kernels.CTRBlockFuncFast(c, iv)
 	kern := spurt.KernelFunc{
 		KernelName: "aes-ctr",
 		Fn: func(block []byte, offset int64) error {
-			kernels.CTRStream(c, iv, base+offset, block, block)
-			return nil
+			return ctr(block, base+offset)
 		},
 	}
 	if err := d.rt.Stream(kern, data, out); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"hetmr/internal/rpcnet"
 	"hetmr/internal/spill"
+	"hetmr/internal/topo"
 )
 
 // Client is the user-facing handle to a running netmr cluster: DFS
@@ -422,6 +423,58 @@ func (c *Client) Release(jobID int64) error {
 	return jtc.Call("Release", ReleaseArgs{JobID: jobID}, nil)
 }
 
+// ListTrackers reports the JobTracker's live membership view: every
+// registered TaskTracker with its rack and lifecycle state.
+func (c *Client) ListTrackers() ([]TrackerInfo, error) {
+	jtc, err := c.wire.get(c.jtAddr)
+	if err != nil {
+		return nil, err
+	}
+	var reply ListTrackersReply
+	if err := jtc.Call("ListTrackers", ListTrackersArgs{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Trackers, nil
+}
+
+// DecommissionTracker asks the JobTracker to drain the named tracker:
+// no new work, in-flight tasks finish, held shuffle state stays
+// fetchable until its jobs release it. The tracker process exits its
+// loop once the drain completes.
+func (c *Client) DecommissionTracker(id string) error {
+	jtc, err := c.wire.get(c.jtAddr)
+	if err != nil {
+		return err
+	}
+	return jtc.Call("DecommissionTracker", DecommissionTrackerArgs{TrackerID: id}, nil)
+}
+
+// ListDataNodes reports the NameNode's live membership view: every
+// registered DataNode with its rack, lifecycle state and block count.
+func (c *Client) ListDataNodes() ([]DataNodeInfo, error) {
+	nnc, err := c.wire.get(c.nnAddr)
+	if err != nil {
+		return nil, err
+	}
+	var reply ListDataNodesReply
+	if err := nnc.Call("ListDataNodes", ListDataNodesArgs{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Nodes, nil
+}
+
+// DecommissionDataNode asks the NameNode to drain the DataNode at
+// addr: its blocks are re-replicated onto the survivors, then the node
+// is dropped from placement and from every replica set. Returns once
+// the repair pass completes.
+func (c *Client) DecommissionDataNode(addr string) error {
+	nnc, err := c.wire.get(c.nnAddr)
+	if err != nil {
+		return err
+	}
+	return nnc.Call("DecommissionDN", DecommissionDNArgs{Addr: addr}, nil)
+}
+
 // Status fetches a job's current state, including the scheduler's
 // attempt total and per-tracker completion counts.
 func (c *Client) Status(jobID int64) (StatusReply, error) {
@@ -445,12 +498,25 @@ func (c *Client) SubmitAndWait(spec JobSpec, timeout time.Duration) ([]byte, err
 
 // Cluster bundles an in-process netmr deployment: one NameNode, one
 // JobTracker, n DataNodes and n TaskTrackers, all on loopback TCP.
+// Membership is elastic after boot: AddWorker joins a fresh
+// DataNode/TaskTracker pair at runtime, DecommissionWorker drains and
+// retires one without losing data or in-flight work.
 type Cluster struct {
 	NN     *NameNode
 	JT     *JobTracker
 	DNs    []*DataNode
 	TTs    []*TaskTracker
 	Client *Client
+
+	// Boot parameters, retained so AddWorker can clone the original
+	// per-worker configuration.
+	cfg        clusterConfig
+	slots      int
+	blockSize  int64
+	heartbeat  time.Duration
+	nextWorker int
+
+	mu sync.Mutex // guards DNs/TTs/nextWorker against concurrent membership changes
 }
 
 // ClusterOption customizes StartCluster's scheduling behaviour.
@@ -468,6 +534,8 @@ type clusterConfig struct {
 	spillCodec  spill.Codec
 	quotas      map[string]Quota
 	wireCodec   string
+	racks       int
+	deadAfter   time.Duration
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -531,6 +599,24 @@ func WithQuotas(quotas map[string]Quota) ClusterOption {
 	return func(c *clusterConfig) { c.quotas = quotas }
 }
 
+// WithRacks spreads the workers round-robin over n named racks
+// (topo.RackName); block replicas then spread across racks on write
+// and repair, and the scheduler adds a rack-local grant pass between
+// node-local and remote. n < 2 keeps the historical flat topology.
+func WithRacks(n int) ClusterOption {
+	return func(c *clusterConfig) { c.racks = n }
+}
+
+// WithDeadAfter enables dead-node detection on both masters: a
+// DataNode or TaskTracker silent for longer than d is declared dead —
+// its blocks re-replicated, its map outputs reopened — without waiting
+// for a reader or reducer to stumble over it. Keep d several multiples
+// of the cluster heartbeat. Zero (the default) keeps the lazy,
+// fetch-failure-driven recovery only.
+func WithDeadAfter(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.deadAfter = d }
+}
+
 // WithDeviceKinds sets each tracker's device profile by worker index:
 // DeviceCell equips the tracker with its own Cell accelerator
 // (NewCellDevice), anything else leaves it a general-purpose node. A
@@ -570,43 +656,24 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	for tenant, q := range cfg.quotas {
 		jt.SetQuota(tenant, q)
 	}
-	c := &Cluster{NN: nn, JT: jt}
+	if cfg.deadAfter > 0 {
+		nn.DeadAfter = cfg.deadAfter
+		jt.DeadAfter = cfg.deadAfter
+	}
+	c := &Cluster{
+		NN: nn, JT: jt,
+		cfg: cfg, slots: slots, blockSize: blockSize, heartbeat: heartbeat,
+	}
 	for i := 0; i < workers; i++ {
-		var dnOpts []DataNodeOption
-		if cfg.spillMem >= 0 {
-			dnOpts = append(dnOpts, WithBlockSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
-		}
-		dn, err := StartDataNode("127.0.0.1:0", nn.Addr(), dnOpts...)
+		dn, tt, err := c.startWorker(i)
 		if err != nil {
 			c.Shutdown()
 			return nil, err
 		}
 		c.DNs = append(c.DNs, dn)
-		var ttOpts []TrackerOption
-		if cfg.spillMem >= 0 {
-			ttOpts = append(ttOpts, WithShuffleSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
-		}
-		if i < len(cfg.delays) && cfg.delays[i] > 0 {
-			ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
-		}
-		if cfg.wireCodec != "" {
-			ttOpts = append(ttOpts, WithTrackerWireCodec(cfg.wireCodec))
-		}
-		if i < len(cfg.deviceKinds) && cfg.deviceKinds[i] == DeviceCell {
-			dev, err := NewCellDevice()
-			if err != nil {
-				c.Shutdown()
-				return nil, err
-			}
-			ttOpts = append(ttOpts, WithAccelerator(dev))
-		}
-		tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), jt.Addr(), dn.Addr(), slots, heartbeat, ttOpts...)
-		if err != nil {
-			c.Shutdown()
-			return nil, err
-		}
 		c.TTs = append(c.TTs, tt)
 	}
+	c.nextWorker = workers
 	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize, WithClientWireCodec(cfg.wireCodec))
 	if err != nil {
 		c.Shutdown()
@@ -616,10 +683,155 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 	return c, nil
 }
 
+// workerRack names worker i's rack under the configured topology ("",
+// the flat default, when racks < 2).
+func (c *Cluster) workerRack(i int) string {
+	if c.cfg.racks < 2 {
+		return ""
+	}
+	return topo.RackName(i % c.cfg.racks)
+}
+
+// startWorker boots worker i's DataNode/TaskTracker pair with the
+// cluster's per-worker configuration. It performs network I/O (both
+// daemons bind listeners and dial their masters), so callers must NOT
+// hold the membership lock; the returned pair is appended to the
+// roster by the caller.
+func (c *Cluster) startWorker(i int) (*DataNode, *TaskTracker, error) {
+	cfg := c.cfg
+	rack := c.workerRack(i)
+	var dnOpts []DataNodeOption
+	if cfg.spillMem >= 0 {
+		dnOpts = append(dnOpts, WithBlockSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
+	}
+	if rack != "" {
+		dnOpts = append(dnOpts, WithDataNodeRack(rack))
+	}
+	if c.heartbeat > 0 {
+		dnOpts = append(dnOpts, WithDataNodeHeartbeat(c.heartbeat))
+	}
+	dn, err := StartDataNode("127.0.0.1:0", c.NN.Addr(), dnOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ttOpts []TrackerOption
+	if cfg.spillMem >= 0 {
+		ttOpts = append(ttOpts, WithShuffleSpill(cfg.spillDir, cfg.spillMem, cfg.spillCodec))
+	}
+	if i < len(cfg.delays) && cfg.delays[i] > 0 {
+		ttOpts = append(ttOpts, WithTaskDelay(cfg.delays[i]))
+	}
+	if cfg.wireCodec != "" {
+		ttOpts = append(ttOpts, WithTrackerWireCodec(cfg.wireCodec))
+	}
+	if rack != "" {
+		ttOpts = append(ttOpts, WithTrackerRack(rack))
+	}
+	if i < len(cfg.deviceKinds) && cfg.deviceKinds[i] == DeviceCell {
+		dev, err := NewCellDevice()
+		if err != nil {
+			dn.Close()
+			return nil, nil, err
+		}
+		ttOpts = append(ttOpts, WithAccelerator(dev))
+	}
+	tt, err := StartTaskTracker(fmt.Sprintf("tracker-%d", i), c.JT.Addr(), dn.Addr(), c.slots, c.heartbeat, ttOpts...)
+	if err != nil {
+		dn.Close()
+		return nil, nil, err
+	}
+	return dn, tt, nil
+}
+
+// AddWorker joins one new DataNode/TaskTracker pair to the running
+// cluster: the DataNode registers with the NameNode over its first
+// heartbeat, the TaskTracker over its first JobTracker heartbeat — no
+// master restart, no static wiring. The new worker takes the next
+// round-robin rack slot.
+func (c *Cluster) AddWorker() (*DataNode, *TaskTracker, error) {
+	// Claim the worker index under the lock, boot outside it (the pair
+	// binds listeners and dials the masters), then publish the pair. A
+	// failed boot burns the index — the rack round-robin just moves on.
+	c.mu.Lock()
+	i := c.nextWorker
+	c.nextWorker++
+	c.mu.Unlock()
+	dn, tt, err := c.startWorker(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.DNs = append(c.DNs, dn)
+	c.TTs = append(c.TTs, tt)
+	c.mu.Unlock()
+	return dn, tt, nil
+}
+
+// DecommissionWorker gracefully retires worker i (by roster position):
+// the JobTracker drains its tracker — no new work, in-flight tasks
+// finish, held shuffle state stays fetchable until the jobs release it
+// — then the NameNode re-replicates the DataNode's blocks elsewhere
+// before both daemons stop. Returns once the worker has left the
+// cluster; jobs running across the drain complete with bit-identical
+// results.
+func (c *Cluster) DecommissionWorker(i int, timeout time.Duration) error {
+	// Resolve the pair under the lock, run the drain — which waits on
+	// the tracker and moves block replicas over the network — outside
+	// it, then unpublish by identity (concurrent membership changes may
+	// have shifted the index).
+	c.mu.Lock()
+	if i < 0 || i >= len(c.TTs) {
+		c.mu.Unlock()
+		return fmt.Errorf("netmr: no worker %d (have %d)", i, len(c.TTs))
+	}
+	tt, dn := c.TTs[i], c.DNs[i]
+	c.mu.Unlock()
+	if err := c.JT.DecommissionTracker(tt.ID); err != nil {
+		return err
+	}
+	select {
+	case <-tt.Drained():
+	case <-time.After(timeout):
+		return fmt.Errorf("netmr: tracker %s did not drain within %v", tt.ID, timeout)
+	}
+	tt.Stop()
+	if err := c.NN.DecommissionDataNode(dn.Addr()); err != nil {
+		return err
+	}
+	dn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for j := range c.TTs {
+		if c.TTs[j] == tt {
+			c.TTs = append(c.TTs[:j], c.TTs[j+1:]...)
+			c.DNs = append(c.DNs[:j], c.DNs[j+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// FetchTotals sums every live tracker's block-fetch locality counters:
+// fetches served by the co-located DataNode, by a same-rack DataNode,
+// and by a remote rack.
+func (c *Cluster) FetchTotals() (local, rack, remote int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tt := range c.TTs {
+		l, rk, r := tt.FetchStats()
+		local += l
+		rack += rk
+		remote += r
+	}
+	return local, rack, remote
+}
+
 // Shutdown stops every daemon. Trackers stop concurrently: each
 // graceful Stop may wait briefly for in-flight tasks, and those waits
 // should overlap, not stack.
 func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, tt := range c.TTs {
 		wg.Add(1)

@@ -3,6 +3,8 @@ package netmr
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"time"
 
 	"hetmr/internal/rpcnet"
 	"hetmr/internal/spill"
@@ -14,13 +16,28 @@ import (
 // bounded by a watermark (the rest on disk) when the node is started
 // WithBlockSpill — the path that lets a cluster hold datasets larger
 // than its RAM.
+//
+// Membership is dynamic: the node joins the NameNode over its first
+// Register heartbeat and repeats the beat on a timer, so the NameNode
+// holds an authoritative liveness view and can re-replicate the node's
+// blocks when it goes silent. The Replicate RPC is the repair path's
+// data mover: the NameNode plans a copy, this node pushes the block
+// straight to the target peer.
 type DataNode struct {
 	srv   *rpcnet.Server
 	store *spill.Store
 
+	nnAddr    string
+	rack      string
+	heartbeat time.Duration
+
 	spillDir   string
 	spillMem   int64
 	spillCodec spill.Codec
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
 }
 
 // DataNodeOption customizes StartDataNode.
@@ -38,40 +55,95 @@ func WithBlockSpill(dir string, memBytes int64, codec spill.Codec) DataNodeOptio
 	}
 }
 
+// WithDataNodeRack assigns the node to a rack (topo.RackName naming);
+// the default is the flat topo.DefaultRack. The rack rides every
+// Register heartbeat, feeding the NameNode's rack-aware placement.
+func WithDataNodeRack(rack string) DataNodeOption {
+	return func(dn *DataNode) { dn.rack = rack }
+}
+
+// WithDataNodeHeartbeat sets the liveness-beat interval (default
+// 100ms). Keep it well under the NameNode's DeadAfter.
+func WithDataNodeHeartbeat(d time.Duration) DataNodeOption {
+	return func(dn *DataNode) { dn.heartbeat = d }
+}
+
 // StartDataNode launches a DataNode on addr and registers it with the
-// NameNode.
+// NameNode over its first heartbeat; the beat then repeats until Close.
 func StartDataNode(addr, nameNodeAddr string, opts ...DataNodeOption) (*DataNode, error) {
 	srv, err := rpcnet.NewServer(addr)
 	if err != nil {
 		return nil, err
 	}
-	dn := &DataNode{srv: srv, spillMem: spill.NoSpill}
+	dn := &DataNode{
+		srv:       srv,
+		nnAddr:    nameNodeAddr,
+		heartbeat: 100 * time.Millisecond,
+		spillMem:  spill.NoSpill,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
 	for _, o := range opts {
 		o(dn)
 	}
 	dn.store = spill.NewStore(dn.spillDir, dn.spillMem, dn.spillCodec)
 	srv.Handle("Put", dn.handlePut)
 	srv.Handle("Get", dn.handleGet)
-	nnc, err := rpcnet.Dial(nameNodeAddr)
-	if err != nil {
+	srv.Handle("Replicate", dn.handleReplicate)
+	// First beat synchronously: callers may allocate right after
+	// StartDataNode returns, so the node must already be a member.
+	if err := dn.beat(); err != nil {
 		srv.Close()
 		dn.store.Close()
 		return nil, err
+	}
+	go dn.loop()
+	return dn, nil
+}
+
+// beat sends one Register heartbeat.
+func (dn *DataNode) beat() error {
+	nnc, err := rpcnet.Dial(dn.nnAddr)
+	if err != nil {
+		return err
 	}
 	defer nnc.Close()
-	if err := nnc.Call("Register", RegisterArgs{Addr: srv.Addr()}, nil); err != nil {
-		srv.Close()
-		dn.store.Close()
-		return nil, err
+	return nnc.Call("Register", RegisterArgs{Addr: dn.srv.Addr(), Rack: dn.rack}, nil)
+}
+
+// loop repeats the liveness beat until the node closes. A missed beat
+// (NameNode briefly unreachable) just retries next tick.
+func (dn *DataNode) loop() {
+	defer close(dn.done)
+	ticker := time.NewTicker(dn.heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-dn.stop:
+			return
+		case <-ticker.C:
+			dn.beat()
+		}
 	}
-	return dn, nil
 }
 
 // Addr returns the DataNode's RPC address.
 func (dn *DataNode) Addr() string { return dn.srv.Addr() }
 
-// Close stops the server and releases any spill files.
+// Rack returns the node's rack assignment ("" for the flat default).
+func (dn *DataNode) Rack() string { return dn.rack }
+
+// Close stops the heartbeat loop and the server, and releases any
+// spill files. Idempotent.
 func (dn *DataNode) Close() error {
+	dn.mu.Lock()
+	select {
+	case <-dn.stop:
+	default:
+		close(dn.stop)
+	}
+	dn.mu.Unlock()
+	<-dn.done
 	err := dn.srv.Close()
 	if serr := dn.store.Close(); err == nil {
 		err = serr
@@ -109,4 +181,27 @@ func (dn *DataNode) handleGet(body []byte) (any, error) {
 		return nil, fmt.Errorf("netmr: block %d not on this datanode", args.ID)
 	}
 	return GetReply{Data: data}, nil
+}
+
+// handleReplicate pushes one locally stored block to a peer DataNode —
+// the NameNode-planned re-replication transfer. The payload flows
+// DataNode→DataNode; the NameNode only ever sees the acknowledgement.
+func (dn *DataNode) handleReplicate(body []byte) (any, error) {
+	var args ReplicateArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	data, err := dn.store.Get(dnBlockKey(args.ID))
+	if err != nil {
+		return nil, fmt.Errorf("netmr: block %d not on this datanode", args.ID)
+	}
+	peer, err := rpcnet.Dial(args.Target)
+	if err != nil {
+		return nil, fmt.Errorf("netmr: replicate block %d: %w", args.ID, err)
+	}
+	defer peer.Close()
+	if err := peer.CallTimeout("Put", PutArgs{ID: args.ID, Data: data}, nil, dataCallTimeout); err != nil {
+		return nil, fmt.Errorf("netmr: replicate block %d to %s: %w", args.ID, args.Target, err)
+	}
+	return ReplicateReply{}, nil
 }

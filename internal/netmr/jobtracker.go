@@ -39,6 +39,10 @@ type jobRecord struct {
 	streamOut bool
 	outLoc    []string
 	released  bool
+	// queued: admitted into the tenant's over-quota queue, holding a
+	// job ID but no scheduler state until quota frees up and the job
+	// promotes to the tenant's active list.
+	queued bool
 
 	maps     []Task
 	mapBoard *sched.Board
@@ -107,23 +111,62 @@ type JobTracker struct {
 	// scheduler default).
 	Speculative bool
 	MaxAttempts int
+	// DeadAfter is how long a tracker may stay silent before the
+	// liveness sweep declares it dead and proactively reopens the map
+	// outputs recorded at its shuffle store — the authoritative
+	// promotion of the read-side fetch-failure path. Zero disables the
+	// sweep (leases and fetch failures still recover, just lazily).
+	// Set before trackers heartbeat.
+	DeadAfter time.Duration
 
 	mu        sync.Mutex
 	nextJob   int64
 	jobs      map[int64]*jobRecord
 	tenants   map[string]*tenantState
 	fair      *sched.FairShare
+	trackers  map[string]*trackerState   // membership view, keyed by tracker ID
 	devices   map[string]string          // tracker ID -> device kind, from heartbeats
 	held      map[string]map[int64]int64 // tracker ID -> job -> resident store bytes
 	dataBytes int64                      // task output bytes carried by heartbeats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// trackerState is one TaskTracker's row in the JobTracker's membership
+// view, built entirely from heartbeats: the first beat registers the
+// tracker, later ones refresh liveness, and a beat after a declared
+// death rejoins it cleanly.
+type trackerState struct {
+	id          string
+	rack        string
+	device      string
+	localDN     string
+	shuffleAddr string
+	lastSeen    time.Time
+	draining    bool
+	dead        bool
+}
+
+func (t *trackerState) state() string {
+	switch {
+	case t.dead:
+		return NodeDead
+	case t.draining:
+		return NodeDraining
+	default:
+		return NodeAlive
+	}
 }
 
 // tenantState is one tenant's slice of the multi-tenant service: its
-// quota, its active (non-terminal) jobs in submission order, and a
+// quota, its active (non-terminal) jobs in submission order, an
+// admission queue of over-quota submissions waiting to promote, and a
 // cumulative grant counter for fair-share observability.
 type tenantState struct {
 	quota   Quota
 	jobs    []int64 // active job IDs, oldest first
+	queue   []int64 // queued (over-quota) job IDs, oldest first
 	granted int64   // cumulative task grants (incl. speculative)
 }
 
@@ -149,8 +192,11 @@ func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
 		jobs:      make(map[int64]*jobRecord),
 		tenants:   make(map[string]*tenantState),
 		fair:      sched.NewFairShare(),
+		trackers:  make(map[string]*trackerState),
 		devices:   make(map[string]string),
 		held:      make(map[string]map[int64]int64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	srv.Handle("Submit", jt.handleSubmit)
 	srv.Handle("Heartbeat", jt.handleHeartbeat)
@@ -158,7 +204,78 @@ func StartJobTracker(addr, nameNodeAddr string) (*JobTracker, error) {
 	srv.Handle("Release", jt.handleRelease)
 	srv.Handle("Kill", jt.handleKill)
 	srv.Handle("ListJobs", jt.handleListJobs)
+	srv.Handle("DecommissionTracker", jt.handleDecommissionTracker)
+	srv.Handle("ListTrackers", jt.handleListTrackers)
+	go jt.sweep()
 	return jt, nil
+}
+
+// sweep is the tracker-liveness loop: when DeadAfter is set, trackers
+// that miss it are declared dead and the map outputs their shuffle
+// stores held are reopened immediately — the lost-work recovery that
+// previously waited for a reducer's repeated fetch failures now runs
+// from the authoritative membership view. Pure in-memory state: no RPC
+// under (or outside) the lock.
+func (jt *JobTracker) sweep() {
+	defer close(jt.done)
+	ticker := time.NewTicker(sweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-jt.stop:
+			return
+		case <-ticker.C:
+		}
+		jt.mu.Lock()
+		if jt.DeadAfter > 0 {
+			now := time.Now()
+			for _, t := range jt.trackers {
+				if !t.dead && now.Sub(t.lastSeen) > jt.DeadAfter {
+					t.dead = true
+					jt.reopenLostOutputs(t.shuffleAddr)
+				}
+			}
+		}
+		jt.mu.Unlock()
+	}
+}
+
+// reopenLostOutputs reopens every unfinished job's tasks whose stored
+// output lived at the dead tracker's shuffle address: shuffle-path map
+// outputs and streamed final-phase pieces alike are recomputed
+// elsewhere. Callers hold jt.mu.
+func (jt *JobTracker) reopenLostOutputs(shuffleAddr string) {
+	if shuffleAddr == "" {
+		return
+	}
+	for _, rec := range jt.jobs {
+		if rec.done || rec.finalizing {
+			continue
+		}
+		for i, loc := range rec.mapLoc {
+			if loc == shuffleAddr {
+				rec.mapBoard.Reopen(i)
+				rec.mapLoc[i] = ""
+				rec.mapDone--
+			}
+		}
+		if !rec.streamOut {
+			continue
+		}
+		for i, loc := range rec.outLoc {
+			if loc != shuffleAddr {
+				continue
+			}
+			if rec.shuffle {
+				rec.redBoard.Reopen(i)
+				rec.redDone--
+			} else {
+				rec.mapBoard.Reopen(i)
+				rec.mapDone--
+			}
+			rec.outLoc[i] = ""
+		}
+	}
 }
 
 // SetQuota installs (or replaces) tenant's quota and fair-share
@@ -172,6 +289,8 @@ func (jt *JobTracker) SetQuota(tenant string, q Quota) {
 	defer jt.mu.Unlock()
 	jt.tenant(tenant).quota = q
 	jt.fair.SetWeight(tenant, q.Weight)
+	// A raised limit may open headroom for queued submissions.
+	jt.promote(tenant)
 }
 
 // tenant returns tenant's state, creating it on first sight. Callers
@@ -220,9 +339,10 @@ func (jt *JobTracker) tenantHeldBytes(name string) int64 {
 }
 
 // terminate marks rec terminal and deregisters it from its tenant's
-// active list; an emptied tenant resets its fair-share deficit (the
-// DRR empty-queue rule). rec.failed / rec.result must already reflect
-// the outcome. Callers hold jt.mu.
+// active (and admission-queue) lists; freed quota promotes queued
+// submissions, and an emptied tenant resets its fair-share deficit
+// (the DRR empty-queue rule). rec.failed / rec.result must already
+// reflect the outcome. Callers hold jt.mu.
 func (jt *JobTracker) terminate(rec *jobRecord) {
 	rec.done = true
 	ts := jt.tenants[rec.tenant]
@@ -230,16 +350,119 @@ func (jt *JobTracker) terminate(rec *jobRecord) {
 		return
 	}
 	ts.jobs = slices.DeleteFunc(ts.jobs, func(id int64) bool { return id == rec.id })
+	ts.queue = slices.DeleteFunc(ts.queue, func(id int64) bool { return id == rec.id })
+	jt.promote(rec.tenant)
 	if len(ts.jobs) == 0 {
 		jt.fair.Idle(rec.tenant)
+	}
+}
+
+// promote moves tenant's queued submissions to its active list, oldest
+// first, while quota headroom lasts. Callers hold jt.mu.
+func (jt *JobTracker) promote(tenant string) {
+	ts := jt.tenants[tenant]
+	if ts == nil {
+		return
+	}
+	for len(ts.queue) > 0 {
+		if ts.quota.MaxJobs > 0 && len(ts.jobs) >= ts.quota.MaxJobs {
+			return
+		}
+		if ts.quota.SpillBytes > 0 && jt.tenantHeldBytes(tenant) >= ts.quota.SpillBytes {
+			return
+		}
+		id := ts.queue[0]
+		ts.queue = ts.queue[1:]
+		rec := jt.jobs[id]
+		if rec == nil || rec.done {
+			continue
+		}
+		rec.queued = false
+		ts.jobs = append(ts.jobs, id)
+	}
+}
+
+// promoteAll runs promote for every tenant with a non-empty queue —
+// the heartbeat-time check that freed spill budget admits waiting
+// jobs. Callers hold jt.mu.
+func (jt *JobTracker) promoteAll() {
+	for name, ts := range jt.tenants {
+		if len(ts.queue) > 0 {
+			jt.promote(name)
+		}
 	}
 }
 
 // Addr returns the JobTracker's RPC address.
 func (jt *JobTracker) Addr() string { return jt.srv.Addr() }
 
-// Close stops the server.
-func (jt *JobTracker) Close() error { return jt.srv.Close() }
+// Close stops the liveness sweep and the server.
+func (jt *JobTracker) Close() error {
+	jt.mu.Lock()
+	select {
+	case <-jt.stop:
+	default:
+		close(jt.stop)
+	}
+	jt.mu.Unlock()
+	<-jt.done
+	return jt.srv.Close()
+}
+
+// handleDecommissionTracker starts a tracker's graceful retirement:
+// its next heartbeats carry Drain, so it takes no new work, finishes
+// what runs, and keeps serving held shuffle state until the jobs using
+// it purge. The tracker reports drain completion through its Drained
+// channel (in-process) or simply by going silent once empty.
+func (jt *JobTracker) handleDecommissionTracker(body []byte) (any, error) {
+	var args DecommissionTrackerArgs
+	if err := rpcnet.Unmarshal(body, &args); err != nil {
+		return nil, err
+	}
+	if err := jt.DecommissionTracker(args.TrackerID); err != nil {
+		return nil, err
+	}
+	return DecommissionTrackerReply{}, nil
+}
+
+// DecommissionTracker is the in-process form of the
+// DecommissionTracker RPC: marks the tracker draining.
+func (jt *JobTracker) DecommissionTracker(id string) error {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	t := jt.trackers[id]
+	if t == nil {
+		return fmt.Errorf("netmr: unknown tracker %q", id)
+	}
+	t.draining = true
+	return nil
+}
+
+// handleListTrackers reports the membership view, sorted by ID.
+func (jt *JobTracker) handleListTrackers(body []byte) (any, error) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	ids := make([]string, 0, len(jt.trackers))
+	for id := range jt.trackers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var reply ListTrackersReply
+	for _, id := range ids {
+		t := jt.trackers[id]
+		reply.Trackers = append(reply.Trackers, TrackerInfo{
+			ID: t.id, Rack: t.rack, Device: t.device, State: t.state(),
+		})
+	}
+	return reply, nil
+}
+
+// Trackers reports the membership view (the in-process form of the
+// ListTrackers RPC), sorted by ID.
+func (jt *JobTracker) Trackers() []TrackerInfo {
+	reply, _ := jt.handleListTrackers(nil)
+	return reply.(ListTrackersReply).Trackers
+}
 
 // DataPlaneBytes reports how many winning task output bytes heartbeats
 // have delivered to the JobTracker (late duplicates and redelivered
@@ -297,18 +520,27 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 	jt.mu.Lock()
 	defer jt.mu.Unlock()
 	// Admission control: a Submit that would push the tenant past its
-	// concurrent-job or spill-budget quota is rejected before any state
-	// is allocated, with an error wrapping ErrQuotaExceeded.
+	// concurrent-job or spill-budget quota queues behind the running
+	// jobs when the tenant opted into a wait line (Quota.MaxQueued > 0)
+	// with room left, and is otherwise rejected before any state is
+	// allocated, with an error wrapping ErrQuotaExceeded.
 	ts := jt.tenant(tenant)
-	if ts.quota.MaxJobs > 0 && len(ts.jobs) >= ts.quota.MaxJobs {
-		metrics.QuotaRejections.Add(1)
-		return nil, fmt.Errorf("%w: tenant %q already runs %d of %d jobs",
-			ErrQuotaExceeded, tenant, len(ts.jobs), ts.quota.MaxJobs)
-	}
-	if held := jt.tenantHeldBytes(tenant); ts.quota.SpillBytes > 0 && held >= ts.quota.SpillBytes {
-		metrics.QuotaRejections.Add(1)
-		return nil, fmt.Errorf("%w: tenant %q holds %d of %d spill-budget bytes",
-			ErrQuotaExceeded, tenant, held, ts.quota.SpillBytes)
+	queued := false
+	overJobs := ts.quota.MaxJobs > 0 && len(ts.jobs) >= ts.quota.MaxJobs
+	held := jt.tenantHeldBytes(tenant)
+	overSpill := ts.quota.SpillBytes > 0 && held >= ts.quota.SpillBytes
+	if overJobs || overSpill {
+		if ts.quota.MaxQueued > 0 && len(ts.queue) < ts.quota.MaxQueued {
+			queued = true
+		} else if overJobs {
+			metrics.QuotaRejections.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q already runs %d of %d jobs",
+				ErrQuotaExceeded, tenant, len(ts.jobs), ts.quota.MaxJobs)
+		} else {
+			metrics.QuotaRejections.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q holds %d of %d spill-budget bytes",
+				ErrQuotaExceeded, tenant, held, ts.quota.SpillBytes)
+		}
 	}
 	mapBoard, err := sched.NewBoard(len(tasks), jt.TaskLease, mapOpts)
 	if err != nil {
@@ -368,7 +600,12 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		}
 	}
 	jt.jobs[id] = rec
-	ts.jobs = append(ts.jobs, id)
+	if queued {
+		rec.queued = true
+		ts.queue = append(ts.queue, id)
+	} else {
+		ts.jobs = append(ts.jobs, id)
+	}
 	return SubmitReply{JobID: id}, nil
 }
 
@@ -435,13 +672,31 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 		device = DeviceHost
 	}
 	jt.devices[args.TrackerID] = device
+	// Membership: the first heartbeat registers the tracker, every one
+	// refreshes its liveness — a tracker declared dead rejoins cleanly
+	// here (same ID, fresh lease history).
+	t := jt.trackers[args.TrackerID]
+	if t == nil {
+		t = &trackerState{id: args.TrackerID}
+		jt.trackers[args.TrackerID] = t
+	}
+	t.rack = args.Rack
+	t.device = device
+	t.localDN = args.LocalDataNode
+	if args.ShuffleAddr != "" {
+		t.shuffleAddr = args.ShuffleAddr
+	}
+	t.lastSeen = time.Now()
+	t.dead = false
 	// Refresh the tracker's resident-bytes report; per-tenant sums of
-	// these feed SpillBytes quota checks at Submit.
+	// these feed SpillBytes quota checks at Submit, so freed bytes may
+	// promote queued jobs.
 	if len(args.HeldBytes) > 0 {
 		jt.held[args.TrackerID] = args.HeldBytes
 	} else {
 		delete(jt.held, args.TrackerID)
 	}
+	jt.promoteAll()
 	// Record completions and failures. The boards keep the first
 	// finished attempt of each task and discard late duplicates
 	// (speculative or re-issued after a lease expiry); reported
@@ -495,6 +750,19 @@ func (jt *JobTracker) handleHeartbeat(body []byte) (any, error) {
 	// speculation is what idle capacity does, never what starves
 	// another tenant's real work.
 	var reply HeartbeatReply
+	if t.draining {
+		// A draining tracker gets no new work — only the drain order,
+		// its purge list, and the courtesy of its reports being
+		// recorded above.
+		reply.Drain = true
+		for _, id := range args.HeldJobs {
+			rec, ok := jt.jobs[id]
+			if !ok || (rec.done && (!rec.streamOut || rec.released || rec.failed != "")) {
+				reply.PurgeJobs = append(reply.PurgeJobs, id)
+			}
+		}
+		return reply, nil
+	}
 	now := time.Now()
 	eligible := jt.eligibleTenants(args.TrackerID, now)
 	for len(reply.Tasks) < args.FreeSlots && len(eligible) > 0 {
@@ -600,18 +868,31 @@ func (jt *JobTracker) grantPending(tenant, device string, args HeartbeatArgs, no
 }
 
 // grantFromJob tries to assign one of rec's pending tasks to the
-// heartbeating tracker, honouring data locality on the map board.
-// With affinityOnly set only boards matching the tracker's device are
-// considered. Callers hold jt.mu.
+// heartbeating tracker, honouring data locality on the map board:
+// node-local tasks (a replica on the tracker's co-located DataNode)
+// first, then rack-local ones (a replica on the tracker's rack), then
+// remote — the paper's "minimize the number of remote block accesses"
+// extended one topology tier. With affinityOnly set only boards
+// matching the tracker's device are considered. Callers hold jt.mu.
 func (jt *JobTracker) grantFromJob(rec *jobRecord, device string, args HeartbeatArgs, now time.Time, affinityOnly bool) (Task, bool) {
 	if !affinityOnly || rec.mapBoard.Affinity() == device {
-		var local func(int) bool
-		if args.LocalDataNode != "" {
-			local = func(i int) bool {
-				return slices.Contains(rec.maps[i].Block.ReplicaAddrs(), args.LocalDataNode)
+		var locality func(int) sched.Locality
+		if args.LocalDataNode != "" || args.Rack != "" {
+			locality = func(i int) sched.Locality {
+				blk := rec.maps[i].Block
+				if blk.Addr == "" {
+					return sched.LocalityRemote // compute task: indifferent
+				}
+				if args.LocalDataNode != "" && slices.Contains(blk.ReplicaAddrs(), args.LocalDataNode) {
+					return sched.LocalityNode
+				}
+				if args.Rack != "" && len(blk.Racks) > 0 && blk.OnRack(args.Rack) {
+					return sched.LocalityRack
+				}
+				return sched.LocalityRemote
 			}
 		}
-		if is := rec.mapBoard.Assign(args.TrackerID, 1, now, local); len(is) == 1 {
+		if is := rec.mapBoard.Assign(args.TrackerID, 1, now, locality); len(is) == 1 {
 			return rec.maps[is[0]], true
 		}
 	}

@@ -186,7 +186,7 @@ func init() {
 			}
 			out := make([]byte, len(data))
 			offset := int64(task.TaskID) * args.BlockBytes
-			kernels.CTRStream(c, args.IV, offset, out, data)
+			kernels.CTRStreamFast(c, args.IV, offset, out, data)
 			return rpcnet.Marshal(out)
 		},
 		// Accelerated variant: the same seekable CTR stream, 4 KB

@@ -22,7 +22,7 @@ func TestLocalityPreferredAssignment(t *testing.T) {
 	}
 	var local, remote int64
 	for _, tt := range c.TTs {
-		l, r := tt.FetchStats()
+		l, _, r := tt.FetchStats()
 		local += l
 		remote += r
 	}
@@ -67,7 +67,7 @@ func TestLocalityStatsZeroWithoutLocalDN(t *testing.T) {
 	}, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	local, remote := tt.FetchStats()
+	local, _, remote := tt.FetchStats()
 	if local != 0 || remote != 4 {
 		t.Errorf("stats = %d local / %d remote, want 0/4", local, remote)
 	}

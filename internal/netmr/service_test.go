@@ -160,6 +160,45 @@ func TestServiceQuotaMaxJobs(t *testing.T) {
 	}
 }
 
+// TestServiceQuotaMaxQueued pins the admission queue: with MaxQueued
+// room, an over-cap submission parks instead of being rejected,
+// promotes automatically when a running job finishes, and completes —
+// while submissions past the queue cap still get the typed rejection.
+func TestServiceQuotaMaxQueued(t *testing.T) {
+	svc, err := StartService(2, 2, 64_000, 2*time.Millisecond, WithQuotas(map[string]Quota{
+		"frank": {MaxJobs: 1, MaxQueued: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	frank, err := svc.ClientFor("frank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := frank.Submit(piSpec("frank-0", 50, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the job cap, inside the queue cap: accepted, parked.
+	queued, err := frank.Submit(piSpec("frank-1", 2, 1000))
+	if err != nil {
+		t.Fatalf("submit with queue room rejected: %v", err)
+	}
+	// Queue full too: now the typed rejection fires.
+	if _, err := frank.Submit(piSpec("frank-2", 2, 1000)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("submit past MaxQueued: error %v, want ErrQuotaExceeded", err)
+	}
+	// The queued job promotes once the running one finishes, and both
+	// complete.
+	if _, err := frank.Wait(running, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := frank.Wait(queued, 30*time.Second); err != nil {
+		t.Fatalf("queued job never promoted: %v", err)
+	}
+}
+
 // TestServiceSpillQuotaAndKillRelease drives the byte-budget quota
 // end to end: a tenant whose streamed outputs sit unreleased on the
 // trackers is refused new work once past its SpillBytes budget, and

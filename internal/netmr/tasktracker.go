@@ -41,8 +41,13 @@ type TaskTracker struct {
 	heartbeat time.Duration
 	// LocalDataNode, when set, is the co-located DataNode's address;
 	// the JobTracker uses it for data-local assignment, and the
-	// tracker counts local vs remote fetches.
+	// tracker counts local vs rack vs remote fetches.
 	LocalDataNode string
+
+	// rack is the tracker's rack assignment ("" reads as the flat
+	// default rack); it rides every heartbeat for the JobTracker's
+	// rack-local grant pass and orders replica fetches.
+	rack string
 
 	// srv serves the shuffle store (the data plane); its address
 	// travels to the JobTracker in map results.
@@ -78,13 +83,16 @@ type TaskTracker struct {
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
+	draining    bool // JobTracker-initiated decommission in progress
 	localFetch  int64
+	rackFetch   int64
 	remoteFetch int64
 	accelTasks  int64
 
-	stop chan struct{} // graceful: drain unreported results first
-	dead chan struct{} // simulated node death: abandon everything
-	done chan struct{}
+	stop    chan struct{} // graceful: drain unreported results first
+	dead    chan struct{} // simulated node death: abandon everything
+	done    chan struct{}
+	drained chan struct{} // closed once a decommission drain completes
 }
 
 // TrackerOption customizes StartTaskTracker.
@@ -126,6 +134,14 @@ func WithTrackerWireCodec(name string) TrackerOption {
 	return func(tt *TaskTracker) { tt.wireCodec = name }
 }
 
+// WithTrackerRack assigns the tracker to a rack (topo.RackName
+// naming); the default is the flat topology. The rack rides every
+// heartbeat and lets the tracker prefer same-rack replicas when its
+// co-located DataNode misses a block.
+func WithTrackerRack(rack string) TrackerOption {
+	return func(tt *TaskTracker) { tt.rack = rack }
+}
+
 // DeviceKind reports the tracker's device kind (DeviceCell when an
 // accelerator is attached, DeviceHost otherwise).
 func (tt *TaskTracker) DeviceKind() string {
@@ -144,12 +160,22 @@ func (tt *TaskTracker) AccelTasks() int64 {
 }
 
 // FetchStats reports how many block fetches hit the co-located
-// DataNode versus a remote one.
-func (tt *TaskTracker) FetchStats() (local, remote int64) {
+// DataNode, a DataNode on the tracker's rack, or a remote rack.
+func (tt *TaskTracker) FetchStats() (local, rack, remote int64) {
 	tt.mu.Lock()
 	defer tt.mu.Unlock()
-	return tt.localFetch, tt.remoteFetch
+	return tt.localFetch, tt.rackFetch, tt.remoteFetch
 }
+
+// Rack returns the tracker's rack assignment ("" for the flat
+// default).
+func (tt *TaskTracker) Rack() string { return tt.rack }
+
+// Drained returns a channel closed once a JobTracker-initiated
+// decommission drain completes: in-flight tasks finished, results
+// reported, and every held shuffle/output byte purged. The caller
+// (Cluster.DecommissionWorker, or an operator) then stops the tracker.
+func (tt *TaskTracker) Drained() <-chan struct{} { return tt.drained }
 
 // ShuffleAddr is the tracker's shuffle-store (data plane) address.
 func (tt *TaskTracker) ShuffleAddr() string { return tt.srv.Addr() }
@@ -179,6 +205,7 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 		stop:          make(chan struct{}),
 		dead:          make(chan struct{}),
 		done:          make(chan struct{}),
+		drained:       make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(tt)
@@ -310,12 +337,20 @@ func (tt *TaskTracker) loop() {
 		reports := tt.completed
 		tt.completed = nil
 		free := tt.slots - tt.running
+		if tt.draining {
+			// A draining tracker takes no new work; it heartbeats on
+			// to report results, refresh held-bytes accounting, and
+			// learn when its stores may be purged.
+			free = 0
+		}
 		tt.mu.Unlock()
 		held, heldBytes := tt.store.held()
 		var reply HeartbeatReply
 		err := client.Call("Heartbeat", HeartbeatArgs{
 			TrackerID:     tt.ID,
 			LocalDataNode: tt.LocalDataNode,
+			Rack:          tt.rack,
+			ShuffleAddr:   tt.srv.Addr(),
 			Device:        tt.DeviceKind(),
 			FreeSlots:     free,
 			Completed:     reports,
@@ -337,12 +372,31 @@ func (tt *TaskTracker) loop() {
 			tt.store.purgeJob(id)
 		}
 		tt.mu.Lock()
+		if reply.Drain {
+			tt.draining = true
+		}
 		for range reply.Tasks {
 			tt.running++
 		}
+		idle := tt.draining && tt.running == 0 && len(tt.completed) == 0
 		tt.mu.Unlock()
 		for _, task := range reply.Tasks {
 			go tt.runTask(task)
+		}
+		heldNow, _ := tt.store.held()
+		if idle && len(heldNow) == 0 {
+			// Decommission drain complete: nothing running, nothing
+			// unreported, no shuffle/output state left to serve. The
+			// loop exits; the decommissioner observes Drained and
+			// stops the tracker.
+			tt.mu.Lock()
+			select {
+			case <-tt.drained:
+			default:
+				close(tt.drained)
+			}
+			tt.mu.Unlock()
+			return
 		}
 	}
 }
@@ -375,6 +429,8 @@ func (tt *TaskTracker) drain(client *rpcnet.Client) {
 				client.Call("Heartbeat", HeartbeatArgs{
 					TrackerID:     tt.ID,
 					LocalDataNode: tt.LocalDataNode,
+					Rack:          tt.rack,
+					ShuffleAddr:   tt.srv.Addr(),
 					Device:        tt.DeviceKind(),
 					Completed:     reports,
 				}, nil)
@@ -590,11 +646,19 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 }
 
 // fetchBlock pulls one DFS block through the shared read-failover
-// protocol (readBlockFrom), trying the co-located DataNode first, then
-// the remaining replicas in placement order — what keeps map tasks
-// running through a DataNode death.
+// protocol (readBlockFrom), trying replicas in topology order — the
+// co-located DataNode first, then same-rack replicas, then the rest in
+// placement order — what keeps map tasks running through a DataNode
+// death while preferring the cheapest surviving copy.
 func (tt *TaskTracker) fetchBlock(blk BlockInfo) ([]byte, error) {
 	addrs := blk.ReplicaAddrs()
+	rackOf := make(map[string]string, len(addrs))
+	for i, addr := range addrs {
+		rackOf[addr] = blk.RackOfReplica(i)
+	}
+	sameRack := func(addr string) bool {
+		return tt.rack != "" && rackOf[addr] == tt.rack
+	}
 	ordered := make([]string, 0, len(addrs))
 	for _, addr := range addrs {
 		if addr == tt.LocalDataNode {
@@ -602,7 +666,12 @@ func (tt *TaskTracker) fetchBlock(blk BlockInfo) ([]byte, error) {
 		}
 	}
 	for _, addr := range addrs {
-		if addr != tt.LocalDataNode {
+		if addr != tt.LocalDataNode && sameRack(addr) {
+			ordered = append(ordered, addr)
+		}
+	}
+	for _, addr := range addrs {
+		if addr != tt.LocalDataNode && !sameRack(addr) {
 			ordered = append(ordered, addr)
 		}
 	}
@@ -611,9 +680,12 @@ func (tt *TaskTracker) fetchBlock(blk BlockInfo) ([]byte, error) {
 		return nil, err
 	}
 	tt.mu.Lock()
-	if served == tt.LocalDataNode {
+	switch {
+	case served == tt.LocalDataNode:
 		tt.localFetch++
-	} else {
+	case sameRack(served):
+		tt.rackFetch++
+	default:
 		tt.remoteFetch++
 	}
 	tt.mu.Unlock()

@@ -36,6 +36,35 @@ type BlockInfo struct {
 	// Replicas lists every DataNode holding the block, primary first.
 	// Readers fail over along this list when a DataNode is down.
 	Replicas []string
+	// Racks lists each replica's rack, parallel to Replicas, so
+	// schedulers and readers can grade locality (node, rack, remote)
+	// without a separate topology exchange. Records written before
+	// racks existed leave it empty — every replica then reads as
+	// rack-local, the flat pre-rack behaviour.
+	Racks []string
+}
+
+// RackOfReplica reports the rack of the i'th replica (topo.DefaultRack
+// for records predating rack placement).
+func (b BlockInfo) RackOfReplica(i int) string {
+	if i >= 0 && i < len(b.Racks) {
+		return b.Racks[i]
+	}
+	return ""
+}
+
+// OnRack reports whether any replica of the block lives on rack.
+// Blocks without rack records match any rack — the flat topology.
+func (b BlockInfo) OnRack(rack string) bool {
+	if len(b.Racks) == 0 {
+		return true
+	}
+	for _, r := range b.Racks {
+		if r == rack {
+			return true
+		}
+	}
+	return false
 }
 
 // ReplicaAddrs returns every DataNode holding the block, primary
@@ -52,13 +81,66 @@ func (b BlockInfo) ReplicaAddrs() []string {
 
 // --- NameNode RPC messages ---
 
-// RegisterArgs announces a DataNode.
+// RegisterArgs announces a DataNode. It doubles as the DataNode's
+// periodic liveness heartbeat: registration is idempotent, the first
+// beat registers the node (dynamic membership — nothing is wired at
+// boot) and every later one refreshes the NameNode's liveness view. A
+// node re-registering after being declared dead rejoins cleanly.
 type RegisterArgs struct {
+	Addr string
+	// Rack is the node's rack assignment ("" lands in the default
+	// rack — the flat topology).
+	Rack string
+}
+
+// RegisterReply acknowledges registration. Draining tells the node the
+// NameNode is decommissioning it: it keeps serving reads but should
+// expect removal once its blocks are re-replicated.
+type RegisterReply struct {
+	Draining bool
+}
+
+// ReplicateArgs asks a DataNode to push one of its stored blocks to a
+// peer — the NameNode-driven re-replication transfer: the NameNode
+// plans the copy and the source node moves the bytes directly, so
+// block payloads never cross the metadata master.
+type ReplicateArgs struct {
+	ID     int64
+	Target string // destination DataNode RPC address
+}
+
+// ReplicateReply acknowledges the transfer.
+type ReplicateReply struct{}
+
+// DecommissionDNArgs asks the NameNode to gracefully retire a
+// DataNode: its blocks are re-replicated onto the surviving nodes
+// first (restoring the replication target without it), then the node
+// is dropped from every replica list and from placement.
+type DecommissionDNArgs struct {
 	Addr string
 }
 
-// RegisterReply acknowledges registration.
-type RegisterReply struct{}
+// DecommissionDNReply acknowledges the decommission.
+type DecommissionDNReply struct{}
+
+// DataNodeInfo is one DataNode's row in a ListDataNodes reply.
+type DataNodeInfo struct {
+	Addr string
+	Rack string
+	// State is the node's lifecycle state: "alive", "draining" or
+	// "dead".
+	State string
+	// Blocks counts block replicas placed on the node.
+	Blocks int
+}
+
+// ListDataNodesArgs asks for the NameNode's membership view.
+type ListDataNodesArgs struct{}
+
+// ListDataNodesReply lists every known DataNode in registration order.
+type ListDataNodesReply struct {
+	Nodes []DataNodeInfo
+}
 
 // AllocateArgs asks for a placement of one new block of a file.
 type AllocateArgs struct {
@@ -175,6 +257,13 @@ type Quota struct {
 	// accounting). A submission while the tenant is over budget is
 	// rejected with ErrQuotaExceeded. 0 is unlimited.
 	SpillBytes int64
+	// MaxQueued lets submissions that would exceed MaxJobs or
+	// SpillBytes wait in a per-tenant admission queue of this depth
+	// instead of failing: queued jobs hold a job ID but no cluster
+	// resources, and promote to active in submission order as quota
+	// frees up. ErrQuotaExceeded then fires only when the queue is
+	// also full. 0 keeps the historical immediate rejection.
+	MaxQueued int
 }
 
 // JobInfo is one job's row in a ListJobs reply.
@@ -311,13 +400,25 @@ type TaskResult struct {
 	BadAddr string
 }
 
-// HeartbeatArgs is the TaskTracker's periodic report.
+// HeartbeatArgs is the TaskTracker's periodic report. The first
+// heartbeat registers the tracker with the JobTracker's membership
+// view (nothing is wired at boot); every later one refreshes its
+// liveness.
 type HeartbeatArgs struct {
 	TrackerID string
 	// LocalDataNode is the DataNode co-located with this tracker
 	// (same machine in the paper's deployment); the JobTracker
 	// prefers handing the tracker tasks whose block lives there.
 	LocalDataNode string
+	// Rack is the tracker's rack; the grant loop prefers tasks whose
+	// block has a replica on it when no node-local task is pending ("",
+	// like every pre-rack tracker, reads as the default rack).
+	Rack string
+	// ShuffleAddr is the tracker's shuffle-store (data plane) address.
+	// The JobTracker's membership view keys shuffle state by it: when
+	// the tracker is declared dead, map outputs recorded at this
+	// address are proactively reopened.
+	ShuffleAddr string
 	// Device is the tracker's device kind (DeviceCell for an
 	// accelerator-equipped node, DeviceHost otherwise): the
 	// JobTracker's device-affinity pass steers accelerated map tasks
@@ -341,6 +442,40 @@ type HeartbeatReply struct {
 	// PurgeJobs are held jobs that finished (or are unknown): the
 	// tracker drops their shuffle partitions.
 	PurgeJobs []int64
+	// Drain tells the tracker it is being decommissioned: take no new
+	// work, finish in-flight tasks, keep serving (and heartbeating
+	// for) held shuffle/output state until the JobTracker purges it,
+	// then exit.
+	Drain bool
+}
+
+// DecommissionTrackerArgs asks the JobTracker to gracefully retire a
+// TaskTracker: its heartbeats start carrying Drain until its in-flight
+// tasks and held shuffle state have drained.
+type DecommissionTrackerArgs struct {
+	TrackerID string
+}
+
+// DecommissionTrackerReply acknowledges the decommission request.
+type DecommissionTrackerReply struct{}
+
+// TrackerInfo is one TaskTracker's row in a ListTrackers reply.
+type TrackerInfo struct {
+	ID     string
+	Rack   string
+	Device string
+	// State is the tracker's lifecycle state: "alive", "draining" or
+	// "dead".
+	State string
+}
+
+// ListTrackersArgs asks for the JobTracker's membership view.
+type ListTrackersArgs struct{}
+
+// ListTrackersReply lists every tracker that has ever heartbeated,
+// sorted by ID.
+type ListTrackersReply struct {
+	Trackers []TrackerInfo
 }
 
 // StatusArgs polls a job.

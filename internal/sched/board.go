@@ -60,14 +60,31 @@ func NewBoard(n int, lease time.Duration, opts Options) (*Board, error) {
 	}, nil
 }
 
+// Locality grades how near a task's data sits to a worker, mirroring
+// the topology distance tiers (internal/topo): on the worker's own
+// node, on its rack, or across racks.
+type Locality int
+
+// Locality levels, ordered so a higher value is nearer.
+const (
+	// LocalityRemote is data on another rack (or locality-indifferent
+	// tasks).
+	LocalityRemote Locality = iota
+	// LocalityRack is data on the worker's rack but another node.
+	LocalityRack
+	// LocalityNode is data on the worker's own node.
+	LocalityNode
+)
+
 // Assign grants worker up to max pending task attempts at time now:
-// expired leases are reclaimed first, then pending tasks the local
-// predicate prefers (nil: no locality), then any pending task. A task
-// index repeats across calls only after a lease expiry. Speculative
-// duplicates are a separate step (Speculate), so a master serving
-// several boards can exhaust every board's pending work before
-// duplicating anyone's stragglers.
-func (b *Board) Assign(worker string, max int, now time.Time, local func(task int) bool) []int {
+// expired leases are reclaimed first, then pending tasks in descending
+// locality order — node-local first, then rack-local, then any (nil
+// predicate: no locality, one flat pass). A task index repeats across
+// calls only after a lease expiry. Speculative duplicates are a
+// separate step (Speculate), so a master serving several boards can
+// exhaust every board's pending work before duplicating anyone's
+// stragglers.
+func (b *Board) Assign(worker string, max int, now time.Time, locality func(task int) Locality) []int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.expire(now)
@@ -76,13 +93,15 @@ func (b *Board) Assign(worker string, max int, now time.Time, local func(task in
 		t := &b.tasks[i]
 		return !t.done && len(t.live) == 0
 	}
-	if local != nil {
-		for i := range b.tasks {
-			if len(out) >= max {
-				break
-			}
-			if pending(i) && local(i) {
-				out = b.grant(i, worker, now, out)
+	if locality != nil {
+		for _, want := range []Locality{LocalityNode, LocalityRack} {
+			for i := range b.tasks {
+				if len(out) >= max {
+					break
+				}
+				if pending(i) && locality(i) == want {
+					out = b.grant(i, worker, now, out)
+				}
 			}
 		}
 	}

@@ -1,0 +1,158 @@
+// Package topo is the cluster's shared topology model: which rack
+// each node lives in, HDFS-style /rack/node paths, and the network
+// distance between nodes. It is the single place rack knowledge lives
+// — the DFS layers (internal/hdfs, the netmr NameNode) consult it for
+// rack-aware replica placement, the scheduler (internal/sched) for the
+// node-local → rack-local → remote grant order, and the runtimes for
+// fetch ordering — so every plane agrees on what "near" means.
+//
+// Distances follow the Hadoop convention the paper's testbed inherits:
+// 0 between a node and itself, 2 between nodes sharing a rack, 4
+// across racks. A node nobody assigned a rack to lands in DefaultRack,
+// which reproduces the flat pre-rack topology: every node shares one
+// rack, so rack-locality degenerates to "anywhere", exactly the old
+// behaviour.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultRack is the rack of nodes never assigned one. A flat cluster
+// keeps every node here, making all pairs rack-local.
+const DefaultRack = "rack00"
+
+// Distance values between two nodes, Hadoop-style: hops up and down
+// the /rack/node tree.
+const (
+	// DistanceLocal is a node to itself.
+	DistanceLocal = 0
+	// DistanceRack is two distinct nodes sharing a rack.
+	DistanceRack = 2
+	// DistanceRemote is two nodes on different racks.
+	DistanceRemote = 4
+)
+
+// RackName returns the canonical name of rack i ("rack00", "rack01",
+// ...), the scheme RoundRobin and the cluster bootstrappers use.
+func RackName(i int) string { return fmt.Sprintf("rack%02d", i) }
+
+// RoundRobin deals n nodes across racks round-robin (node i on rack
+// i%racks) and returns each node's rack name. racks < 2 puts everyone
+// in DefaultRack — the flat topology.
+func RoundRobin(n, racks int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if racks < 2 {
+			out[i] = DefaultRack
+		} else {
+			out[i] = RackName(i % racks)
+		}
+	}
+	return out
+}
+
+// Topology is a mutable node → rack map, safe for concurrent use. The
+// zero value is not ready; build one with New.
+type Topology struct {
+	mu     sync.RWMutex
+	rackOf map[string]string
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{rackOf: make(map[string]string)}
+}
+
+// Add places node on rack (an empty rack selects DefaultRack),
+// overwriting any previous assignment — re-registration after a crash
+// may legitimately move a node.
+func (t *Topology) Add(node, rack string) {
+	if rack == "" {
+		rack = DefaultRack
+	}
+	t.mu.Lock()
+	t.rackOf[node] = rack
+	t.mu.Unlock()
+}
+
+// Remove forgets node (decommission). Unknown nodes are a no-op.
+func (t *Topology) Remove(node string) {
+	t.mu.Lock()
+	delete(t.rackOf, node)
+	t.mu.Unlock()
+}
+
+// RackOf reports node's rack; nodes never added resolve to
+// DefaultRack, so an unracked cluster behaves as one flat rack.
+func (t *Topology) RackOf(node string) string {
+	t.mu.RLock()
+	rack, ok := t.rackOf[node]
+	t.mu.RUnlock()
+	if !ok {
+		return DefaultRack
+	}
+	return rack
+}
+
+// Path renders node's HDFS-style topology path, "/rack/node".
+func (t *Topology) Path(node string) string {
+	return "/" + t.RackOf(node) + "/" + node
+}
+
+// Distance reports the network distance between two nodes: 0 for the
+// same node, 2 within a rack, 4 across racks.
+func (t *Topology) Distance(a, b string) int {
+	if a == b {
+		return DistanceLocal
+	}
+	if t.RackOf(a) == t.RackOf(b) {
+		return DistanceRack
+	}
+	return DistanceRemote
+}
+
+// SameRack reports whether two nodes share a rack (true for a node and
+// itself).
+func (t *Topology) SameRack(a, b string) bool {
+	return t.RackOf(a) == t.RackOf(b)
+}
+
+// Racks lists the distinct racks holding at least one node, sorted.
+func (t *Topology) Racks() []string {
+	t.mu.RLock()
+	seen := make(map[string]bool)
+	for _, r := range t.rackOf {
+		seen[r] = true
+	}
+	t.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesIn lists the nodes assigned to rack, sorted.
+func (t *Topology) NodesIn(rack string) []string {
+	t.mu.RLock()
+	var out []string
+	for n, r := range t.rackOf {
+		if r == rack {
+			out = append(out, n)
+		}
+	}
+	t.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len reports how many nodes the topology knows.
+func (t *Topology) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rackOf)
+}

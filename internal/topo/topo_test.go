@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDistanceConvention(t *testing.T) {
+	tp := New()
+	tp.Add("a", "rack00")
+	tp.Add("b", "rack00")
+	tp.Add("c", "rack01")
+	if d := tp.Distance("a", "a"); d != DistanceLocal {
+		t.Errorf("self distance = %d, want %d", d, DistanceLocal)
+	}
+	if d := tp.Distance("a", "b"); d != DistanceRack {
+		t.Errorf("same-rack distance = %d, want %d", d, DistanceRack)
+	}
+	if d := tp.Distance("a", "c"); d != DistanceRemote {
+		t.Errorf("cross-rack distance = %d, want %d", d, DistanceRemote)
+	}
+	if !tp.SameRack("a", "b") || tp.SameRack("a", "c") {
+		t.Errorf("SameRack disagrees with Distance")
+	}
+}
+
+func TestUnknownNodesAreFlat(t *testing.T) {
+	tp := New()
+	if r := tp.RackOf("ghost"); r != DefaultRack {
+		t.Errorf("unknown node rack = %q, want %q", r, DefaultRack)
+	}
+	// Two unknown nodes are rack-local: the flat pre-rack topology.
+	if d := tp.Distance("ghost1", "ghost2"); d != DistanceRack {
+		t.Errorf("unknown-pair distance = %d, want %d", d, DistanceRack)
+	}
+}
+
+func TestPath(t *testing.T) {
+	tp := New()
+	tp.Add("node03", "rack01")
+	if p := tp.Path("node03"); p != "/rack01/node03" {
+		t.Errorf("Path = %q, want /rack01/node03", p)
+	}
+}
+
+func TestAddRemoveOverwrite(t *testing.T) {
+	tp := New()
+	tp.Add("n", "rack01")
+	if r := tp.RackOf("n"); r != "rack01" {
+		t.Fatalf("rack = %q, want rack01", r)
+	}
+	tp.Add("n", "rack02") // rejoin on a different rack
+	if r := tp.RackOf("n"); r != "rack02" {
+		t.Errorf("rack after move = %q, want rack02", r)
+	}
+	tp.Add("m", "") // empty rack falls back to the default
+	if r := tp.RackOf("m"); r != DefaultRack {
+		t.Errorf("empty-rack add = %q, want %q", r, DefaultRack)
+	}
+	tp.Remove("n")
+	if r := tp.RackOf("n"); r != DefaultRack {
+		t.Errorf("rack after remove = %q, want %q", r, DefaultRack)
+	}
+	if n := tp.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}
+
+func TestRacksAndNodesIn(t *testing.T) {
+	tp := New()
+	tp.Add("b", "rack01")
+	tp.Add("a", "rack01")
+	tp.Add("c", "rack00")
+	if got, want := tp.Racks(), []string{"rack00", "rack01"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Racks = %v, want %v", got, want)
+	}
+	if got, want := tp.NodesIn("rack01"), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NodesIn = %v, want %v", got, want)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	if got, want := RoundRobin(4, 2), []string{"rack00", "rack01", "rack00", "rack01"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RoundRobin(4,2) = %v, want %v", got, want)
+	}
+	for _, racks := range []int{0, 1} {
+		for _, r := range RoundRobin(3, racks) {
+			if r != DefaultRack {
+				t.Errorf("RoundRobin(3,%d) placed a node on %q, want %q", racks, r, DefaultRack)
+			}
+		}
+	}
+	if got := RackName(7); got != "rack07" {
+		t.Errorf("RackName(7) = %q", got)
+	}
+}
