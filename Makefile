@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-gate bench-baseline fuzz-smoke mem-smoke repro-quick fmt vet lint hetlint race docs ci
+.PHONY: build test bench bench-json bench-gate bench-baseline fuzz-smoke mem-smoke terasort-scale repro-quick fmt vet lint hetlint race docs ci
 
 build:
 	$(GO) build ./...
@@ -30,19 +30,23 @@ bench-json:
 	@echo "wrote $(BENCH_ARTIFACT).json"
 
 # bench-gate mirrors the CI regression gate: rerun the rpcnet wire
-# benchmarks at a real benchtime and fail on any >15% direction-aware
-# regression against the committed baseline.
+# benchmarks plus the 100 MB range-partitioned terasort (MB/s and
+# peak_heap_MB) and fail on any >15% direction-aware regression
+# against the committed baseline.
 bench-gate:
 	$(GO) test -bench=. -benchtime=0.3s -count=5 -run='^$$' ./internal/rpcnet > gate.out
+	$(GO) test -bench='TerasortPeakMemory/net/100MB' -benchtime=1x -count=3 -run='^$$' -timeout 30m ./internal/engine >> gate.out
 	$(GO) run ./cmd/benchjson -o BENCH_GATE.json < gate.out
 	@rm -f gate.out
 	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -new BENCH_GATE.json -threshold 0.15
 	@rm -f BENCH_GATE.json
 
 # bench-baseline refreshes the committed gate baseline — run it (and
-# commit the result) when a PR legitimately moves the rpcnet numbers.
+# commit the result) when a PR legitimately moves the rpcnet or
+# terasort numbers.
 bench-baseline:
 	$(GO) test -bench=. -benchtime=0.3s -count=5 -run='^$$' ./internal/rpcnet > gate.out
+	$(GO) test -bench='TerasortPeakMemory/net/100MB' -benchtime=1x -count=3 -run='^$$' -timeout 30m ./internal/engine >> gate.out
 	$(GO) run ./cmd/benchjson -o BENCH_BASELINE.json < gate.out
 	@rm -f gate.out
 	@echo "wrote BENCH_BASELINE.json"
@@ -58,9 +62,17 @@ fuzz-smoke:
 
 # mem-smoke mirrors the CI bounded-memory lane: above-watermark
 # synthetic datasets streamed through the live and net backends under
-# a hard runtime memory limit.
+# a hard runtime memory limit, including the range-partitioned
+# terasort smoke (the -run prefix matches both). The 1 GB scale gate
+# (TestTerasortScaleFlatHeap) is opt-in: make terasort-scale.
 mem-smoke:
 	GOMEMLIMIT=256MiB $(GO) test -v -run TestBoundedMemoryStreaming ./internal/engine/
+
+# terasort-scale mirrors the CI at-scale gate: a full 1 GB net
+# terasort whose peak live heap must stay within 1.5x of the 100 MB
+# run's. Takes a few minutes.
+terasort-scale:
+	GOMEMLIMIT=768MiB HETMR_TERASORT_SCALE=1 $(GO) test -v -timeout 30m -run TestTerasortScaleFlatHeap ./internal/engine/
 
 repro-quick:
 	$(GO) run ./cmd/repro -quick
@@ -89,7 +101,7 @@ lint: vet hetlint
 hetlint:
 	$(GO) run ./cmd/hetlint ./...
 
-# docs mirrors the CI docs lane: godoc coverage over the six core
+# docs mirrors the CI docs lane: godoc coverage over the core
 # packages plus the ARCHITECTURE.md link check.
 docs:
 	$(GO) run ./cmd/docscheck

@@ -24,6 +24,7 @@ var corePackages = []string{
 	"internal/sched",
 	"internal/netmr",
 	"internal/spill",
+	"internal/flow",
 	"internal/hdfs",
 	"internal/rpcnet",
 	"internal/analysis",

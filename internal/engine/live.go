@@ -35,6 +35,8 @@ func init() {
 	// JobTimeout bounds the net backend's remote wait; a live Run is a
 	// synchronous in-process call with nothing to abandon.
 	//hetlint:configdrop-ok live Config.JobTimeout live runs synchronously in-process; the knob bounds the net backend's remote wait
+	//hetlint:configdrop-ok live Config.RangePartition the in-process sort already merges fully in key order; range routing reshapes the net shuffle plane only
+
 	Register("live", func(cfg Config) (Runner, error) {
 		if cfg.Mapper == "empty" {
 			return nil, fmt.Errorf("%w: mapper \"empty\" models pure runtime overhead and only exists on the sim backend", ErrUnsupported)

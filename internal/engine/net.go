@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"hetmr/internal/kernels"
 	"hetmr/internal/netmr"
 	"hetmr/internal/rpcnet"
 )
@@ -62,6 +65,14 @@ func init() {
 		}
 		if cfg.SpillMemBytes != 0 {
 			opts = append(opts, netmr.WithSpill(cfg.SpillDir, cfg.spillMem(), cfg.spillCodec()))
+		}
+		// Flow control: with a positive spill watermark, grant ingest
+		// and shuffle-fetch credits against it, so the network side of
+		// the data plane is bounded the same way the stores are.
+		if cfg.SpillMemBytes > 0 {
+			opts = append(opts,
+				netmr.WithIngestWindow(cfg.SpillMemBytes),
+				netmr.WithFetchWindow(cfg.SpillMemBytes))
 		}
 		if cfg.Codec != "" {
 			opts = append(opts, netmr.WithWireCodec(cfg.Codec))
@@ -146,17 +157,32 @@ func (r *netRunner) waitAndStatus(id int64) (raw []byte, st netmr.StatusReply, e
 	return raw, st, nil
 }
 
-// stageInput streams the job's dataset into the distributed FS, one
-// block resident at a time.
-func (r *netRunner) stageInput(job *Job) (string, error) {
+// stageInput streams src (the job's dataset, possibly wrapped in a
+// sampling pass) into the distributed FS under the client's ingest
+// window.
+func (r *netRunner) stageInput(job *Job, src io.Reader) (string, error) {
 	r.mu.Lock()
 	r.seq++
 	name := fmt.Sprintf("/engine/%s-%d", job.title(), r.seq)
 	r.mu.Unlock()
-	if _, err := r.clus.Client.WriteFrom(name, job.inputReader(), ""); err != nil {
+	if _, err := r.clus.Client.WriteFrom(name, src, ""); err != nil {
 		return "", err
 	}
 	return name, nil
+}
+
+// rangeSampleCap sizes the reservoir for the split-key sampling pass:
+// enough keys for stable quantiles at the given reducer count, capped
+// so the sample never rivals the data.
+func rangeSampleCap(reducers int) int {
+	n := 100 * reducers
+	if n < 1_000 {
+		n = 1_000
+	}
+	if n > 100_000 {
+		n = 100_000
+	}
+	return n
 }
 
 // buildSpec validates and expands an engine job into its netmr job
@@ -171,15 +197,36 @@ func (r *netRunner) buildSpec(job *Job) (netmr.JobSpec, error) {
 	}
 	switch job.Kind {
 	case Wordcount, Sort:
-		input, err := r.stageInput(job)
+		src := job.inputReader()
+		reducers := r.reducers()
+		var sampler *kernels.RecordKeySampler
+		if job.Kind == Sort && r.cfg.RangePartition {
+			// The sampling pass rides the staging stream: ingest is read
+			// exactly once, and the reservoir costs O(sample) memory.
+			spec.StreamOutput = true
+			if reducers > 1 {
+				seed := job.Seed
+				if seed == 0 {
+					seed = DefaultSeed
+				}
+				sampler = kernels.NewRecordKeySampler(src, rangeSampleCap(reducers), uint64(seed))
+				src = sampler
+			}
+		}
+		input, err := r.stageInput(job, src)
 		if err != nil {
 			return spec, err
 		}
 		spec.Kernel = string(job.Kind)
 		spec.Input = input
-		spec.NumReducers = r.reducers()
+		spec.NumReducers = reducers
+		if sampler != nil {
+			// Quantile split keys from the reservoir; an empty input
+			// yields none, falling back to hash routing of nothing.
+			spec.SplitKeys = sampler.SplitKeys(reducers)
+		}
 	case Encrypt:
-		input, err := r.stageInput(job)
+		input, err := r.stageInput(job, job.inputReader())
 		if err != nil {
 			return spec, err
 		}
@@ -256,15 +303,41 @@ func (nj *netJob) wait() (*Result, error) {
 		res.Pairs = pairsFromCounts(counts)
 		res.TaskCounts, res.Devices = st.Counts, st.Devices
 	case Sort:
+		if r.cfg.RangePartition {
+			// Range-partitioned streamed path: reduce r's output
+			// strictly precedes reduce r+1's, so the concatenated
+			// stream IS the globally sorted file — no final merge
+			// anywhere, and the client holds one bounded chunk at a
+			// time.
+			var buf bytes.Buffer
+			sink := job.Sink
+			if sink == nil {
+				sink = &buf
+			}
+			n, err := r.clus.Client.WaitOutput(nj.id, r.cfg.JobTimeout, sink, netmr.DecodeRawBytes)
+			if err != nil {
+				return nil, err
+			}
+			st, err := r.clus.Client.Status(nj.id)
+			if err != nil {
+				return nil, err
+			}
+			if job.Sink != nil {
+				res.OutputBytes = n
+			} else {
+				res.Bytes = buf.Bytes()
+			}
+			res.TaskCounts, res.Devices = st.Counts, st.Devices
+			break
+		}
 		raw, st, err := r.waitAndStatus(nj.id)
 		if err != nil {
 			return nil, err
 		}
-		// The shuffle hash-partitions records, so the globally sorted
-		// result only exists after the JobTracker's final merge —
-		// sort's Sink receives that merged result in one stream (a
-		// range partitioner, which would let partitions concatenate in
-		// order, is a ROADMAP follow-on).
+		// The default shuffle hash-partitions records, so the globally
+		// sorted result only exists after the JobTracker's final merge
+		// — sort's Sink receives that merged result in one stream. Set
+		// Config.RangePartition for the streamed, merge-free path.
 		var merged []byte
 		if err := rpcnet.Unmarshal(raw, &merged); err != nil {
 			return nil, err

@@ -133,6 +133,14 @@ type Config struct {
 	// scheduler prefers rack-local over remote grants. 0 or 1 keeps the
 	// flat single-rack topology (the default); negative is an error.
 	Racks int
+	// RangePartition routes net-backend Sort jobs through the sampled
+	// range partitioner: a reservoir-sampling pass over ingest cuts
+	// per-job split keys, reducers own contiguous key ranges, and the
+	// streamed reduce outputs concatenate in key order — the globally
+	// sorted file with zero post-reduce merge, at O(chunk) client
+	// memory. Results are bit-identical to the hash-partitioned path.
+	// The other backends sort fully in-process and ignore the knob.
+	RangePartition bool
 }
 
 // Quota bounds one tenant on the multi-tenant net backend. The zero

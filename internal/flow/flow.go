@@ -1,0 +1,95 @@
+// Package flow provides byte-granular credit windows — the flow
+// control primitive the data plane uses to bound in-flight network
+// bytes the same way the spill watermark bounds the stores. A Window
+// hands out credits up to a limit and blocks acquirers until earlier
+// credits are released: ingest holds a credit per in-flight block
+// write, the shuffle plane holds a credit per in-flight FetchPartition
+// chunk, so outstanding bytes are provably capped by the window.
+package flow
+
+import "sync"
+
+// Window is a byte-credit semaphore with a recorded high-water mark.
+// Acquire blocks while the window is full; Release returns credit and
+// wakes waiters. The zero value is unusable — use NewWindow.
+type Window struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	limit       int64
+	outstanding int64
+	peak        int64
+}
+
+// NewWindow returns a window granting at most limit bytes of credit
+// at once. A non-positive limit is treated as 1 so acquires make
+// progress serially rather than deadlocking.
+func NewWindow(limit int64) *Window {
+	if limit < 1 {
+		limit = 1
+	}
+	w := &Window{limit: limit}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Acquire blocks until n bytes of credit are available and takes
+// them. A request larger than the whole window is clamped to the
+// limit — the oversized transfer proceeds alone, exactly like a
+// payload larger than the spill watermark still spills — so Acquire
+// never deadlocks. It returns the credit actually taken, which must
+// be passed to Release.
+func (w *Window) Acquire(n int64) int64 {
+	if n < 0 {
+		n = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n > w.limit {
+		n = w.limit
+	}
+	for w.outstanding+n > w.limit {
+		w.cond.Wait()
+	}
+	w.outstanding += n
+	if w.outstanding > w.peak {
+		w.peak = w.outstanding
+	}
+	return n
+}
+
+// Release returns n bytes of credit and wakes blocked acquirers.
+func (w *Window) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.outstanding -= n
+	if w.outstanding < 0 {
+		// Over-release is a caller bug; clamp so the window stays sane.
+		w.outstanding = 0
+	}
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Outstanding returns the credit currently held.
+func (w *Window) Outstanding() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.outstanding
+}
+
+// Peak returns the high-water mark of held credit over the window's
+// lifetime — the provable bound on in-flight bytes (always ≤ Limit).
+func (w *Window) Peak() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peak
+}
+
+// Limit returns the window size in bytes.
+func (w *Window) Limit() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.limit
+}

@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Hammer the window from many goroutines; under -race this verifies
+// the synchronization, and the peak assertion proves the credit bound
+// holds at every instant.
+func TestWindowBoundsOutstanding(t *testing.T) {
+	const limit = 1000
+	w := NewWindow(limit)
+	var wg sync.WaitGroup
+	var held atomic.Int64
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := int64(1 + (g*31+i*7)%300)
+				got := w.Acquire(n)
+				if cur := held.Add(got); cur > limit {
+					t.Errorf("outstanding %d exceeds limit %d", cur, limit)
+				}
+				held.Add(-got)
+				w.Release(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after all releases, want 0", w.Outstanding())
+	}
+	if p := w.Peak(); p > limit || p == 0 {
+		t.Fatalf("peak %d, want in (0, %d]", p, limit)
+	}
+}
+
+func TestWindowOversizedAcquireClamps(t *testing.T) {
+	w := NewWindow(100)
+	got := w.Acquire(1 << 30)
+	if got != 100 {
+		t.Fatalf("Acquire(1GB) took %d credits, want clamp to 100", got)
+	}
+	// A second acquirer must block until release.
+	done := make(chan struct{})
+	go func() {
+		w.Release(w.Acquire(1))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second acquire proceeded while window was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Release(got)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second acquire never woke after release")
+	}
+}
+
+func TestWindowDegenerateLimits(t *testing.T) {
+	w := NewWindow(0)
+	if w.Limit() != 1 {
+		t.Fatalf("Limit = %d, want 1 for non-positive input", w.Limit())
+	}
+	got := w.Acquire(50)
+	if got != 1 {
+		t.Fatalf("Acquire on unit window took %d, want 1", got)
+	}
+	w.Release(got)
+	if w.Acquire(0) != 0 {
+		t.Fatal("Acquire(0) should take no credit")
+	}
+	w.Release(0) // no-op
+	w.Release(5) // over-release clamps, never goes negative
+	if w.Outstanding() != 0 {
+		t.Fatalf("outstanding %d, want 0", w.Outstanding())
+	}
+}

@@ -1,0 +1,103 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hetmr/internal/simd"
+)
+
+// The SIMD-structured CTR path — generate the whole keystream, then
+// XOR it in with internal/simd's 16-byte vector operations, the shape
+// of the paper's SDK 3.0 AES kernel — was retired from the production
+// tree: on hosts with hardware AES it loses to CTRStreamFast by ~7x
+// (BENCH_PR2: 77 MB/s vs 542 MB/s) because the bottleneck is keystream
+// generation, which crypto/aes pipelines across counter blocks while
+// this shape encrypts them one at a time. The reconstruction below is
+// test-only: it keeps the claim measured (the regression benchmark
+// fails the bench gate if the tradeoff ever flips) and keeps the
+// retired shape's bit-identical contract pinned against the live path.
+
+// ctrStreamSIMDRetired is the retired CTRStreamSIMD, verbatim in shape:
+// whole-range keystream, scalar counter-block encryption, vector XOR.
+func ctrStreamSIMDRetired(c *Cipher, iv []byte, offset int64, dst, src []byte) {
+	if len(iv) != aesBlockSize {
+		panic("kernels: CTR IV must be 16 bytes")
+	}
+	if len(dst) != len(src) {
+		panic("kernels: CTR dst/src length mismatch")
+	}
+	if offset < 0 {
+		panic("kernels: negative CTR offset")
+	}
+	if len(src) == 0 {
+		return
+	}
+	ks := make([]byte, len(src))
+	var blk [aesBlockSize]byte
+	block := offset / aesBlockSize
+	phase := int(offset % aesBlockSize)
+	for i := 0; i < len(ks); {
+		counterBlock(&blk, iv, uint64(block))
+		c.EncryptBlock(blk[:], blk[:])
+		i += copy(ks[i:], blk[phase:])
+		phase = 0
+		block++
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	if err := simd.XORStream(dst, ks, offset); err != nil {
+		// Lengths are equal by construction; unreachable.
+		panic(err)
+	}
+}
+
+// Property: the retired SIMD shape and the production stdlib path agree
+// at every offset and length, including unaligned heads and in-place
+// operation — CTR output is fully determined by key, IV and offset.
+func TestRetiredSIMDCTRMatchesFast(t *testing.T) {
+	c := mustCipher(t)
+	iv := []byte("0123456789abcdef")
+	f := func(data []byte, offRaw uint16) bool {
+		off := int64(offRaw)
+		want := make([]byte, len(data))
+		CTRStreamFast(c, iv, off, want, data)
+		got := append([]byte(nil), data...)
+		ctrStreamSIMDRetired(c, iv, off, got, got) // in place
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkCTRFastOverRetiredSIMD4K pins the retirement decision: the
+// timed loop is the production path (ns/op, MB/s), and the reported
+// speedup is retired-shape time over production time on this machine.
+// If speedup regresses toward 1 the stdlib path stopped winning and the
+// routing decision deserves a second look.
+func BenchmarkCTRFastOverRetiredSIMD4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := make([]byte, 4096)
+	const probe = 512
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		ctrStreamSIMDRetired(c, iv, 0, buf, buf)
+	}
+	retired := time.Since(start) / probe
+	b.SetBytes(4096)
+	b.ResetTimer()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		CTRStreamFast(c, iv, 0, buf, buf)
+	}
+	fast := time.Since(start) / time.Duration(b.N)
+	if fast <= 0 {
+		fast = 1
+	}
+	b.ReportMetric(float64(retired)/float64(fast), "speedup")
+}

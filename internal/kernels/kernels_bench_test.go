@@ -38,16 +38,6 @@ func BenchmarkCTRStream4K(b *testing.B) {
 	}
 }
 
-func BenchmarkCTRStreamSIMD4K(b *testing.B) {
-	c, _ := NewCipher(make([]byte, 16))
-	iv := make([]byte, 16)
-	buf := make([]byte, 4096)
-	b.SetBytes(4096)
-	for i := 0; i < b.N; i++ {
-		CTRStreamSIMD(c, iv, 0, buf, buf)
-	}
-}
-
 func BenchmarkCTRStreamFast4K(b *testing.B) {
 	c, _ := NewCipher(make([]byte, 16))
 	iv := make([]byte, 16)

@@ -140,76 +140,3 @@ func TestMergePipelineProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
-
-func TestCTRSIMDMatchesScalar(t *testing.T) {
-	c := mustCipher(t)
-	iv := []byte("simd-iv-simd-iv!")
-	src := make([]byte, 5000)
-	for i := range src {
-		src[i] = byte(i * 17)
-	}
-	want := make([]byte, len(src))
-	CTRStream(c, iv, 0, want, src)
-	got := make([]byte, len(src))
-	CTRStreamSIMD(c, iv, 0, got, src)
-	if !bytes.Equal(got, want) {
-		t.Fatal("SIMD CTR differs from scalar CTR")
-	}
-}
-
-// Property: SIMD and scalar CTR agree at every offset and length,
-// including unaligned heads and in-place operation.
-func TestCTRSIMDEquivalenceProperty(t *testing.T) {
-	c := mustCipher(t)
-	iv := []byte("0123456789abcdef")
-	f := func(data []byte, offRaw uint16) bool {
-		off := int64(offRaw)
-		want := make([]byte, len(data))
-		CTRStream(c, iv, off, want, data)
-		got := append([]byte(nil), data...)
-		CTRStreamSIMD(c, iv, off, got, got) // in place
-		return bytes.Equal(got, want)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestCTRSIMDEmptyAndErrors(t *testing.T) {
-	c := mustCipher(t)
-	iv := make([]byte, 16)
-	CTRStreamSIMD(c, iv, 0, nil, nil) // no-op
-	defer func() {
-		if recover() == nil {
-			t.Error("length mismatch should panic")
-		}
-	}()
-	CTRStreamSIMD(c, iv, 0, make([]byte, 3), make([]byte, 4))
-}
-
-func TestCTRBlockFuncSIMDConcurrent(t *testing.T) {
-	c := mustCipher(t)
-	iv := []byte("concurrent-iv-00")
-	fn := CTRBlockFuncSIMD(c, iv)
-	const n = 64
-	done := make(chan []byte, n)
-	for w := 0; w < n; w++ {
-		w := w
-		go func() {
-			block := make([]byte, 4096)
-			for i := range block {
-				block[i] = byte(i + w)
-			}
-			if err := fn(block, int64(w)*4096); err != nil {
-				done <- nil
-				return
-			}
-			done <- block
-		}()
-	}
-	for w := 0; w < n; w++ {
-		if <-done == nil {
-			t.Fatal("worker failed")
-		}
-	}
-}

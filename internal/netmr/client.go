@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"hetmr/internal/flow"
 	"hetmr/internal/rpcnet"
 	"hetmr/internal/spill"
 	"hetmr/internal/topo"
@@ -23,6 +24,7 @@ type Client struct {
 	nnAddr        string
 	jtAddr        string
 	blockSize     int64
+	ingestWindow  int64
 	wireCodecName string
 	wire          *connCache
 }
@@ -46,6 +48,22 @@ func WithClientWireCodec(name string) ClientOption {
 	}
 }
 
+// WithClientIngestWindow bounds WriteFrom's in-flight block bytes: up
+// to bytes of blocks may be replicating concurrently before the reader
+// stalls — the write-side credit window matching the trackers' fetch
+// window. Values < 1 keep the default of four block sizes. Clusters
+// typically tie this to the spill watermark (WithIngestWindow does), so
+// ingest can never buffer more on the network than a store would hold
+// in memory.
+func WithClientIngestWindow(bytes int64) ClientOption {
+	return func(c *Client) error {
+		if bytes > 0 {
+			c.ingestWindow = bytes
+		}
+		return nil
+	}
+}
+
 // NewClient builds a client. blockSize governs how files are cut into
 // blocks on write.
 func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64, opts ...ClientOption) (*Client, error) {
@@ -57,6 +75,9 @@ func NewClient(nameNodeAddr, jobTrackerAddr string, blockSize int64, opts ...Cli
 		if err := o(c); err != nil {
 			return nil, err
 		}
+	}
+	if c.ingestWindow <= 0 {
+		c.ingestWindow = 4 * blockSize
 	}
 	c.wire = newConnCache(c.wireCodecName)
 	return c, nil
@@ -77,47 +98,90 @@ func (c *Client) WriteFile(name string, data []byte, preferred string) error {
 }
 
 // WriteFrom streams r into the DFS under name, cutting blocks at the
-// client's block size. Only one block is resident at a time, so
-// ingesting a dataset far larger than RAM costs O(blockSize) memory.
-// It returns the bytes written.
+// client's block size. Ingest is windowed: blocks Allocate serially
+// (so they land in file order) but replicate concurrently, with the
+// in-flight bytes bounded by the client's ingest window — a dataset
+// far larger than RAM costs O(window) memory, and the window keeps the
+// network pipe full without the old one-block-per-round-trip stall.
+// It returns the bytes consumed from r; on error some trailing blocks
+// may not have been stored.
 func (c *Client) WriteFrom(name string, r io.Reader, preferred string) (int64, error) {
 	nnc, err := c.wire.get(c.nnAddr)
 	if err != nil {
 		return 0, err
 	}
-	buf := make([]byte, c.blockSize)
+	win := flow.NewWindow(c.ingestWindow)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		putErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if putErr == nil {
+			putErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return putErr
+	}
 	var total int64
 	first := true
 	for {
+		// A fresh buffer per block: the previous block's bytes are still
+		// replicating in the background. The window stalls this loop
+		// before in-flight buffers exceed the ingest budget.
+		buf := make([]byte, c.blockSize)
 		n, rerr := io.ReadFull(r, buf)
 		if rerr == io.EOF && !first {
 			break // clean end on a block boundary
 		}
 		if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+			wg.Wait()
 			return total, rerr
 		}
-		chunk := buf[:n] // n == 0 only for an empty file's first block
-		if err := c.writeBlock(nnc, name, chunk, preferred); err != nil {
+		if err := failed(); err != nil {
+			// A background put failed: stop issuing new blocks.
+			wg.Wait()
 			return total, err
 		}
+		chunk := buf[:n] // n == 0 only for an empty file's first block
+		credit := win.Acquire(int64(len(chunk)))
+		var alloc AllocateReply
+		err := nnc.Call("Allocate", AllocateArgs{
+			File: name, Size: int64(len(chunk)), Preferred: preferred,
+		}, &alloc)
+		if err != nil {
+			win.Release(credit)
+			wg.Wait()
+			return total, err
+		}
+		wg.Add(1)
+		go func(blk BlockInfo, chunk []byte, credit int64) {
+			defer wg.Done()
+			defer win.Release(credit)
+			if err := c.putBlock(nnc, name, blk, chunk); err != nil {
+				fail(err)
+			}
+		}(alloc.Block, chunk, credit)
 		total += int64(n)
 		first = false
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 			break
 		}
 	}
+	wg.Wait()
+	if err := failed(); err != nil {
+		return total, err
+	}
 	return total, nil
 }
 
-// writeBlock allocates and stores one block on every replica target.
-func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, preferred string) error {
-	var alloc AllocateReply
-	err := nnc.Call("Allocate", AllocateArgs{
-		File: name, Size: int64(len(chunk)), Preferred: preferred,
-	}, &alloc)
-	if err != nil {
-		return err
-	}
+// putBlock stores one allocated block on every replica target.
+func (c *Client) putBlock(nnc *rpcnet.Client, name string, blk BlockInfo, chunk []byte) error {
 	// Every replica gets the block at write time, so readers can
 	// fail over when a DataNode dies later. A placement target
 	// that is down costs the block a copy, not the write: the
@@ -125,13 +189,13 @@ func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, prefe
 	// readers never chase the unwritten one.
 	var stored []string
 	var lastErr error
-	for _, addr := range alloc.Block.ReplicaAddrs() {
+	for _, addr := range blk.ReplicaAddrs() {
 		dnc, err := c.wire.get(addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		err = dnc.CallTimeout("Put", PutArgs{ID: alloc.Block.ID, Data: chunk}, nil, dataCallTimeout)
+		err = dnc.CallTimeout("Put", PutArgs{ID: blk.ID, Data: chunk}, nil, dataCallTimeout)
 		if err != nil {
 			lastErr = err
 			continue
@@ -140,11 +204,11 @@ func (c *Client) writeBlock(nnc *rpcnet.Client, name string, chunk []byte, prefe
 	}
 	if len(stored) == 0 {
 		return fmt.Errorf("netmr: block %d: no replica target reachable: %v",
-			alloc.Block.ID, lastErr)
+			blk.ID, lastErr)
 	}
-	if len(stored) < len(alloc.Block.ReplicaAddrs()) {
+	if len(stored) < len(blk.ReplicaAddrs()) {
 		err := nnc.Call("Confirm", ConfirmArgs{
-			File: name, BlockID: alloc.Block.ID, Replicas: stored,
+			File: name, BlockID: blk.ID, Replicas: stored,
 		}, nil)
 		if err != nil {
 			return err
@@ -362,12 +426,20 @@ func DecodeRawBytes(p []byte) ([]byte, error) {
 	return b, err
 }
 
+// outputChunkBytes is WaitOutput's fetch granularity for raw-stored
+// pieces: one chunk is resident at a time, so streaming a job's output
+// costs O(chunk) client memory no matter how large the result is.
+const outputChunkBytes = 1 << 20
+
 // WaitOutput polls a StreamOutput job to completion, then streams its
 // stored result pieces — fetched in task order straight from the
-// worker trackers' shuffle stores, decoded by decode when non-nil —
-// into w, and releases the job so the stores can free the space. The
-// JobTracker never touches the output bytes; the client holds one
-// piece at a time. Returns the bytes written to w.
+// worker trackers' shuffle stores — into w, and releases the job so
+// the stores can free the space. Pieces the trackers stored raw
+// (MapOutputRef.Raw) are pulled in bounded chunks, so the client's
+// peak memory is O(chunk) regardless of output size; legacy encoded
+// pieces are fetched whole and passed through decode when non-nil.
+// The JobTracker never touches the output bytes. Returns the bytes
+// written to w.
 func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, decode func([]byte) ([]byte, error)) (int64, error) {
 	st, err := c.waitDone(jobID, timeout)
 	if err != nil {
@@ -391,6 +463,15 @@ func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, dec
 		if err != nil {
 			return total, fmt.Errorf("netmr: job %d output store %s: %w", jobID, ref.Addr, err)
 		}
+		if ref.Raw {
+			n, err := c.streamOutputPiece(cc, jobID, ref, w)
+			total += n
+			if err != nil {
+				return total, fmt.Errorf("netmr: job %d stream output (%d,%d) from %s: %w",
+					jobID, ref.MapTask, ref.Part, ref.Addr, err)
+			}
+			continue
+		}
 		var rep FetchPartitionReply
 		if err := cc.CallTimeout("FetchPartition", FetchPartitionArgs{
 			JobID: jobID, MapTask: ref.MapTask, Part: ref.Part,
@@ -411,6 +492,31 @@ func (c *Client) WaitOutput(jobID int64, timeout time.Duration, w io.Writer, dec
 		}
 	}
 	return total, nil
+}
+
+// streamOutputPiece pulls one raw-stored output piece in
+// outputChunkBytes-sized ranges and writes each to w as it lands.
+func (c *Client) streamOutputPiece(cc *rpcnet.Client, jobID int64, ref MapOutputRef, w io.Writer) (int64, error) {
+	var total int64
+	for off := int64(0); ; {
+		var rep FetchPartitionReply
+		err := cc.CallTimeout("FetchPartition", FetchPartitionArgs{
+			JobID: jobID, MapTask: ref.MapTask, Part: ref.Part,
+			Offset: off, MaxBytes: outputChunkBytes,
+		}, &rep, dataCallTimeout)
+		if err != nil {
+			return total, err
+		}
+		n, werr := w.Write(rep.Data)
+		total += int64(n)
+		if werr != nil {
+			return total, werr
+		}
+		off += int64(len(rep.Data))
+		if off >= rep.Size || len(rep.Data) == 0 {
+			return total, nil
+		}
+	}
 }
 
 // Release tells the JobTracker a streamed-output job's results have
@@ -523,19 +629,21 @@ type Cluster struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	speculative bool
-	maxAttempts int
-	taskLease   time.Duration
-	delays      []time.Duration
-	replication int
-	deviceKinds []string
-	spillDir    string
-	spillMem    int64 // < 0: all in memory (default)
-	spillCodec  spill.Codec
-	quotas      map[string]Quota
-	wireCodec   string
-	racks       int
-	deadAfter   time.Duration
+	speculative  bool
+	maxAttempts  int
+	taskLease    time.Duration
+	delays       []time.Duration
+	replication  int
+	deviceKinds  []string
+	spillDir     string
+	spillMem     int64 // < 0: all in memory (default)
+	spillCodec   spill.Codec
+	quotas       map[string]Quota
+	wireCodec    string
+	racks        int
+	deadAfter    time.Duration
+	ingestWindow int64
+	fetchWindow  int64
 }
 
 // WithSpeculation enables speculative duplicates of straggling
@@ -617,6 +725,24 @@ func WithDeadAfter(d time.Duration) ClusterOption {
 	return func(c *clusterConfig) { c.deadAfter = d }
 }
 
+// WithIngestWindow bounds the cluster client's in-flight WriteFrom
+// block bytes (see WithClientIngestWindow). Engines tie it to the
+// spill watermark, so ingest credits are granted against the same
+// budget the stores spill at. Values < 1 keep the client default.
+func WithIngestWindow(bytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.ingestWindow = bytes }
+}
+
+// WithFetchWindow bounds each tracker's outstanding shuffle-fetch
+// bytes (see WithTrackerFetchWindow): every FetchPartition chunk a
+// tracker's reducers have in flight holds credit against this window.
+// Engines tie it to the spill watermark, so the network side of the
+// shuffle is bounded the same way the stores are. Values < 1 keep the
+// tracker default.
+func WithFetchWindow(bytes int64) ClusterOption {
+	return func(c *clusterConfig) { c.fetchWindow = bytes }
+}
+
 // WithDeviceKinds sets each tracker's device profile by worker index:
 // DeviceCell equips the tracker with its own Cell accelerator
 // (NewCellDevice), anything else leaves it a general-purpose node. A
@@ -674,7 +800,8 @@ func StartCluster(workers, slots int, blockSize int64, heartbeat time.Duration, 
 		c.TTs = append(c.TTs, tt)
 	}
 	c.nextWorker = workers
-	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize, WithClientWireCodec(cfg.wireCodec))
+	client, err := NewClient(nn.Addr(), jt.Addr(), blockSize,
+		WithClientWireCodec(cfg.wireCodec), WithClientIngestWindow(cfg.ingestWindow))
 	if err != nil {
 		c.Shutdown()
 		return nil, err
@@ -723,6 +850,9 @@ func (c *Cluster) startWorker(i int) (*DataNode, *TaskTracker, error) {
 	}
 	if cfg.wireCodec != "" {
 		ttOpts = append(ttOpts, WithTrackerWireCodec(cfg.wireCodec))
+	}
+	if cfg.fetchWindow > 0 {
+		ttOpts = append(ttOpts, WithTrackerFetchWindow(cfg.fetchWindow))
 	}
 	if rack != "" {
 		ttOpts = append(ttOpts, WithTrackerRack(rack))

@@ -1,6 +1,7 @@
 package netmr
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"slices"
@@ -49,6 +50,14 @@ type jobRecord struct {
 	mapOut   [][]byte // centralized path: map outputs
 	mapLoc   []string // shuffle path: shuffle-store addr per map task
 	mapDone  int
+	// mapPartBytes records each winning map attempt's per-partition
+	// stored sizes (TaskResult.PartBytes); once every map is done they
+	// drive the LPT reduce order and the redHome locality hints.
+	mapPartBytes [][]int64
+	// redHome is, per reduce partition, the shuffle address holding the
+	// most of its bytes — the reduce-grant locality hint. Nil until
+	// every map partition (with size data) is in place.
+	redHome []string
 
 	reduces  []Task // shuffle path: reduce task templates, TaskID = partition
 	redBoard *sched.Board
@@ -256,7 +265,9 @@ func (jt *JobTracker) reopenLostOutputs(shuffleAddr string) {
 			if loc == shuffleAddr {
 				rec.mapBoard.Reopen(i)
 				rec.mapLoc[i] = ""
+				rec.mapPartBytes[i] = nil
 				rec.mapDone--
+				rec.unplanReduces()
 			}
 		}
 		if !rec.streamOut {
@@ -489,6 +500,21 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		return nil, fmt.Errorf("netmr: job %q: NumReducers must be >= 0, got %d",
 			args.Spec.Name, args.Spec.NumReducers)
 	}
+	// Range partitioning: exactly NumReducers-1 sorted split keys, or
+	// none at all (hash partitioning). A mismatch caught here would
+	// otherwise surface as a per-mapper partition-count error after the
+	// job already holds scheduler state.
+	if n := len(args.Spec.SplitKeys); n > 0 {
+		if n != args.Spec.NumReducers-1 {
+			return nil, fmt.Errorf("netmr: job %q: %d split keys for %d reducers (want NumReducers-1)",
+				args.Spec.Name, n, args.Spec.NumReducers)
+		}
+		for i := 1; i < n; i++ {
+			if bytes.Compare(args.Spec.SplitKeys[i-1], args.Spec.SplitKeys[i]) > 0 {
+				return nil, fmt.Errorf("netmr: job %q: split keys are not sorted", args.Spec.Name)
+			}
+		}
+	}
 	mapper := args.Spec.Mapper
 	if mapper == "" {
 		mapper = MapperCell
@@ -567,6 +593,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		t.Mapper = mapper
 		if rec.shuffle {
 			t.NumParts = args.Spec.NumReducers
+			t.SplitKeys = args.Spec.SplitKeys
 		} else if rec.streamOut {
 			t.StreamOutput = true
 		}
@@ -583,6 +610,7 @@ func (jt *JobTracker) handleSubmit(body []byte) (any, error) {
 		}
 		rec.redOut = make([][]byte, r)
 		rec.mapLoc = make([]string, len(tasks))
+		rec.mapPartBytes = make([][]int64, len(tasks))
 		rec.fetchFails = make(map[string]int)
 		for p := 0; p < r; p++ {
 			rec.reduces = append(rec.reduces, Task{
@@ -898,7 +926,19 @@ func (jt *JobTracker) grantFromJob(rec *jobRecord, device string, args Heartbeat
 	}
 	if rec.shuffle && rec.mapDone == len(rec.maps) &&
 		(!affinityOnly || rec.redBoard.Affinity() == device) {
-		if ps := rec.redBoard.Assign(args.TrackerID, 1, now, nil); len(ps) == 1 {
+		// Reduce locality: prefer the partition whose bytes mostly live
+		// in this tracker's own shuffle store — the heaviest fetch
+		// stream becomes a local read instead of a network pull.
+		var locality func(int) sched.Locality
+		if args.ShuffleAddr != "" && rec.redHome != nil {
+			locality = func(p int) sched.Locality {
+				if rec.redHome[p] == args.ShuffleAddr {
+					return sched.LocalityNode
+				}
+				return sched.LocalityRemote
+			}
+		}
+		if ps := rec.redBoard.Assign(args.TrackerID, 1, now, locality); len(ps) == 1 {
 			return rec.reduceTask(ps[0]), true
 		}
 	}
@@ -1040,13 +1080,74 @@ func (jt *JobTracker) recordResult(rec *jobRecord, trackerID string, res TaskRes
 		switch {
 		case rec.shuffle:
 			rec.mapLoc[res.TaskID] = res.ShuffleAddr
+			rec.mapPartBytes[res.TaskID] = res.PartBytes
 		case rec.streamOut:
 			rec.outLoc[res.TaskID] = res.ShuffleAddr
 		default:
 			rec.mapOut[res.TaskID] = res.Output
 		}
 		rec.mapDone++
+		if rec.shuffle && rec.mapDone == len(rec.maps) {
+			rec.planReduces()
+		}
 	}
+}
+
+// planReduces installs the reduce-phase plan once every map partition
+// is in place: the reduce board's scan order becomes heaviest-partition
+// first (LPT — a skewed range starts immediately instead of
+// serializing the tail), and redHome records, per partition, the
+// shuffle address holding the most of its bytes — the locality hint
+// grantFromJob serves reducers by, so the heaviest fetch stream is a
+// local store read. Maps that reported no sizes (a pre-upgrade tracker)
+// leave the board in index order. Callers hold jt.mu.
+func (rec *jobRecord) planReduces() {
+	r := len(rec.reduces)
+	totals := make([]int64, r)
+	homeBytes := make([]map[string]int64, r)
+	for p := range homeBytes {
+		homeBytes[p] = make(map[string]int64)
+	}
+	for m, parts := range rec.mapPartBytes {
+		if len(parts) != r {
+			return // incomplete size data: keep index order, no hints
+		}
+		for p, n := range parts {
+			totals[p] += n
+			homeBytes[p][rec.mapLoc[m]] += n
+		}
+	}
+	order := make([]int, r)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return totals[order[a]] > totals[order[b]] })
+	rec.redBoard.SetOrder(order)
+	rec.redHome = make([]string, r)
+	for p := range rec.redHome {
+		best, bestN := "", int64(-1)
+		addrs := make([]string, 0, len(homeBytes[p]))
+		for a := range homeBytes[p] {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs) // deterministic tie-break
+		for _, a := range addrs {
+			if homeBytes[p][a] > bestN {
+				best, bestN = a, homeBytes[p][a]
+			}
+		}
+		rec.redHome[p] = best
+	}
+}
+
+// unplanReduces drops a stale reduce plan after a map output is lost:
+// the reopened maps will land somewhere else, so sizes and homes are
+// recomputed when coverage is complete again. Callers hold jt.mu.
+func (rec *jobRecord) unplanReduces() {
+	if rec.redBoard != nil {
+		rec.redBoard.SetOrder(nil)
+	}
+	rec.redHome = nil
 }
 
 // addDataBytes meters winning task output bytes that crossed the
@@ -1083,7 +1184,9 @@ func (jt *JobTracker) failAttempt(rec *jobRecord, board *sched.Board, trackerID 
 				if loc == res.BadAddr {
 					rec.mapBoard.Reopen(i)
 					rec.mapLoc[i] = ""
+					rec.mapPartBytes[i] = nil
 					rec.mapDone--
+					rec.unplanReduces()
 				}
 			}
 		}
@@ -1146,12 +1249,13 @@ func (jt *JobTracker) handleStatus(body []byte) (any, error) {
 	// pieces, in task order.
 	var outputs []MapOutputRef
 	if rec.streamOut && rec.done && rec.failed == "" {
+		raw := rec.kern.RawOutput != nil
 		outputs = make([]MapOutputRef, len(rec.outLoc))
 		for i, addr := range rec.outLoc {
 			if rec.shuffle {
-				outputs[i] = MapOutputRef{MapTask: -1, Part: i, Addr: addr}
+				outputs[i] = MapOutputRef{MapTask: -1, Part: i, Addr: addr, Raw: raw}
 			} else {
-				outputs[i] = MapOutputRef{MapTask: i, Part: -1, Addr: addr}
+				outputs[i] = MapOutputRef{MapTask: i, Part: -1, Addr: addr, Raw: raw}
 			}
 		}
 	}

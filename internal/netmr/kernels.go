@@ -44,6 +44,13 @@ type MapKernel struct {
 	// AccelPartition is Partition's accelerated variant under the same
 	// contract.
 	AccelPartition func(dev *AccelDevice, task Task, data []byte, parts int) ([][]byte, error)
+	// RawOutput, when set, unwraps a final-phase task's encoded output
+	// into the raw result bytes before it is parked in the shuffle
+	// store (StreamOutput tasks only). Stored raw, a streamed piece
+	// can be fetched in bounded chunks and written straight to the
+	// client's sink — the flat-heap output path; without the hook the
+	// client falls back to whole-piece fetch plus its decode step.
+	RawOutput func(encoded []byte) ([]byte, error)
 }
 
 // kernelRegistry holds the built-in kernels; RegisterKernel extends it
@@ -96,6 +103,18 @@ type PiResult struct {
 }
 
 func init() {
+	// unwrapRaw is the RawOutput hook for kernels whose task encoding
+	// is one gob byte slice: aes-ctr map outputs and sort reduce
+	// outputs unwrap to the raw result bytes before being parked, so
+	// the client can stream them chunk by chunk.
+	unwrapRaw := func(encoded []byte) ([]byte, error) {
+		var raw []byte
+		if err := rpcnet.Unmarshal(encoded, &raw); err != nil {
+			return nil, err
+		}
+		return raw, nil
+	}
+
 	// mergeWordCounts folds wordCountPartial payloads into one table.
 	mergeWordCounts := func(pieces [][]byte) (map[string]int64, error) {
 		total := make(map[string]int64)
@@ -219,6 +238,7 @@ func init() {
 			}
 			return rpcnet.Marshal(whole)
 		},
+		RawOutput: unwrapRaw,
 	})
 
 	RegisterKernel("pi", MapKernel{
@@ -284,14 +304,25 @@ func init() {
 			}
 			return rpcnet.Marshal(merged)
 		},
-		// Shuffle path: records route to partitions by key hash, so
-		// equal keys meet in one reduce task and the final merge of
-		// the R sorted partition runs reproduces the centralized
-		// order bit for bit.
-		Partition: func(_ Task, data []byte, parts int) ([][]byte, error) {
+		// Shuffle path: records route to partitions by key hash — or,
+		// when the task carries SplitKeys, by range
+		// (kernels.RangePartitioner). Either way equal keys meet in
+		// one reduce task, so both routes reproduce the centralized
+		// order bit for bit; the range route additionally makes the
+		// partitions themselves key-ordered, so a StreamOutput job's
+		// pieces concatenate globally sorted with no final merge.
+		Partition: func(task Task, data []byte, parts int) ([][]byte, error) {
 			run := append([]byte(nil), data...)
 			if err := kernels.SortRecords(run); err != nil {
 				return nil, err
+			}
+			index := func(key []byte) int { return kernels.PartitionIndex(key, parts) }
+			if len(task.SplitKeys) > 0 {
+				rp := kernels.NewRangePartitioner(task.SplitKeys)
+				if rp.Parts() != parts {
+					return nil, fmt.Errorf("netmr: %d split keys for %d partitions", len(task.SplitKeys), parts)
+				}
+				index = rp.Index
 			}
 			split := make([][]byte, parts)
 			for p := range split {
@@ -299,7 +330,7 @@ func init() {
 			}
 			for off := 0; off < len(run); off += kernels.SortRecordBytes {
 				rec := run[off : off+kernels.SortRecordBytes]
-				p := kernels.PartitionIndex(rec[:kernels.SortKeyBytes], parts)
+				p := index(rec[:kernels.SortKeyBytes])
 				split[p] = append(split[p], rec...)
 			}
 			out := make([][]byte, parts)
@@ -319,6 +350,7 @@ func init() {
 			}
 			return rpcnet.Marshal(merged)
 		},
+		RawOutput: unwrapRaw,
 	})
 
 	RegisterKernel("grep", MapKernel{

@@ -1,0 +1,146 @@
+package netmr
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hetmr/internal/kernels"
+	"hetmr/internal/rpcnet"
+)
+
+// splitKeysFor samples every key in data and cuts parts-1 quantile
+// split keys — the test-side stand-in for the engine's reservoir
+// sampling pass.
+func splitKeysFor(t *testing.T, data []byte, parts int) [][]byte {
+	t.Helper()
+	var sample [][]byte
+	for off := 0; off+kernels.SortRecordBytes <= len(data); off += kernels.SortRecordBytes {
+		sample = append(sample, data[off:off+kernels.SortKeyBytes])
+	}
+	keys := kernels.SplitKeysFromSample(sample, parts)
+	if len(keys) != parts-1 {
+		t.Fatalf("got %d split keys for %d parts", len(keys), parts)
+	}
+	return keys
+}
+
+// TestRangePartitionedSortStreamsInOrder pins the tentpole invariant:
+// with range partitioning, reduce r's streamed output strictly
+// precedes reduce r+1's, so the plain WaitOutput concatenation is the
+// globally sorted file — bit-identical to the hash-partitioned inline
+// sort, with zero post-reduce merge.
+func TestRangePartitionedSortStreamsInOrder(t *testing.T) {
+	c, err := StartCluster(3, 2, 2_000, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	data := sortableRecords(t, 300) // 30 KB
+	if err := c.Client.WriteFile("/records", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Hash-partitioned inline job: the reference output (merged by the
+	// JobTracker's final Reduce).
+	raw, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "sort-hash", Kernel: "sort", Input: "/records", NumReducers: 4,
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	if err := rpcnet.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Client.Submit(JobSpec{
+		Name: "sort-range", Kernel: "sort", Input: "/records", NumReducers: 4,
+		SplitKeys: splitKeysFor(t, data, 4), StreamOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	n, err := c.Client.WaitOutput(id, 30*time.Second, &got, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(want)) {
+		t.Fatalf("streamed %d bytes, reference has %d", n, len(want))
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("range-partitioned concatenation differs from the hash-sorted reference")
+	}
+}
+
+// TestSubmitRejectsBadSplitKeys pins the API-boundary validation:
+// split keys must number exactly NumReducers-1 and be sorted.
+func TestSubmitRejectsBadSplitKeys(t *testing.T) {
+	c := startTestCluster(t, 1, 2_000)
+	data := sortableRecords(t, 10)
+	if err := c.Client.WriteFile("/records", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Client.Submit(JobSpec{
+		Name: "bad-count", Kernel: "sort", Input: "/records", NumReducers: 4,
+		SplitKeys: [][]byte{{0x10}, {0x20}}, // want 3
+	})
+	if err == nil {
+		t.Error("wrong split key count accepted")
+	}
+	_, err = c.Client.Submit(JobSpec{
+		Name: "bad-order", Kernel: "sort", Input: "/records", NumReducers: 3,
+		SplitKeys: [][]byte{{0x20}, {0x10}},
+	})
+	if err == nil {
+		t.Error("unsorted split keys accepted")
+	}
+}
+
+// TestFetchWindowBoundsOutstanding pins the credit invariant on the
+// shuffle plane: with a deliberately tiny fetch window, a sort whose
+// reducers pull partitions from remote trackers never holds more
+// outstanding fetch bytes than the window grants — the tracker-wide
+// peak (which bounds every reducer's share a fortiori) stays at or
+// under the limit, provably, under the race detector.
+func TestFetchWindowBoundsOutstanding(t *testing.T) {
+	const window = 64 << 10
+	c, err := StartCluster(3, 2, 2_000, 10*time.Millisecond,
+		WithFetchWindow(window), WithSpill(t.TempDir(), 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	data := sortableRecords(t, 600) // 60 KB across ~30 blocks
+	if err := c.Client.WriteFile("/records", data, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Client.SubmitAndWait(JobSpec{
+		Name: "sort-windowed", Kernel: "sort", Input: "/records", NumReducers: 4,
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sorted []byte
+	if err := rpcnet.Unmarshal(raw, &sorted); err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != len(data) {
+		t.Fatalf("sorted %d bytes of %d", len(sorted), len(data))
+	}
+	credited := false
+	for _, tt := range c.TTs {
+		if got := tt.FetchWindowLimit(); got != window {
+			t.Fatalf("tracker %s fetch window %d, configured %d", tt.ID, got, window)
+		}
+		peak := tt.FetchWindowPeak()
+		if peak > window {
+			t.Errorf("tracker %s peak outstanding fetch bytes %d exceed window %d", tt.ID, peak, window)
+		}
+		if peak > 0 {
+			credited = true
+		}
+	}
+	if !credited {
+		t.Fatal("no tracker acquired fetch credit — shuffle ran without the window?")
+	}
+}

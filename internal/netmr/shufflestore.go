@@ -82,6 +82,19 @@ func (st *shuffleStore) get(jobID int64, k partKey) ([]byte, bool) {
 	return data, true
 }
 
+// getRange fetches up to max bytes of one payload starting at off,
+// plus the payload's total size — the chunked FetchPartition serving
+// path. Repeatedly fetched spilled partitions are re-admitted into the
+// spill store's hot cache, so a reducer's chunk loop decompresses a
+// frame once, not once per chunk.
+func (st *shuffleStore) getRange(jobID int64, k partKey, off, max int64) ([]byte, int64, bool) {
+	data, size, err := st.s.GetRange(shuffleKey(jobID, k), off, max)
+	if err != nil {
+		return nil, 0, false
+	}
+	return data, size, true
+}
+
 // purgeJob drops every payload a finished job left behind. Held under
 // the same lock as put (see there); deletes are cheap (map removal or
 // file unlink).

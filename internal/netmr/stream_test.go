@@ -155,15 +155,35 @@ func TestStreamOutputSortShufflePath(t *testing.T) {
 	// The inline path's final Reduce merges the partition runs; the
 	// streamed path hands the client the partitions in order. The
 	// shuffle hash-routes keys, so byte equality only holds after
-	// re-merging the streamed pieces.
+	// re-merging the streamed pieces — fetched here directly from the
+	// stores (they are raw record runs now, no gob framing) before
+	// WaitOutput streams and releases them.
+	if _, err := c.Client.Wait(id, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Client.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var pieces [][]byte
-	capture := func(p []byte) ([]byte, error) {
-		b, err := DecodeRawBytes(p)
-		pieces = append(pieces, b)
-		return b, err
+	for _, ref := range st.Outputs {
+		if !ref.Raw {
+			t.Fatalf("sort output piece (%d,%d) not marked raw", ref.MapTask, ref.Part)
+		}
+		cc, err := c.Client.wire.get(ref.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep FetchPartitionReply
+		if err := cc.CallTimeout("FetchPartition", FetchPartitionArgs{
+			JobID: id, MapTask: ref.MapTask, Part: ref.Part,
+		}, &rep, dataCallTimeout); err != nil {
+			t.Fatal(err)
+		}
+		pieces = append(pieces, rep.Data)
 	}
 	var got bytes.Buffer
-	if _, err := c.Client.WaitOutput(id, 30*time.Second, &got, capture); err != nil {
+	if _, err := c.Client.WaitOutput(id, 30*time.Second, &got, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got.Len() != len(want) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hetmr/internal/flow"
 	"hetmr/internal/rpcnet"
 	"hetmr/internal/spill"
 )
@@ -80,6 +81,14 @@ type TaskTracker struct {
 	// stores across tasks.
 	wire *connCache
 
+	// fetchWindow sizes the tracker's shuffle-fetch credit window in
+	// bytes; fetchWin is the window itself, shared by every reduce
+	// attempt on the tracker so outstanding remote partition bytes are
+	// bounded tracker-wide (and a fortiori per reducer). Each in-flight
+	// FetchPartition chunk holds exactly its MaxBytes of credit.
+	fetchWindow int64
+	fetchWin    *flow.Window
+
 	mu          sync.Mutex
 	completed   []TaskResult
 	running     int
@@ -142,6 +151,21 @@ func WithTrackerRack(rack string) TrackerOption {
 	return func(tt *TaskTracker) { tt.rack = rack }
 }
 
+// WithTrackerFetchWindow bounds the tracker's outstanding shuffle-fetch
+// bytes: reduce tasks pull remote partitions in chunks, and every
+// in-flight chunk holds its byte count as credit in a tracker-wide
+// window of this size — network receive buffers are bounded the same
+// way the spill watermark bounds the stores. Values < 1 keep the
+// default (defaultFetchWindow). Clusters typically tie this to the
+// spill watermark (Client options do this via WithFetchWindow).
+func WithTrackerFetchWindow(bytes int64) TrackerOption {
+	return func(tt *TaskTracker) {
+		if bytes >= 1 {
+			tt.fetchWindow = bytes
+		}
+	}
+}
+
 // DeviceKind reports the tracker's device kind (DeviceCell when an
 // accelerator is attached, DeviceHost otherwise).
 func (tt *TaskTracker) DeviceKind() string {
@@ -202,6 +226,7 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 		LocalDataNode: localDataNode,
 		srv:           srv,
 		spillMem:      -1,
+		fetchWindow:   defaultFetchWindow,
 		stop:          make(chan struct{}),
 		dead:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -210,6 +235,7 @@ func StartTaskTracker(id, jtAddr, localDataNode string, slots int, heartbeat tim
 	for _, o := range opts {
 		o(tt)
 	}
+	tt.fetchWin = flow.NewWindow(tt.fetchWindow)
 	if tt.wireCodec != "" {
 		if _, ok := spill.CodecByName(tt.wireCodec); !ok {
 			srv.Close()
@@ -274,17 +300,35 @@ func (tt *TaskTracker) HeldBytes() int64 { return tt.store.heldBytes() }
 // store (0 after the job is purged).
 func (tt *TaskTracker) JobHeldBytes(jobID int64) int64 { return tt.store.jobBytes(jobID) }
 
+// defaultFetchWindow bounds a tracker's outstanding shuffle-fetch
+// bytes when no explicit window is configured.
+const defaultFetchWindow = 8 << 20
+
+// fetchChunkBytes is the preferred chunk size of the credit-window
+// fetch loop; the window may grant less when it is smaller than one
+// chunk.
+const fetchChunkBytes = 256 << 10
+
+// FetchWindowLimit reports the tracker's shuffle-fetch credit window
+// size in bytes.
+func (tt *TaskTracker) FetchWindowLimit() int64 { return tt.fetchWin.Limit() }
+
+// FetchWindowPeak reports the high-water mark of outstanding
+// shuffle-fetch bytes — always ≤ FetchWindowLimit, which is the
+// flow-control guarantee tests assert.
+func (tt *TaskTracker) FetchWindowPeak() int64 { return tt.fetchWin.Peak() }
+
 func (tt *TaskTracker) handleFetchPartition(body []byte) (any, error) {
 	var args FetchPartitionArgs
 	if err := rpcnet.Unmarshal(body, &args); err != nil {
 		return nil, err
 	}
-	data, ok := tt.store.get(args.JobID, partKey{args.MapTask, args.Part})
+	data, size, ok := tt.store.getRange(args.JobID, partKey{args.MapTask, args.Part}, args.Offset, args.MaxBytes)
 	if !ok {
 		return nil, fmt.Errorf("netmr: tracker %s holds no partition %d of job %d map %d",
 			tt.ID, args.Part, args.JobID, args.MapTask)
 	}
-	return FetchPartitionReply{Data: data}, nil
+	return FetchPartitionReply{Data: data, Size: size}, nil
 }
 
 // heartbeatCallTimeout bounds one Heartbeat round-trip, so a hung
@@ -501,12 +545,16 @@ func (tt *TaskTracker) runTask(task Task) {
 			tt.report(res)
 			return
 		}
+		res.PartBytes = make([]int64, len(parts))
 		for p, payload := range parts {
 			if err := tt.store.put(task.JobID, partKey{task.TaskID, p}, payload); err != nil {
 				res.Err = err.Error()
 				tt.report(res)
 				return
 			}
+			// Per-partition sizes ride the heartbeat so the JobTracker
+			// can grant the heaviest reduce ranges first (LPT).
+			res.PartBytes[p] = int64(len(payload))
 		}
 		res.ShuffleAddr = tt.srv.Addr()
 		tt.report(res)
@@ -521,7 +569,16 @@ func (tt *TaskTracker) runTask(task Task) {
 	if task.StreamOutput {
 		// Streamed result path: the output parks here (spilling past
 		// the watermark) and only its location rides the heartbeat;
-		// the client fetches it straight from this store.
+		// the client fetches it straight from this store. Kernels with
+		// a RawOutput hook park the unwrapped result bytes, so the
+		// client can stream them in bounded chunks with no decode.
+		if kern.RawOutput != nil {
+			if out, err = kern.RawOutput(out); err != nil {
+				res.Err = err.Error()
+				tt.report(res)
+				return
+			}
+		}
 		if err := tt.store.put(task.JobID, streamedMapKey(task.TaskID), out); err != nil {
 			res.Err = err.Error()
 			tt.report(res)
@@ -584,14 +641,27 @@ func (tt *TaskTracker) partitionTask(task Task, kern MapKernel, data []byte) ([]
 	return kern.Partition(task, data, task.NumParts)
 }
 
+// fetchParallel caps a reduce task's concurrent remote partition
+// fetches; the credit window bounds the bytes, this bounds the
+// connections.
+const fetchParallel = 4
+
 // runReduce executes one reduce task: pull partition task.TaskID from
 // every mapper tracker's shuffle store (local reads short-circuit the
-// network) and merge the pieces with the kernel. A fetch failure names
-// the unreachable store so the JobTracker can re-run the map tasks
-// that died with it.
+// network) and merge the pieces with the kernel. Remote pieces arrive
+// over up to fetchParallel concurrent chunked fetch loops, every
+// in-flight chunk holding its byte credit in the tracker's fetch
+// window — outstanding shuffle bytes are bounded by the window, not by
+// partition sizes. A fetch failure names the unreachable store so the
+// JobTracker can re-run the map tasks that died with it.
 func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	own := tt.srv.Addr()
 	pieces := make([][]byte, len(task.Inputs))
+	type remote struct {
+		i   int
+		ref MapOutputRef
+	}
+	var remotes []remote
 	for i, ref := range task.Inputs {
 		if ref.Addr == own {
 			data, ok := tt.store.get(task.JobID, partKey{ref.MapTask, task.TaskID})
@@ -605,23 +675,47 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 			pieces[i] = data
 			continue
 		}
-		c, err := tt.wire.get(ref.Addr)
-		if err != nil {
-			res.Err = err.Error()
-			res.BadAddr = ref.Addr
-			tt.report(res)
-			return
-		}
-		var rep FetchPartitionReply
-		if err := c.CallTimeout("FetchPartition", FetchPartitionArgs{
-			JobID: task.JobID, MapTask: ref.MapTask, Part: task.TaskID,
-		}, &rep, dataCallTimeout); err != nil {
-			res.Err = err.Error()
-			res.BadAddr = ref.Addr
-			tt.report(res)
-			return
-		}
-		pieces[i] = rep.Data
+		remotes = append(remotes, remote{i, ref})
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		fetchErr error
+		badAddr  string
+	)
+	sem := make(chan struct{}, fetchParallel)
+	for _, rm := range remotes {
+		wg.Add(1)
+		go func(rm remote) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			abort := fetchErr != nil
+			mu.Unlock()
+			if abort {
+				return
+			}
+			data, err := tt.fetchPartition(rm.ref.Addr, FetchPartitionArgs{
+				JobID: task.JobID, MapTask: rm.ref.MapTask, Part: task.TaskID,
+			})
+			if err != nil {
+				mu.Lock()
+				if fetchErr == nil {
+					fetchErr, badAddr = err, rm.ref.Addr
+				}
+				mu.Unlock()
+				return
+			}
+			pieces[rm.i] = data
+		}(rm)
+	}
+	wg.Wait()
+	if fetchErr != nil {
+		res.Err = fetchErr.Error()
+		res.BadAddr = badAddr
+		tt.report(res)
+		return
 	}
 	out, err := kern.Merge(pieces)
 	if err != nil {
@@ -631,7 +725,15 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	}
 	if task.StreamOutput {
 		// The merged partition stays here too; the client pulls it in
-		// partition order once the job finishes.
+		// partition order once the job finishes — raw when the kernel
+		// has a RawOutput hook, so the pull can be chunked.
+		if kern.RawOutput != nil {
+			if out, err = kern.RawOutput(out); err != nil {
+				res.Err = err.Error()
+				tt.report(res)
+				return
+			}
+		}
 		if err := tt.store.put(task.JobID, streamedReduceKey(task.TaskID), out); err != nil {
 			res.Err = err.Error()
 			tt.report(res)
@@ -643,6 +745,39 @@ func (tt *TaskTracker) runReduce(task Task, kern MapKernel, res TaskResult) {
 	}
 	res.Output = out
 	tt.report(res)
+}
+
+// fetchPartition pulls one whole partition from a peer shuffle store
+// in fetchChunkBytes-sized pieces, holding each in-flight chunk's byte
+// count as credit in the tracker's fetch window — the credit-based
+// flow control of the shuffle plane. The window may grant less than a
+// full chunk (it never grants more than its limit), in which case the
+// loop simply takes more, smaller rounds.
+func (tt *TaskTracker) fetchPartition(addr string, args FetchPartitionArgs) ([]byte, error) {
+	c, err := tt.wire.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for off := int64(0); ; {
+		credit := tt.fetchWin.Acquire(fetchChunkBytes)
+		args.Offset = off
+		args.MaxBytes = credit
+		var rep FetchPartitionReply
+		err := c.CallTimeout("FetchPartition", args, &rep, dataCallTimeout)
+		tt.fetchWin.Release(credit)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make([]byte, 0, rep.Size)
+		}
+		out = append(out, rep.Data...)
+		off += int64(len(rep.Data))
+		if off >= rep.Size || len(rep.Data) == 0 {
+			return out, nil
+		}
+	}
 }
 
 // fetchBlock pulls one DFS block through the shared read-failover

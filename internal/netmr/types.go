@@ -217,15 +217,29 @@ type GetReply struct {
 
 // FetchPartitionArgs asks a TaskTracker's shuffle store for one map
 // task's partition — the reduce-side pull of the distributed shuffle.
+// Offset/MaxBytes select a chunk of the payload for the credit-window
+// fetch path; the zero values (0, 0) fetch the whole payload, so
+// pre-windowing callers keep working unchanged.
 type FetchPartitionArgs struct {
 	JobID   int64
 	MapTask int
 	Part    int
+	// Offset is the byte offset into the stored payload to read from.
+	Offset int64
+	// MaxBytes caps the reply's Data length; <= 0 means "the rest".
+	// Each in-flight fetch holds MaxBytes of credit in the reducer's
+	// flow window, so outstanding shuffle bytes stay provably bounded.
+	MaxBytes int64
 }
 
-// FetchPartitionReply carries the partition payload.
+// FetchPartitionReply carries the partition payload (or a chunk of it)
+// and the payload's total size, so chunked readers know when they have
+// the whole thing.
 type FetchPartitionReply struct {
 	Data []byte
+	// Size is the stored payload's total size in bytes, regardless of
+	// how much of it this reply carries.
+	Size int64
 }
 
 // --- JobTracker RPC messages ---
@@ -324,6 +338,15 @@ type JobSpec struct {
 	// bytes — the bounded-memory result path for outputs larger than
 	// any single process should buffer.
 	StreamOutput bool
+	// SplitKeys selects range partitioning for the shuffle: map output
+	// keys route by binary search into these sorted split keys
+	// (kernels.RangePartitioner) instead of the FNV hash, so partition
+	// p holds exactly the keys below partition p+1 and a StreamOutput
+	// job's pieces concatenate in key order — no final merge. Must be
+	// sorted and hold exactly NumReducers-1 keys (nil keeps hash
+	// partitioning). Typically computed by reservoir-sampling the
+	// ingest stream (kernels.RecordKeySampler).
+	SplitKeys [][]byte
 }
 
 // SubmitArgs submits a job.
@@ -364,6 +387,10 @@ type Task struct {
 	// executing tracker's shuffle store (reported by location, fetched
 	// by the client) instead of riding the heartbeat.
 	StreamOutput bool
+	// SplitKeys carries the job's range-partition split keys to map
+	// tasks (see JobSpec.SplitKeys); kernels with a Partition function
+	// route by range when present and by hash otherwise.
+	SplitKeys [][]byte
 }
 
 // MapOutputRef locates one stored task output: a map task's shuffle
@@ -375,6 +402,11 @@ type MapOutputRef struct {
 	MapTask int
 	Part    int
 	Addr    string // serving TaskTracker's shuffle-store address
+	// Raw marks a streamed output piece stored as raw result bytes
+	// (the kernel's RawOutput hook unwrapped the task encoding before
+	// storing): the client may fetch it in bounded chunks and write
+	// them straight to the sink, no whole-piece decode step.
+	Raw bool
 }
 
 // TaskResult reports one completed or failed task attempt.
@@ -398,6 +430,11 @@ type TaskResult struct {
 	// fetch failure, so the JobTracker can re-run the map tasks whose
 	// outputs died with that tracker.
 	BadAddr string
+	// PartBytes reports, for a shuffle-path map task, the stored size
+	// of each of its partitions. The JobTracker sums them per
+	// partition and hands out the heaviest reduce ranges first (LPT),
+	// so one skewed range cannot serialize the job's tail.
+	PartBytes []int64
 }
 
 // HeartbeatArgs is the TaskTracker's periodic report. The first

@@ -23,6 +23,8 @@ type Board struct {
 	opts     Options
 	max      int
 	tasks    []boardTask
+	order    []int // pending-scan order (nil: index order)
+	ident    []int // cached identity scan, built lazily
 	doneN    int
 	counts   map[string]int
 	attempts int
@@ -95,7 +97,7 @@ func (b *Board) Assign(worker string, max int, now time.Time, locality func(task
 	}
 	if locality != nil {
 		for _, want := range []Locality{LocalityNode, LocalityRack} {
-			for i := range b.tasks {
+			for _, i := range b.scanOrder() {
 				if len(out) >= max {
 					break
 				}
@@ -105,7 +107,7 @@ func (b *Board) Assign(worker string, max int, now time.Time, locality func(task
 			}
 		}
 	}
-	for i := range b.tasks {
+	for _, i := range b.scanOrder() {
 		if len(out) >= max {
 			break
 		}
@@ -114,6 +116,48 @@ func (b *Board) Assign(worker string, max int, now time.Time, locality func(task
 		}
 	}
 	return out
+}
+
+// scanOrder returns the pending-scan order: the SetOrder permutation
+// when one is installed, the cached identity otherwise. Callers hold
+// b.mu.
+func (b *Board) scanOrder() []int {
+	if b.order != nil {
+		return b.order
+	}
+	if b.ident == nil {
+		b.ident = make([]int, len(b.tasks))
+		for i := range b.ident {
+			b.ident[i] = i
+		}
+	}
+	return b.ident
+}
+
+// SetOrder installs the order Assign scans pending tasks in — the
+// range-aware hook: a master that knows per-partition sizes hands out
+// the heaviest reduce ranges first (LPT), so a skewed partition starts
+// early instead of serializing the tail. An order that is not a
+// permutation of the task indices is rejected and the board keeps its
+// current scan; nil restores index order.
+func (b *Board) SetOrder(order []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if order == nil {
+		b.order = nil
+		return
+	}
+	if len(order) != len(b.tasks) {
+		return
+	}
+	seen := make([]bool, len(b.tasks))
+	for _, i := range order {
+		if i < 0 || i >= len(b.tasks) || seen[i] {
+			return
+		}
+		seen[i] = true
+	}
+	b.order = append([]int(nil), order...)
 }
 
 // Speculate grants worker up to max speculative duplicates of the

@@ -244,3 +244,53 @@ func TestBoardValidation(t *testing.T) {
 		t.Error("out-of-range completion accepted")
 	}
 }
+
+func TestBoardSetOrder(t *testing.T) {
+	b, err := NewBoard(4, time.Minute, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	// LPT-style order: heaviest partitions first.
+	b.SetOrder([]int{2, 0, 3, 1})
+	got := b.Assign("w1", 4, now, nil)
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assign order = %v, want %v", got, want)
+		}
+	}
+	// Invalid orders are rejected: the installed scan stays.
+	b2, _ := NewBoard(3, time.Minute, Options{})
+	b2.SetOrder([]int{2, 1, 0})
+	b2.SetOrder([]int{0, 0, 1}) // duplicate
+	b2.SetOrder([]int{5, 1, 0}) // out of range
+	b2.SetOrder([]int{1, 0})    // wrong length
+	if got := b2.Assign("w", 3, now, nil); got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("invalid SetOrder clobbered the scan: %v", got)
+	}
+	// nil restores index order.
+	b3, _ := NewBoard(3, time.Minute, Options{})
+	b3.SetOrder([]int{2, 1, 0})
+	b3.SetOrder(nil)
+	if got := b3.Assign("w", 3, now, nil); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("SetOrder(nil) did not restore index order: %v", got)
+	}
+}
+
+func TestBoardSetOrderWithLocality(t *testing.T) {
+	b, _ := NewBoard(4, time.Minute, Options{})
+	b.SetOrder([]int{3, 2, 1, 0})
+	// Node-local tasks still outrank the installed order, but within a
+	// locality tier the order applies.
+	loc := func(task int) Locality {
+		if task == 1 {
+			return LocalityNode
+		}
+		return LocalityRemote
+	}
+	got := b.Assign("w", 2, time.Now(), loc)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Assign = %v, want [1 3] (node-local first, then heaviest)", got)
+	}
+}
